@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation: it runs the corresponding experiment under
+``pytest-benchmark`` timing, prints the figure's series/rows (visible
+with ``pytest benchmarks/ --benchmark-only -s``), stores the headline
+numbers in ``benchmark.extra_info``, and asserts the paper's shape.
+
+Rendering is delegated to :mod:`repro.analysis.figures` so examples and
+benchmarks draw identical figures.
+"""
+
+from repro.analysis.figures import (  # noqa: F401  (re-exported helpers)
+    hourly_series,
+    print_figure,
+    render_comparison,
+    sparkline,
+)

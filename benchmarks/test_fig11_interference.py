@@ -1,0 +1,37 @@
+"""Fig. 11 — scaling out Cassandra under 10%/20% interference.
+
+With interference detection DejaVu compensates (more instances, SLO
+held); with detection disabled the baseline allocations violate the SLO
+most of the time.
+"""
+
+from benchmarks.conftest import hourly_series, print_figure, sparkline
+from repro.experiments.interference_study import run_interference_study
+
+
+def test_fig11_interference(benchmark):
+    study = benchmark.pedantic(run_interference_study, rounds=1, iterations=1)
+    lat_with = hourly_series(study.with_detection, "latency_ms")
+    lat_without = hourly_series(study.without_detection, "latency_ms")
+    inst_with = hourly_series(study.with_detection, "instances")
+    print_figure(
+        "Fig. 11: Cassandra + Messenger trace under 10%/20% interference",
+        [
+            f"(a) latency, detection ON  | {sparkline(lat_with)}",
+            f"    latency, detection OFF | {sparkline(lat_without)}",
+            f"(b) instances, ON          | {sparkline(inst_with)}",
+            f"violations: ON {study.slo_with.violation_fraction:.1%} | "
+            f"OFF {study.slo_without.violation_fraction:.1%}",
+            f"mean instances: ON {study.mean_instances_with:.2f} | "
+            f"OFF {study.mean_instances_without:.2f} "
+            "(ON provisions extra to compensate)",
+        ],
+    )
+    benchmark.extra_info["violations_with"] = study.slo_with.violation_fraction
+    benchmark.extra_info["violations_without"] = (
+        study.slo_without.violation_fraction
+    )
+
+    assert study.slo_with.violation_fraction < 0.05
+    assert study.slo_without.violation_fraction > 0.35
+    assert study.mean_instances_with > study.mean_instances_without

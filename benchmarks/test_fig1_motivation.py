@@ -1,0 +1,42 @@
+"""Fig. 1 — the motivating experiment.
+
+RUBiS under a sine-wave load (volume changed every 10 minutes);
+state-of-the-art experiment-driven tuning keeps re-converging, so the
+service alternates between SLO violations ("bad performance") and
+over-provisioning ("over charged").
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_figure, sparkline
+from repro.experiments.motivation import (
+    latency_overshoot_cycles,
+    run_motivation_experiment,
+)
+
+
+def test_fig1_motivation(benchmark):
+    result = benchmark.pedantic(
+        run_motivation_experiment, rounds=1, iterations=1
+    )
+    latency = result.result.series["latency_ms"].values
+    volume = result.result.series["workload_volume"].values
+    print_figure(
+        "Fig. 1: online tuning under a recurring sine-wave workload (RUBiS)",
+        [
+            f"workload volume  | {sparkline(volume)}",
+            f"latency (ms)     | {sparkline(latency)}",
+            f"SLO 150 ms       | violated {result.slo.violation_fraction:.0%} "
+            f"of the time, worst {result.slo.worst_value:.0f} ms",
+            f"tuning invocations: {result.tuning_invocations} "
+            f"({result.total_tuning_seconds / 60:.0f} min of sandboxed experiments)",
+        ],
+    )
+    benchmark.extra_info["violation_fraction"] = result.slo.violation_fraction
+    benchmark.extra_info["tuning_invocations"] = result.tuning_invocations
+
+    # Shape assertions (the paper's qualitative claims).
+    assert result.slo.violation_fraction > 0.2
+    assert result.tuning_invocations >= 4
+    assert latency_overshoot_cycles(result.result, 150.0) >= 2
+    assert np.nanmax(latency) > 150.0

@@ -1,0 +1,35 @@
+"""Fig. 5 — identifying the representative workload classes.
+
+24 hourly workloads from the learning day collapse into a handful of
+classes; a singleton/small cluster captures the peak hour.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_figure
+from repro.experiments.signatures import run_fig5_clustering
+
+
+def test_fig5_clustering(benchmark):
+    figure = benchmark.pedantic(
+        run_fig5_clustering, args=("messenger",), rounds=1, iterations=1
+    )
+    sizes = np.bincount(figure.model.labels)
+    rows = [
+        f"{figure.n_workloads} hourly workloads -> {figure.n_classes} classes",
+        f"cluster sizes: {list(sizes)}",
+        f"silhouette: {figure.model.silhouette:.2f}",
+        "2-D projection (metric 1 vs metric 2, standardized):",
+    ]
+    for cluster in range(figure.n_classes):
+        member_hours = np.flatnonzero(figure.model.labels == cluster)
+        rows.append(f"  class {cluster}: hours {list(member_hours)}")
+    print_figure("Fig. 5: workload classes from one learning day", rows)
+    benchmark.extra_info["n_classes"] = figure.n_classes
+    benchmark.extra_info["sizes"] = [int(s) for s in sizes]
+
+    # The tuning-overhead headline: 24 workloads, only a few tunings.
+    assert figure.n_workloads == 24
+    assert figure.n_classes == 4
+    assert sizes.min() <= 2  # the peak-hour cluster is (near-)singleton
+    assert figure.model.silhouette > 0.5

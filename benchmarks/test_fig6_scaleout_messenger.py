@@ -1,0 +1,43 @@
+"""Fig. 6 — scaling out Cassandra with the Messenger trace.
+
+Three panels: (a) the load trace, (b) instances deployed by DejaVu
+versus Autopilot, (c) service latency against the 60 ms SLO.
+"""
+
+from benchmarks.conftest import hourly_series, print_figure, sparkline
+from repro.experiments.scaling import run_scaleout_comparison
+
+
+def test_fig6_scaleout_messenger(benchmark):
+    comparison = benchmark.pedantic(
+        run_scaleout_comparison, args=("messenger",), rounds=1, iterations=1
+    )
+    dejavu = comparison.results["dejavu"]
+    autopilot = comparison.results["autopilot"]
+    load = hourly_series(dejavu, "load")
+    dv_instances = hourly_series(dejavu, "instances")
+    ap_instances = hourly_series(autopilot, "instances")
+    latency = hourly_series(dejavu, "latency_ms")
+    saving = comparison.costs["dejavu"].saving_fraction
+    print_figure(
+        "Fig. 6: scaling out Cassandra, Messenger trace",
+        [
+            f"(a) load       | {sparkline(load)}",
+            f"(b) DejaVu     | {sparkline(dv_instances)}",
+            f"    Autopilot  | {sparkline(ap_instances)}",
+            f"(c) latency ms | {sparkline(latency)}",
+            f"workload classes: {comparison.n_classes}; "
+            f"cache misses: {comparison.n_misses}",
+            f"DejaVu saving vs always-max: {saving:.0%} (paper: ~55%)",
+            f"SLO violations  DejaVu {comparison.slo['dejavu'].violation_fraction:.1%}"
+            f" | Autopilot {comparison.slo['autopilot'].violation_fraction:.1%}"
+            f" (paper: >=28%)",
+        ],
+    )
+    benchmark.extra_info["saving"] = saving
+    benchmark.extra_info["classes"] = comparison.n_classes
+
+    assert comparison.n_classes == 4
+    assert 0.45 <= saving <= 0.65
+    assert comparison.slo["dejavu"].violation_fraction < 0.03
+    assert comparison.slo["autopilot"].violation_fraction >= 0.12

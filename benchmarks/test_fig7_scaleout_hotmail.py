@@ -1,0 +1,41 @@
+"""Fig. 7 — scaling out Cassandra with the HotMail trace.
+
+Same panels as Fig. 6, plus the day-4 unclassifiable workload that
+forces DejaVu's full-capacity fallback.
+"""
+
+from benchmarks.conftest import hourly_series, print_figure, sparkline
+from repro.experiments.scaling import run_scaleout_comparison
+from repro.sim.clock import SECONDS_PER_DAY
+
+
+def test_fig7_scaleout_hotmail(benchmark):
+    comparison = benchmark.pedantic(
+        run_scaleout_comparison, args=("hotmail",), rounds=1, iterations=1
+    )
+    dejavu = comparison.results["dejavu"]
+    load = hourly_series(dejavu, "load")
+    instances = hourly_series(dejavu, "instances")
+    latency = hourly_series(dejavu, "latency_ms")
+    saving = comparison.costs["dejavu"].saving_fraction
+    print_figure(
+        "Fig. 7: scaling out Cassandra, HotMail trace",
+        [
+            f"(a) load       | {sparkline(load)}",
+            f"(b) DejaVu     | {sparkline(instances)}",
+            f"(c) latency ms | {sparkline(latency)}",
+            f"workload classes: {comparison.n_classes} (paper: 3); "
+            f"day-4 fallbacks to full capacity: {comparison.n_misses}",
+            f"DejaVu saving vs always-max: {saving:.0%} (paper: ~60%)",
+        ],
+    )
+    benchmark.extra_info["saving"] = saving
+    benchmark.extra_info["classes"] = comparison.n_classes
+    benchmark.extra_info["misses"] = comparison.n_misses
+
+    assert comparison.n_classes == 3
+    assert 0.50 <= saving <= 0.65
+    assert 3 <= comparison.n_misses <= 5
+    surge_window = (3 * SECONDS_PER_DAY, 4 * SECONDS_PER_DAY)
+    surge_instances = dejavu.series["instances"].window(*surge_window)
+    assert surge_instances.values.max() == 10

@@ -1,0 +1,44 @@
+"""Fig. 8 — DejaVu versus RightScale decision times.
+
+DejaVu adapts in ~10 s (one signature collection); RightScale needs
+one resize calm period per +2-instance step, landing one to two orders
+of magnitude slower for calm times of 3 and 15 minutes.
+"""
+
+from benchmarks.conftest import print_figure
+from repro.experiments.adaptation_study import (
+    run_dejavu_adaptation,
+    run_rightscale_adaptation,
+    speedup,
+)
+
+
+def run_all():
+    dejavu = run_dejavu_adaptation()
+    rs_fast = run_rightscale_adaptation(180.0)
+    rs_slow = run_rightscale_adaptation(900.0)
+    return dejavu, rs_fast, rs_slow
+
+
+def test_fig8_adaptation_time(benchmark):
+    dejavu, rs_fast, rs_slow = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for study in (dejavu, rs_fast, rs_slow):
+        rows.append(
+            f"{study.controller:<18} mean {study.mean_seconds:8.0f} s "
+            f"(+/- {study.stderr_seconds:.0f})  per-change: "
+            + " ".join(f"{t:.0f}" for t in study.per_change_seconds)
+        )
+    rows.append(
+        f"speedup vs RightScale: {speedup(dejavu, rs_fast):.0f}x (3 min calm), "
+        f"{speedup(dejavu, rs_slow):.0f}x (15 min calm)  [paper: >10x, 1-2 orders]"
+    )
+    print_figure("Fig. 8: adaptation time per workload change (log scale)", rows)
+    benchmark.extra_info["dejavu_seconds"] = dejavu.mean_seconds
+    benchmark.extra_info["rightscale_3min"] = rs_fast.mean_seconds
+    benchmark.extra_info["rightscale_15min"] = rs_slow.mean_seconds
+
+    assert 5.0 <= dejavu.mean_seconds <= 30.0
+    assert 10.0 <= speedup(dejavu, rs_fast) <= 1000.0
+    assert 10.0 <= speedup(dejavu, rs_slow) <= 1000.0
+    assert rs_slow.mean_seconds > rs_fast.mean_seconds

@@ -1,0 +1,34 @@
+"""Fig. 9 — scaling up SPECweb with the HotMail trace.
+
+Panels: (a) instance type over time (L vs XL), (b) QoS against the 95%
+SPECweb compliance floor.  Paper: ~45% saving, QoS always above target.
+"""
+
+from benchmarks.conftest import hourly_series, print_figure, sparkline
+from repro.experiments.scaling import run_scaleup_comparison
+
+
+def test_fig9_scaleup_hotmail(benchmark):
+    comparison = benchmark.pedantic(
+        run_scaleup_comparison, args=("hotmail",), rounds=1, iterations=1
+    )
+    dejavu = comparison.results["dejavu"]
+    itype = hourly_series(dejavu, "instance_is_xl")
+    qos = hourly_series(dejavu, "qos_percent")
+    saving = comparison.costs["dejavu"].saving_fraction
+    print_figure(
+        "Fig. 9: scaling up SPECweb, HotMail trace",
+        [
+            f"(a) L/XL   | {sparkline(itype)}  (high = extra-large)",
+            f"(b) QoS %  | {sparkline(qos)}",
+            f"XL hours over reuse days: {comparison.xl_hours:.0f}",
+            f"saving vs always-XL: {saving:.0%} (paper: ~45%)",
+            f"QoS violations: {comparison.slo['dejavu'].violation_fraction:.1%}",
+        ],
+    )
+    benchmark.extra_info["saving"] = saving
+    benchmark.extra_info["xl_hours"] = comparison.xl_hours
+
+    assert 0.30 <= saving <= 0.50
+    assert comparison.slo["dejavu"].violation_fraction < 0.02
+    assert comparison.xl_hours > 0

@@ -1,0 +1,42 @@
+"""Sec. 4.4 — DejaVu's overhead.
+
+Network: duplicating one instance's inbound traffic is ~1/n of service
+inbound, ~0.1% of total traffic at n=100 with a 1:10 in/out ratio.
+Latency: continuous profiling of the RUBiS database tier costs ~3 ms.
+"""
+
+from benchmarks.conftest import print_figure
+from repro.experiments.overhead import run_latency_overhead, run_network_overhead
+
+
+def test_sec44_network_overhead(benchmark):
+    result = benchmark.pedantic(
+        run_network_overhead, kwargs={"n_instances": 100}, rounds=1, iterations=1
+    )
+    print_figure(
+        "Sec. 4.4: network overhead of the DejaVu proxy",
+        [
+            f"instances: {result.n_instances}",
+            f"duplicated / inbound bytes: {result.duplication_fraction:.2%} "
+            "(paper: ~1/n)",
+            f"duplicated / total traffic: {result.total_overhead_fraction:.3%} "
+            "(paper: ~0.1% at 1:10 in/out)",
+        ],
+    )
+    benchmark.extra_info["total_overhead"] = result.total_overhead_fraction
+
+    assert abs(result.duplication_fraction - 0.01) < 0.005
+    assert result.total_overhead_fraction < 0.002
+
+
+def test_sec44_latency_overhead(benchmark):
+    result = benchmark.pedantic(run_latency_overhead, rounds=1, iterations=1)
+    rows = [
+        f"  {clients:>4} clients: +{overhead:.2f} ms"
+        for clients, overhead in zip(result.client_counts, result.overheads_ms)
+    ]
+    rows.append(f"mean added latency: {result.mean_overhead_ms:.2f} ms (paper: ~3 ms)")
+    print_figure("Sec. 4.4: production latency under continuous profiling", rows)
+    benchmark.extra_info["mean_overhead_ms"] = result.mean_overhead_ms
+
+    assert 2.0 <= result.mean_overhead_ms <= 4.0

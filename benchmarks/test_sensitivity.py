@@ -1,0 +1,59 @@
+"""Sensitivity sweeps over DejaVu's calibration knobs (DESIGN.md).
+
+* Tuner safety margin: the cost/SLO trade-off curve; the main
+  experiments' 0.85 sits at the knee.
+* Profiling trials per workload: too few trials first degrade the
+  classifier's confidence (conservative fallbacks) and then the
+  clustering itself (merged classes, real SLO damage) — why the paper
+  profiles 5 trials per condition.
+"""
+
+from benchmarks.conftest import print_figure
+from repro.experiments.sensitivity import run_margin_sweep, run_trials_sweep
+
+
+def test_sensitivity_tuner_margin(benchmark):
+    points = benchmark.pedantic(run_margin_sweep, rounds=1, iterations=1)
+    rows = [
+        f"  margin {p.margin:.2f}: saving {p.saving_fraction:.1%}, "
+        f"violations {p.violation_fraction:.1%}"
+        for p in points
+    ]
+    print_figure("Sensitivity: tuner latency safety margin", rows)
+    benchmark.extra_info["points"] = [
+        (p.margin, p.saving_fraction, p.violation_fraction) for p in points
+    ]
+
+    # Looser margins save more money but violate more — both monotone.
+    savings = [p.saving_fraction for p in points]
+    violations = [p.violation_fraction for p in points]
+    assert savings == sorted(savings)
+    assert violations == sorted(violations)
+    # The default 0.85 keeps violations at blip level.
+    default = next(p for p in points if p.margin == 0.85)
+    assert default.violation_fraction < 0.03
+
+
+def test_sensitivity_trials_per_workload(benchmark):
+    points = benchmark.pedantic(run_trials_sweep, rounds=1, iterations=1)
+    rows = [
+        f"  trials {p.trials}: {p.n_classes} classes, {p.misses} fallbacks, "
+        f"saving {p.saving_fraction:.1%}, violations {p.violation_fraction:.1%}"
+        for p in points
+    ]
+    print_figure("Sensitivity: profiling trials per learning workload", rows)
+
+    by_trials = {p.trials: p for p in points}
+    # 2 trials: the per-workload mean signatures are noisy enough to
+    # merge clusters -> wrong classes -> real SLO damage.
+    assert by_trials[2].n_classes < 4
+    assert by_trials[2].violation_fraction > 0.1
+    # 3 trials: clustering is right, but the singleton peak class's
+    # Laplace confidence (4/7) is below the 0.6 threshold -> every peak
+    # hour conservatively falls back to full capacity (safe, costly).
+    assert by_trials[3].n_classes == 4
+    assert by_trials[3].misses > 0
+    assert by_trials[3].violation_fraction < 0.03
+    # 5+ trials (the default, and the paper's Fig. 4 count): clean.
+    assert by_trials[5].misses == 0
+    assert by_trials[8].misses == 0

@@ -1,0 +1,34 @@
+"""Sec. 4.5 / abstract — the savings summary and dollar projections.
+
+"Savings of 35-60% ... higher (50-60% vs 35-45%) when scaling out vs
+scaling up ... more than $250,000 and $2.5 Million per year for 100 and
+1,000 instances."
+"""
+
+from benchmarks.conftest import print_figure
+from repro.experiments.summary import run_savings_summary
+
+
+def test_summary_savings(benchmark):
+    summary = benchmark.pedantic(run_savings_summary, rounds=1, iterations=1)
+    print_figure(
+        "Sec. 4.5: provisioning-cost savings vs always-max",
+        [
+            f"scale-out  Messenger {summary.scaleout_messenger:.0%} | "
+            f"HotMail {summary.scaleout_hotmail:.0%}   (paper: 50-60%)",
+            f"scale-up   Messenger {summary.scaleup_messenger:.0%} | "
+            f"HotMail {summary.scaleup_hotmail:.0%}   (paper: 35-45%)",
+            f"fleet projection: ${summary.dollars_per_year_100:,.0f}/yr "
+            f"for 100 large instances, ${summary.dollars_per_year_1000:,.0f}/yr "
+            "for 1,000 (paper: >$250k / $2.5M with its trace shapes)",
+        ],
+    )
+    benchmark.extra_info["scaleout_band"] = list(summary.scaleout_band)
+    benchmark.extra_info["scaleup_band"] = list(summary.scaleup_band)
+    benchmark.extra_info["dollars_100"] = summary.dollars_per_year_100
+
+    assert 0.45 <= summary.scaleout_band[0] <= summary.scaleout_band[1] <= 0.65
+    assert 0.18 <= summary.scaleup_band[0] <= summary.scaleup_band[1] <= 0.50
+    # Scale-out dominates scale-up (finer allocation granularity).
+    assert summary.scaleout_band[0] > summary.scaleup_band[1] - 0.1
+    assert summary.dollars_per_year_100 > 100_000

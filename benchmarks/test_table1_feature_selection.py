@@ -1,0 +1,26 @@
+"""Table 1 — the HPC metrics CFS selects for RUBiS's signature."""
+
+from benchmarks.conftest import print_figure
+from repro.experiments.signatures import run_table1_selection, table1_overlap
+from repro.telemetry.events import TABLE1_EVENTS
+
+
+def test_table1_feature_selection(benchmark):
+    selection = benchmark.pedantic(run_table1_selection, rounds=1, iterations=1)
+    overlap = table1_overlap(selection)
+    rows = ["greedy-stepwise CFS trace (feature, merit):"]
+    rows += [f"  {name:<22} {merit:.3f}" for name, merit in selection.trace]
+    rows.append(f"paper's Table 1 events: {', '.join(TABLE1_EVENTS)}")
+    rows.append(
+        f"overlap: {len(overlap)}/{len(selection.selected)} selected are in Table 1"
+    )
+    print_figure("Table 1: RUBiS workload-signature HPC events", rows)
+    benchmark.extra_info["selected"] = list(selection.selected)
+    benchmark.extra_info["overlap"] = len(overlap)
+
+    # Selection must be dominated by genuinely informative events and
+    # include several of the paper's Table-1 counters.  (Our synthetic
+    # telemetry has a rank-5 latent space, so CFS legitimately needs
+    # fewer events than the paper's eight — see EXPERIMENTS.md.)
+    assert len(overlap) >= 2
+    assert len(selection.selected) >= 3

@@ -1,0 +1,53 @@
+"""Interference-aware provisioning (the Fig. 11 case study).
+
+Co-located tenants steal 10-20% of each VM's capacity, varying over
+time.  DejaVu cannot see the neighbours — it only sees that production
+performance after deploying the cached baseline allocation is worse than
+the profiler's isolated measurement.  The ratio is the *interference
+index* (Eq. 2); quantized into bands, it extends the cache key so each
+workload class maps to one allocation per interference level.
+
+Run:  python examples/interference_aware_provisioning.py
+"""
+
+from repro.core.interference import InterferenceEstimator
+from repro.experiments.interference_study import run_interference_study
+from repro.services.slo import LatencySLO
+
+
+def demo_index_arithmetic() -> None:
+    print("interference index (Eq. 2) -> band -> assumed capacity theft")
+    estimator = InterferenceEstimator()
+    slo = LatencySLO(60.0)
+    for label, prod_ms, iso_ms in (
+        ("quiet neighbours", 55.0, 52.0),
+        ("10% hog", 71.0, 54.0),
+        ("20% hog", 108.0, 54.0),
+    ):
+        estimate = estimator.estimate(slo, prod_ms, iso_ms)
+        print(f"  {label:<17} index {estimate.index:4.2f} -> band "
+              f"{estimate.band} (tuner assumes {estimate.assumed_theft:.0%} "
+              "stolen)")
+    print()
+
+
+def main() -> None:
+    demo_index_arithmetic()
+
+    print("running the Fig. 11 week (this takes a couple of seconds)...")
+    study = run_interference_study()
+
+    print("\n                      detection ON    detection OFF")
+    print(f"SLO violations         {study.slo_with.violation_fraction:10.1%}"
+          f"    {study.slo_without.violation_fraction:10.1%}")
+    print(f"mean instances         {study.mean_instances_with:10.2f}"
+          f"    {study.mean_instances_without:10.2f}")
+    print("\nWith detection, DejaVu notices the production/isolation gap,")
+    print("quantizes it into an interference band, and deploys the band's")
+    print("larger cached allocation — trading a few extra instances for a")
+    print("met SLO.  Without it, the baseline allocations under-provision")
+    print("whenever the co-located tenant is active.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: learn workload classes once, reuse allocations forever.
+
+This walks the DejaVu pipeline end to end on the Cassandra scale-out
+scenario (the paper's Sec. 4.1 case study):
+
+1. build the production and profiling environments;
+2. run the learning phase on one day of trace workloads (profile,
+   select signature metrics, cluster, tune one representative per
+   class);
+3. classify fresh workloads at runtime and redeploy cached allocations
+   in ~10 seconds per change.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.setup import build_scaleout_setup
+from repro.sim.clock import HOUR
+from repro.sim.engine import StepContext
+
+
+def main() -> None:
+    # 1. Wire the substrates: a Cassandra-like service (60 ms SLO), a
+    #    10-instance EC2-like pool, a telemetry monitor and a profiler.
+    setup = build_scaleout_setup(trace_name="messenger")
+    manager = setup.manager
+    print(f"service: {setup.service.name}, SLO: {setup.service.slo}")
+    print(f"pool: up to {setup.provider.max_instances} large instances\n")
+
+    # 2. Learning phase — one day of hourly workloads.
+    learning_day = setup.trace.hourly_workloads(day=0)
+    report = manager.learn(learning_day)
+    print(f"learned {report.n_classes} workload classes "
+          f"from {report.n_workloads} workloads")
+    print(f"signature metrics: {', '.join(report.selected_metrics)}")
+    print(f"tuning runs: {report.tuning_invocations} "
+          f"({report.tuning_seconds_total / 60:.0f} min of sandboxed "
+          f"experiments — one per class, not per workload)")
+    for (cls, band), allocation in sorted(report.class_allocations.items()):
+        print(f"  class {cls} (band {band}): {allocation}")
+
+    # 3. Online reuse — day 2 of the trace, one adaptation per hour.
+    print("\nday-2 replay (hour, offered load, deployed allocation):")
+    for hour in range(24, 48, 4):
+        t = hour * HOUR
+        workload = setup.trace.workload_at(t)
+        ctx = StepContext(t=t, workload=workload, hour=hour, day=hour // 24)
+        event = manager.adapt(ctx)
+        sample = setup.production.performance_at(workload, t + 60.0)
+        status = "hit " if event.cache_hit else "MISS"
+        print(f"  h{hour % 24:02d}  load {workload.volume:6.0f} clients  "
+              f"[{status}] -> {event.allocation}  "
+              f"latency {sample.latency_ms:5.1f} ms")
+
+    hit_rate = manager.repository.stats.hit_rate
+    print(f"\ncache hit rate: {hit_rate:.0%}; "
+          f"adaptation time per change: {manager.mean_adaptation_seconds():.0f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Warm starts, re-learning, and batch workloads.
+
+Three library features beyond the core pipeline:
+
+1. **Persistence** — a trained manager's learned state (signature
+   schema, clustering, classifier, allocation cache) round-trips
+   through JSON, so a redeployed DejaVu skips the learning day.
+2. **Re-learning** (Sec. 3.5) — repeated low-certainty classifications
+   flag that "the current clustering is no longer relevant"; the
+   manager re-clusters from its recent workload history and the novel
+   level becomes a first-class cached entry.
+3. **Batch workloads** (Sec. 3.7) — the interference mechanism applied
+   to Hadoop-style tasks: a violated runtime expectation is diagnosed
+   as interference or user mis-estimation by re-running in isolation.
+
+Run:  python examples/warm_start_and_batch.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.manager import DejaVuConfig
+from repro.core.persistence import load_manager_state, save_manager_state
+from repro.experiments.setup import build_scaleout_setup
+from repro.services.batch import BatchTask, BatchWorkloadAdvisor
+from repro.sim.engine import StepContext
+from repro.workloads.request_mix import CASSANDRA_UPDATE_HEAVY, Workload
+
+
+def demo_warm_start(state_path: Path) -> None:
+    print("-- persistence: train once, redeploy instantly")
+    setup = build_scaleout_setup("messenger")
+    report = setup.manager.learn(setup.trace.hourly_workloads(day=0))
+    save_manager_state(setup.manager, state_path)
+    print(f"trained ({report.n_classes} classes, "
+          f"{report.tuning_seconds_total / 60:.0f} min of tuning) "
+          f"-> {state_path.name} ({state_path.stat().st_size} bytes)")
+
+    fresh = build_scaleout_setup("messenger")
+    load_manager_state(fresh.manager, state_path)
+    workload = fresh.trace.workload_at(30 * 3600.0)
+    label, certainty, _ = fresh.manager.classify(workload)
+    print(f"restored manager classifies hour 30 -> class {label} "
+          f"(certainty {certainty:.2f}) with zero re-tuning\n")
+
+
+def demo_relearning() -> None:
+    print("-- re-learning: a persistent new workload level")
+    config = DejaVuConfig(
+        auto_relearn=True, relearn_after_misses=3, min_relearn_history=10
+    )
+    setup = build_scaleout_setup("messenger", config=config)
+    manager = setup.manager
+    manager.learn(setup.trace.hourly_workloads(day=0))
+
+    # Warm the history with a normal day, then a flash-crowd level
+    # (35% above the learned peak) arrives and stays.
+    for hour in range(24, 40):
+        t = hour * 3600.0
+        manager.adapt(StepContext(
+            t=t, workload=setup.trace.workload_at(t), hour=hour, day=1
+        ))
+    crowd = Workload(
+        volume=1.35 * setup.trace.peak_clients, mix=CASSANDRA_UPDATE_HEAVY
+    )
+    for i, hour in enumerate(range(41, 45)):
+        t = hour * 3600.0
+        event = manager.adapt(StepContext(t=t, workload=crowd, hour=hour, day=1))
+        state = "hit" if event.cache_hit else "miss -> full capacity"
+        print(f"  flash-crowd hour {i + 1}: {state}"
+              + ("  [re-clustered]" if manager.relearn_count else ""))
+    print(f"re-learn runs: {manager.relearn_count}; the crowd level is now "
+          f"a cached class\n")
+
+
+def demo_batch_advisor() -> None:
+    print("-- batch workloads: interference or mis-estimation?")
+    advisor = BatchWorkloadAdvisor()
+    cases = [
+        ("healthy task", BatchTask(work_units=100, expected_seconds=110), 0.0),
+        ("task on a noisy host", BatchTask(work_units=100, expected_seconds=110), 0.25),
+        ("optimistic user", BatchTask(work_units=200, expected_seconds=120), 0.25),
+    ]
+    for label, task, interference in cases:
+        report = advisor.investigate(task, interference)
+        print(f"  {label:<22} prod {report.production_seconds:6.1f} s, "
+              f"isolated {report.isolated_seconds:6.1f} s "
+              f"-> {report.diagnosis.value}")
+    print()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        demo_warm_start(Path(tmp) / "dejavu-state.json")
+    demo_relearning()
+    demo_batch_advisor()
+
+
+if __name__ == "__main__":
+    main()

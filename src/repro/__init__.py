@@ -1,0 +1,14 @@
+"""DejaVu: accelerating resource allocation in virtualized environments.
+
+A complete Python reproduction of Vasic et al., ASPLOS 2012 -- the DejaVu
+framework (workload signatures, clustering, classification, the
+allocation cache, interference indexing) plus every substrate its
+evaluation ran on (an EC2-like cloud, Cassandra/SPECweb/RUBiS service
+models, HPC+xentop telemetry, the duplicating proxy, co-located-tenant
+interference, and the Autopilot/RightScale/online-tuning baselines).
+
+Start with :mod:`repro.experiments` (one runner per paper figure), or
+build your own deployment from :mod:`repro.core` -- see README.md.
+"""
+
+__version__ = "1.0.0"

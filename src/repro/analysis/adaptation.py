@@ -1,0 +1,76 @@
+"""Adaptation-time measurement (Fig. 8).
+
+Adaptation time is how long a controller leaves the service in an
+SLO-violating state after a workload change: from the change instant to
+the first subsequent observation that meets the SLO.  Changes that never
+violate the SLO (the controller was already adequate) count as zero —
+matching the paper's "when a single resize operation is sufficient for
+RightScale, we record an instantaneous adaptation time".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.services.slo import LatencySLO, QoSSLO
+from repro.sim.result import SimulationResult
+
+
+def _meets(value: float, slo: LatencySLO | QoSSLO) -> bool:
+    return slo.is_met(value)
+
+
+def adaptation_times(
+    result: SimulationResult,
+    slo: LatencySLO | QoSSLO,
+    change_times: list[float],
+) -> list[float]:
+    """Per-change adaptation time, in seconds.
+
+    Parameters
+    ----------
+    result:
+        A run with a ``latency_ms`` (or ``qos_percent``) series.
+    slo:
+        The objective defining "recovered".
+    change_times:
+        The instants at which the offered workload changed.
+    """
+    name = "latency_ms" if isinstance(slo, LatencySLO) else "qos_percent"
+    series = result.series.get(name)
+    if series is None:
+        raise KeyError(f"result {result.label!r} has no series {name!r}")
+    times = series.times
+    values = series.values
+    out = []
+    for change_t in sorted(change_times):
+        after = np.flatnonzero(times >= change_t)
+        if after.size == 0:
+            continue
+        recovered_at = None
+        violated = False
+        for idx in after:
+            if _meets(values[idx], slo):
+                recovered_at = times[idx]
+                break
+            violated = True
+        if not violated:
+            out.append(0.0)
+        elif recovered_at is not None:
+            out.append(float(recovered_at - change_t))
+        else:
+            # Never recovered within the run: charge the remaining window.
+            out.append(float(times[-1] - change_t))
+    return out
+
+
+def mean_adaptation_seconds(
+    result: SimulationResult,
+    slo: LatencySLO | QoSSLO,
+    change_times: list[float],
+) -> float:
+    """Average adaptation time across workload changes."""
+    times = adaptation_times(result, slo, change_times)
+    if not times:
+        raise ValueError("no workload changes fell inside the run")
+    return float(np.mean(times))

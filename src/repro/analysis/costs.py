@@ -1,0 +1,76 @@
+"""Provisioning-cost accounting over simulation results.
+
+Savings are always reported "as compared to the approach that always
+overprovisions the service" (Sec. 1): the cost of a policy over the
+evaluation window divided by the always-max cost over the same window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.pricing import savings_fraction, yearly_fleet_savings
+from repro.sim.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """Cost of one policy run versus the always-max baseline."""
+
+    policy_dollars: float
+    baseline_dollars: float
+    saving_fraction: float
+    window_hours: float
+
+    def fleet_savings_per_year(
+        self, fleet_instances: int, price_per_hour: float = 0.34
+    ) -> float:
+        return yearly_fleet_savings(
+            self.saving_fraction, fleet_instances, price_per_hour
+        )
+
+
+def dollars_from_series(
+    result: SimulationResult, series_name: str = "hourly_cost"
+) -> float:
+    """Integrate an hourly-cost series into dollars.
+
+    The series holds $/hour samples; the integral is in $-seconds, so
+    divide by 3600.
+    """
+    series = result.series.get(series_name)
+    if series is None:
+        raise KeyError(f"result {result.label!r} has no series {series_name!r}")
+    return series.integrate() / 3600.0
+
+
+def cost_summary(
+    policy: SimulationResult,
+    baseline: SimulationResult,
+    window: tuple[float, float] | None = None,
+    series_name: str = "hourly_cost",
+) -> CostSummary:
+    """Compare a policy's cost against the always-max baseline.
+
+    ``window`` restricts the comparison to ``[t_start, t_end)`` — the
+    paper evaluates savings over the six *reuse* days, excluding the
+    learning day.
+    """
+    policy_series = policy.series.get(series_name)
+    baseline_series = baseline.series.get(series_name)
+    if policy_series is None or baseline_series is None:
+        raise KeyError(f"both results need a {series_name!r} series")
+    if window is not None:
+        t0, t1 = window
+        policy_series = policy_series.window(t0, t1)
+        baseline_series = baseline_series.window(t0, t1)
+    policy_dollars = policy_series.integrate() / 3600.0
+    baseline_dollars = baseline_series.integrate() / 3600.0
+    times = baseline_series.times
+    window_hours = float((times[-1] - times[0]) / 3600.0) if len(times) > 1 else 0.0
+    return CostSummary(
+        policy_dollars=policy_dollars,
+        baseline_dollars=baseline_dollars,
+        saving_fraction=savings_fraction(policy_dollars, baseline_dollars),
+        window_hours=window_hours,
+    )

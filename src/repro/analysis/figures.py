@@ -1,0 +1,105 @@
+"""Terminal rendering of experiment figures.
+
+The paper's figures are time series over the trace week; this module
+renders them as fixed-width sparklines and labeled blocks so examples
+and the benchmark harness can show "the same rows/series the paper
+reports" without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.clock import HOUR
+from repro.sim.result import SimulationResult
+
+#: Density ramp used by :func:`sparkline`.
+_BLOCKS = " .:-=+*#%@"
+
+
+def hourly_series(
+    result: SimulationResult, name: str, hours: int = 168
+) -> np.ndarray:
+    """Downsample a recorded series to one mean value per trace hour.
+
+    Hours with no samples yield NaN (e.g. a series that starts late).
+    """
+    series = result.series.get(name)
+    if series is None:
+        raise KeyError(f"result {result.label!r} has no series {name!r}")
+    out = []
+    for hour in range(hours):
+        window = series.window(hour * HOUR, (hour + 1) * HOUR)
+        out.append(window.mean() if len(window) else float("nan"))
+    return np.asarray(out)
+
+
+def sparkline(
+    values: np.ndarray,
+    width: int = 56,
+    low: float | None = None,
+    high: float | None = None,
+) -> str:
+    """Render a series as a fixed-width density sparkline.
+
+    Values are bucket-averaged down to ``width`` characters and mapped
+    onto a ten-step density ramp between ``low`` and ``high`` (the
+    series min/max when omitted — pass both to share a scale across
+    several sparklines).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot render an empty series")
+    if values.size > width:
+        edges = np.linspace(0, values.size, width + 1, dtype=int)
+        values = np.array(
+            [np.nanmean(values[a:b]) for a, b in zip(edges, edges[1:]) if b > a]
+        )
+    low = float(np.nanmin(values)) if low is None else float(low)
+    high = float(np.nanmax(values)) if high is None else float(high)
+    span = (high - low) or 1.0
+    chars = []
+    for value in values:
+        if np.isnan(value):
+            chars.append("?")
+        else:
+            position = (value - low) / span
+            idx = int(np.clip(position, 0.0, 1.0) * (len(_BLOCKS) - 1))
+            chars.append(_BLOCKS[idx])
+    return "".join(chars)
+
+
+def print_figure(title: str, rows: list[str]) -> None:
+    """Print one labeled figure block."""
+    print()
+    print(f"=== {title} ===")
+    for row in rows:
+        print(row)
+
+
+def render_comparison(
+    results: dict[str, SimulationResult],
+    series_name: str,
+    hours: int = 168,
+    width: int = 56,
+) -> list[str]:
+    """One sparkline row per labeled result, sharing the value scale.
+
+    Sharing the scale matters when comparing policies: DejaVu's and
+    Autopilot's instance counts must be drawn against the same axis.
+    """
+    if not results:
+        raise ValueError("nothing to render")
+    all_series = {
+        label: hourly_series(result, series_name, hours)
+        for label, result in results.items()
+    }
+    stacked = np.concatenate(list(all_series.values()))
+    low = float(np.nanmin(stacked))
+    high = float(np.nanmax(stacked))
+    rows = []
+    for label, values in all_series.items():
+        rows.append(
+            f"{label:<14} | {sparkline(values, width, low=low, high=high)}"
+        )
+    return rows

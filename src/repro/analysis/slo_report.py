@@ -1,0 +1,60 @@
+"""SLO-violation accounting.
+
+Produces the violation fractions the paper quotes ("Autopilot violates
+the SLO at least 28% of the time") and the per-window detail used by the
+latency/QoS plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.services.slo import LatencySLO, QoSSLO
+from repro.sim.result import SimulationResult, TimeSeries
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Violation statistics of one run."""
+
+    violation_fraction: float
+    n_samples: int
+    worst_value: float
+    mean_value: float
+
+    @property
+    def compliance_fraction(self) -> float:
+        return 1.0 - self.violation_fraction
+
+
+def _series_for(result: SimulationResult, slo: LatencySLO | QoSSLO) -> TimeSeries:
+    name = "latency_ms" if isinstance(slo, LatencySLO) else "qos_percent"
+    series = result.series.get(name)
+    if series is None:
+        raise KeyError(f"result {result.label!r} has no series {name!r}")
+    return series
+
+
+def slo_report(
+    result: SimulationResult,
+    slo: LatencySLO | QoSSLO,
+    window: tuple[float, float] | None = None,
+) -> SLOReport:
+    """Violation statistics over (a window of) a run."""
+    series = _series_for(result, slo)
+    if window is not None:
+        series = series.window(*window)
+    if len(series) == 0:
+        raise ValueError("no samples in the requested window")
+    if isinstance(slo, LatencySLO):
+        violation = series.fraction_above(slo.bound_ms)
+        worst = series.max()
+    else:
+        violation = series.fraction_below(slo.floor_percent)
+        worst = float(series.values.min())
+    return SLOReport(
+        violation_fraction=violation,
+        n_samples=len(series),
+        worst_value=worst,
+        mean_value=series.mean(),
+    )

@@ -1,0 +1,66 @@
+"""Autopilot: blind time-of-day replay.
+
+"A time-based controller (called Autopilot) which attempts to leverage
+the re-occurring (e.g., daily) patterns in the workload by repeating the
+resource allocations determined during the learning phase at appropriate
+times" (Sec. 4).  It tunes each hour of the learning day and then
+replays that hourly schedule forever — so any phase shift or level
+change in later days lands on the wrong allocation, which is how it ends
+up violating the SLO "at least 28% of the time" (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from repro.cloud.provider import Allocation
+from repro.core.profiler import ProductionEnvironment
+from repro.core.tuner import LinearSearchTuner
+from repro.sim.engine import StepContext
+from repro.workloads.request_mix import Workload
+
+
+class Autopilot:
+    """Hour-of-day schedule replay.
+
+    Parameters
+    ----------
+    production:
+        The deployment being provisioned.
+    tuner:
+        Used once per learning-day hour to build the schedule.
+    """
+
+    def __init__(
+        self,
+        production: ProductionEnvironment,
+        tuner: LinearSearchTuner,
+    ) -> None:
+        self._production = production
+        self._tuner = tuner
+        self._schedule: dict[int, Allocation] = {}
+        self._tuning_invocations = 0
+
+    @property
+    def tuning_invocations(self) -> int:
+        """24 after learning — versus DejaVu's one per class."""
+        return self._tuning_invocations
+
+    @property
+    def schedule(self) -> dict[int, Allocation]:
+        return dict(self._schedule)
+
+    def learn_schedule(self, hourly_workloads: list[Workload]) -> None:
+        """Tune each hour of the learning day (index = hour of day)."""
+        if len(hourly_workloads) != 24:
+            raise ValueError(
+                f"a learning day has 24 hourly workloads, got {len(hourly_workloads)}"
+            )
+        for hour, workload in enumerate(hourly_workloads):
+            outcome = self._tuner.tune(workload)
+            self._tuning_invocations += 1
+            self._schedule[hour] = outcome.allocation
+
+    def on_step(self, ctx: StepContext) -> None:
+        if not self._schedule:
+            raise RuntimeError("Autopilot used before learn_schedule")
+        hour_of_day = ctx.hour % 24
+        self._production.apply(self._schedule[hour_of_day], ctx.t)

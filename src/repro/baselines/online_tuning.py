@@ -1,0 +1,87 @@
+"""State-of-the-art experiment-driven tuning (the Fig. 1 strawman).
+
+On every workload change this controller re-runs the sandboxed tuning
+process from scratch — "the existing approaches are forced to repeatedly
+run the tuning process since they cannot detect the similarity in the
+workload they are encountering" (Sec. 2.2).  While tuning runs, the
+service keeps the previous allocation, producing Fig. 1's alternation of
+"bad performance" (under-provisioned half-cycles) and "over charged"
+(over-provisioned half-cycles).
+"""
+
+from __future__ import annotations
+
+from repro.cloud.provider import Allocation
+from repro.core.profiler import ProductionEnvironment
+from repro.core.tuner import LinearSearchTuner
+from repro.sim.engine import StepContext
+
+
+class OnlineTuningController:
+    """Re-tune on every detected change in workload volume.
+
+    Parameters
+    ----------
+    production:
+        The deployment being provisioned.
+    tuner:
+        The sandboxed tuner; its per-experiment time is the adaptation
+        penalty this controller pays on every change.
+    volume_change_fraction:
+        Relative volume change that counts as "the workload changed".
+    initial_allocation:
+        Deployed before the first tuning completes.
+    """
+
+    def __init__(
+        self,
+        production: ProductionEnvironment,
+        tuner: LinearSearchTuner,
+        volume_change_fraction: float = 0.1,
+        initial_allocation: Allocation | None = None,
+    ) -> None:
+        if volume_change_fraction <= 0:
+            raise ValueError(
+                f"change threshold must be positive: {volume_change_fraction}"
+            )
+        self._production = production
+        self._tuner = tuner
+        self._threshold = volume_change_fraction
+        self._initial = initial_allocation
+        self._deployed = False
+        self._tuned_volume: float | None = None
+        self._pending: tuple[float, Allocation] | None = None
+        """(ready_at, allocation) for a tuning run in progress."""
+
+        self.tuning_invocations = 0
+        self.total_tuning_seconds = 0.0
+
+    def _changed(self, volume: float) -> bool:
+        if self._tuned_volume is None:
+            return True
+        if self._tuned_volume == 0:
+            return volume > 0
+        return abs(volume - self._tuned_volume) / self._tuned_volume > self._threshold
+
+    def on_step(self, ctx: StepContext) -> None:
+        if not self._deployed:
+            allocation = (
+                self._initial
+                if self._initial is not None
+                else self._production.provider.full_capacity()
+            )
+            self._production.apply(allocation, ctx.t)
+            self._deployed = True
+        if self._pending is not None:
+            ready_at, allocation = self._pending
+            if ctx.t >= ready_at:
+                self._production.apply(allocation, ctx.t)
+                self._pending = None
+            else:
+                return  # still tuning; old allocation keeps serving
+        if self._changed(ctx.workload.volume):
+            outcome = self._tuner.tune(ctx.workload)
+            self.tuning_invocations += 1
+            self.total_tuning_seconds += outcome.tuning_seconds
+            self._tuned_volume = ctx.workload.volume
+            self._pending = (ctx.t + outcome.tuning_seconds, outcome.allocation)

@@ -1,0 +1,33 @@
+"""Clairvoyant minimum-cost allocation.
+
+Not in the paper — a lower bound for context: at every step it deploys,
+instantly and for free, the cheapest candidate allocation that meets the
+SLO for the *current* workload.  No online system (DejaVu included) can
+spend less while meeting the SLO, so the gap between DejaVu and the
+oracle quantifies what signature caching leaves on the table.
+"""
+
+from __future__ import annotations
+
+from repro.core.profiler import ProductionEnvironment
+from repro.core.tuner import LinearSearchTuner
+from repro.sim.engine import StepContext
+
+
+class OracleController:
+    """Per-step optimal allocation (zero adaptation cost)."""
+
+    def __init__(
+        self,
+        production: ProductionEnvironment,
+        tuner: LinearSearchTuner,
+    ) -> None:
+        self._production = production
+        self._tuner = tuner
+
+    def on_step(self, ctx: StepContext) -> None:
+        interference = self._production.interference_at(ctx.t)
+        outcome = self._tuner.tune(
+            ctx.workload, assumed_interference=interference
+        )
+        self._production.apply(outcome.allocation, ctx.t)

@@ -1,0 +1,47 @@
+"""Fixed maximum allocation.
+
+"The approach that always overprovisions the service to ensure the SLO
+is met" — the cost baseline for the 35–60% savings headline.  It deploys
+full capacity once and never reacts.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.provider import Allocation
+from repro.core.profiler import ProductionEnvironment
+from repro.sim.engine import StepContext
+
+
+class Overprovision:
+    """Always-max controller.
+
+    Parameters
+    ----------
+    production:
+        The deployment to (over-)provision.
+    allocation:
+        The fixed allocation; defaults to the provider's full capacity
+        in large instances.
+    """
+
+    def __init__(
+        self,
+        production: ProductionEnvironment,
+        allocation: Allocation | None = None,
+    ) -> None:
+        self._production = production
+        self._allocation = (
+            allocation
+            if allocation is not None
+            else production.provider.full_capacity()
+        )
+        self._deployed = False
+
+    @property
+    def allocation(self) -> Allocation:
+        return self._allocation
+
+    def on_step(self, ctx: StepContext) -> None:
+        if not self._deployed:
+            self._production.apply(self._allocation, ctx.t)
+            self._deployed = True

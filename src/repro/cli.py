@@ -1,0 +1,192 @@
+"""Command-line interface for the reproduction.
+
+    python -m repro.cli list
+    python -m repro.cli run fig6
+    python -m repro.cli run all --seed 3
+
+Each experiment name maps to the table/figure it regenerates; ``run``
+prints the headline numbers the paper's text quotes (the benchmark
+suite under ``benchmarks/`` prints the full series).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+
+def _fig1(seed: int) -> list[str]:
+    from repro.experiments.motivation import run_motivation_experiment
+
+    result = run_motivation_experiment()
+    return [
+        f"SLO violated {result.slo.violation_fraction:.0%} of the time",
+        f"{result.tuning_invocations} tuning invocations "
+        f"({result.total_tuning_seconds / 60:.0f} min of experiments)",
+    ]
+
+
+def _fig4(seed: int) -> list[str]:
+    from repro.experiments.signatures import run_separability
+
+    return [
+        f"{name}: min gap / spread = "
+        f"{run_separability(name, seed=seed).min_gap_over_spread:.2f}"
+        for name in ("specweb", "rubis", "cassandra")
+    ]
+
+
+def _table1(seed: int) -> list[str]:
+    from repro.experiments.signatures import run_table1_selection, table1_overlap
+
+    selection = run_table1_selection(seed=seed)
+    return [
+        f"selected: {', '.join(selection.selected)}",
+        f"{len(table1_overlap(selection))} of them in the paper's Table 1",
+    ]
+
+
+def _fig5(seed: int) -> list[str]:
+    from repro.experiments.signatures import run_fig5_clustering
+
+    rows = []
+    for trace in ("messenger", "hotmail"):
+        figure = run_fig5_clustering(trace, seed=seed)
+        rows.append(
+            f"{trace}: {figure.n_workloads} workloads -> "
+            f"{figure.n_classes} classes"
+        )
+    return rows
+
+
+def _scaleout(trace: str, seed: int) -> list[str]:
+    from repro.experiments.scaling import run_scaleout_comparison
+
+    comparison = run_scaleout_comparison(trace, seed=seed)
+    return [
+        f"classes: {comparison.n_classes}; cache misses: {comparison.n_misses}",
+        f"saving vs always-max: "
+        f"{comparison.costs['dejavu'].saving_fraction:.0%}",
+        f"SLO violations: DejaVu "
+        f"{comparison.slo['dejavu'].violation_fraction:.1%} | Autopilot "
+        f"{comparison.slo['autopilot'].violation_fraction:.1%}",
+    ]
+
+
+def _scaleup(trace: str, seed: int) -> list[str]:
+    from repro.experiments.scaling import run_scaleup_comparison
+
+    comparison = run_scaleup_comparison(trace, seed=seed)
+    return [
+        f"classes: {comparison.n_classes}",
+        f"saving vs always-XL: {comparison.costs['dejavu'].saving_fraction:.0%}",
+        f"QoS violations: {comparison.slo['dejavu'].violation_fraction:.1%}",
+    ]
+
+
+def _fig8(seed: int) -> list[str]:
+    from repro.experiments.adaptation_study import (
+        run_dejavu_adaptation,
+        run_rightscale_adaptation,
+        speedup,
+    )
+
+    dejavu = run_dejavu_adaptation()
+    rs_fast = run_rightscale_adaptation(180.0)
+    rs_slow = run_rightscale_adaptation(900.0)
+    return [
+        f"DejaVu {dejavu.mean_seconds:.0f} s | RightScale "
+        f"{rs_fast.mean_seconds:.0f} s (3 min calm) / "
+        f"{rs_slow.mean_seconds:.0f} s (15 min calm)",
+        f"speedup: {speedup(dejavu, rs_fast):.0f}x / {speedup(dejavu, rs_slow):.0f}x",
+    ]
+
+
+def _fig11(seed: int) -> list[str]:
+    from repro.experiments.interference_study import run_interference_study
+
+    study = run_interference_study(seed=seed)
+    return [
+        f"violations: detection ON {study.slo_with.violation_fraction:.1%} | "
+        f"OFF {study.slo_without.violation_fraction:.1%}",
+        f"mean instances: ON {study.mean_instances_with:.2f} | "
+        f"OFF {study.mean_instances_without:.2f}",
+    ]
+
+
+def _overhead(seed: int) -> list[str]:
+    from repro.experiments.overhead import (
+        run_latency_overhead,
+        run_network_overhead,
+    )
+
+    net = run_network_overhead(100, seed=seed)
+    lat = run_latency_overhead()
+    return [
+        f"network: {net.duplication_fraction:.2%} of inbound, "
+        f"{net.total_overhead_fraction:.3%} of total traffic",
+        f"latency: +{lat.mean_overhead_ms:.1f} ms mean across "
+        f"{lat.client_counts[0]}-{lat.client_counts[-1]} clients",
+    ]
+
+
+def _summary(seed: int) -> list[str]:
+    from repro.experiments.summary import run_savings_summary
+
+    summary = run_savings_summary(seed=seed)
+    return [
+        f"scale-out savings: {summary.scaleout_messenger:.0%} (Messenger), "
+        f"{summary.scaleout_hotmail:.0%} (HotMail)",
+        f"scale-up savings: {summary.scaleup_messenger:.0%} (Messenger), "
+        f"{summary.scaleup_hotmail:.0%} (HotMail)",
+        f"fleet-year projection: ${summary.dollars_per_year_100:,.0f} (100 "
+        f"instances), ${summary.dollars_per_year_1000:,.0f} (1,000)",
+    ]
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[int], list[str]]]] = {
+    "fig1": ("motivation: online tuning under a sine wave", _fig1),
+    "fig4": ("signature separability per benchmark", _fig4),
+    "table1": ("CFS-selected RUBiS signature events", _table1),
+    "fig5": ("workload-class clustering", _fig5),
+    "fig6": ("scale-out, Messenger trace", lambda s: _scaleout("messenger", s)),
+    "fig7": ("scale-out, HotMail trace", lambda s: _scaleout("hotmail", s)),
+    "fig8": ("adaptation time vs RightScale", _fig8),
+    "fig9": ("scale-up, HotMail trace", lambda s: _scaleup("hotmail", s)),
+    "fig10": ("scale-up, Messenger trace", lambda s: _scaleup("messenger", s)),
+    "fig11": ("interference detection", _fig11),
+    "overhead": ("Sec. 4.4 proxy overheads", _overhead),
+    "summary": ("Sec. 4.5 savings summary", _summary),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DejaVu (ASPLOS'12) reproduction experiments",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list the available experiments")
+    run = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (description, _fn) in EXPERIMENTS.items():
+            print(f"{name:<9} {description}")
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        description, fn = EXPERIMENTS[name]
+        print(f"== {name}: {description}")
+        for row in fn(args.seed):
+            print(f"   {row}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

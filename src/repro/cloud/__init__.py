@@ -1,0 +1,26 @@
+"""EC2-like cloud substrate.
+
+The paper evaluates DejaVu on Amazon EC2 with *large* and *extra-large*
+instances, scaling out (1–10 identical instances) and scaling up (large ↔
+extra-large at fixed count).  This package simulates exactly that surface:
+an instance-type catalogue with July-2011 prices, VM lifecycle with boot /
+warm-up delays, a provider that owns pre-created VM pools (the paper
+pre-creates and stops VMs so scaling is "ready for instant use, except
+for a short warm-up time"), and a cost meter.
+"""
+
+from repro.cloud.instance_types import EXTRA_LARGE, LARGE, InstanceType
+from repro.cloud.pricing import CostMeter
+from repro.cloud.provider import Allocation, CloudProvider
+from repro.cloud.vm import VirtualMachine, VMState
+
+__all__ = [
+    "EXTRA_LARGE",
+    "LARGE",
+    "InstanceType",
+    "CostMeter",
+    "Allocation",
+    "CloudProvider",
+    "VirtualMachine",
+    "VMState",
+]

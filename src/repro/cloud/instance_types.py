@@ -1,0 +1,73 @@
+"""Instance-type catalogue.
+
+Prices are the ones the paper quotes for July 2011: $0.34/hour for an EC2
+*large* instance and $0.68/hour for *extra-large* (Sec. 4.5).  Capacity is
+expressed in abstract *capacity units*: the number of service demand units
+an instance can absorb before saturating.  An extra-large instance has
+twice the compute of a large one (as on EC2), but the paper's scale-up
+results show XL is not exactly 2x in delivered service capacity — memory
+and I/O do not scale linearly — so the catalogue lets services attach
+their own per-type efficiency via ``capacity_units``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class InstanceType:
+    """An EC2-style virtual machine flavour.
+
+    The ordering (by ``capacity_units``) lets the tuner linearly search
+    "from small to extra large" exactly like the paper's Tuner.
+    """
+
+    capacity_units: float
+    name: str
+    price_per_hour: float
+    memory_gb: float
+    virtual_cores: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_units <= 0:
+            raise ValueError(f"capacity must be positive: {self.capacity_units}")
+        if self.price_per_hour < 0:
+            raise ValueError(f"price cannot be negative: {self.price_per_hour}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+LARGE = InstanceType(
+    capacity_units=1.0,
+    name="m1.large",
+    price_per_hour=0.34,
+    memory_gb=7.5,
+    virtual_cores=2,
+)
+
+EXTRA_LARGE = InstanceType(
+    capacity_units=1.9,
+    name="m1.xlarge",
+    price_per_hour=0.68,
+    memory_gb=15.0,
+    virtual_cores=4,
+)
+
+CATALOGUE: tuple[InstanceType, ...] = (LARGE, EXTRA_LARGE)
+
+
+def by_name(name: str) -> InstanceType:
+    """Look up an instance type by its API name.
+
+    Raises
+    ------
+    KeyError
+        If the name is not in the catalogue.
+    """
+    for itype in CATALOGUE:
+        if itype.name == name:
+            return itype
+    raise KeyError(f"unknown instance type {name!r}; known: "
+                   f"{[t.name for t in CATALOGUE]}")

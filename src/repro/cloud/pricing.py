@@ -1,0 +1,72 @@
+"""Cost accounting.
+
+The paper's headline economics: DejaVu's savings "translate to more than
+$250,000 and $2.5 Million per year for 100 and 1,000 instances,
+respectively (assuming $0.34/hour for a large instance ... and $0.68/hour
+for extra large as of July 2011)" (Sec. 4.5).  The meter accumulates
+instance-seconds, converts to dollars, and projects fleet-year savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cloud.provider import Allocation
+
+HOURS_PER_YEAR = 24 * 365
+
+
+@dataclass
+class CostMeter:
+    """Accumulates the dollar cost of billable VM time."""
+
+    total_dollars: float = 0.0
+    instance_seconds: dict[str, float] = field(default_factory=dict)
+
+    def charge(self, allocation: "Allocation", seconds: float) -> None:
+        """Charge ``seconds`` of wall time at ``allocation``."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self.total_dollars += allocation.hourly_cost * seconds / 3600.0
+        key = allocation.itype.name
+        self.instance_seconds[key] = (
+            self.instance_seconds.get(key, 0.0) + allocation.count * seconds
+        )
+
+    def instance_hours(self, itype_name: str) -> float:
+        return self.instance_seconds.get(itype_name, 0.0) / 3600.0
+
+
+def savings_fraction(policy_cost: float, baseline_cost: float) -> float:
+    """Fractional saving of a policy versus a baseline cost.
+
+    Raises
+    ------
+    ValueError
+        If the baseline cost is not positive.
+    """
+    if baseline_cost <= 0:
+        raise ValueError(f"baseline cost must be positive: {baseline_cost}")
+    return 1.0 - policy_cost / baseline_cost
+
+
+def yearly_fleet_savings(
+    saving_fraction: float,
+    fleet_instances: int,
+    price_per_hour: float = 0.34,
+) -> float:
+    """Project a measured saving fraction to a fleet-year dollar figure.
+
+    This reproduces the paper's $250k/year (100 large instances) and
+    $2.5M/year (1,000 instances) projections: the always-max baseline
+    spends ``fleet * price * hours_per_year`` and DejaVu saves
+    ``saving_fraction`` of it.
+    """
+    if not 0.0 <= saving_fraction <= 1.0:
+        raise ValueError(f"saving fraction out of range: {saving_fraction}")
+    if fleet_instances < 0:
+        raise ValueError(f"fleet size cannot be negative: {fleet_instances}")
+    baseline_per_year = fleet_instances * price_per_hour * HOURS_PER_YEAR
+    return saving_fraction * baseline_per_year

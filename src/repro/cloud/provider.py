@@ -1,0 +1,186 @@
+"""Cloud provider: VM pools and the two EC2 scaling mechanisms.
+
+The paper exercises exactly two provisioning schemes (Sec. 2.1):
+
+* **scale out** — vary the number of identical (large) instances, 1–10;
+* **scale up** — vary the instance type (large ↔ extra-large) while the
+  instance count stays fixed.
+
+:class:`Allocation` names one point in that two-dimensional space, and
+:class:`CloudProvider` enacts allocations against pre-created VM pools,
+charging a :class:`~repro.cloud.pricing.CostMeter` for every billable
+VM-second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance_types import EXTRA_LARGE, LARGE, InstanceType
+from repro.cloud.pricing import CostMeter
+from repro.cloud.vm import VirtualMachine, VMState
+
+
+@dataclass(frozen=True, order=True)
+class Allocation:
+    """A resource allocation: ``count`` instances of ``itype``.
+
+    Ordering is by total capacity, which is what the linear-search Tuner
+    iterates over ("each time with an increasing amount of virtual
+    resources", Sec. 3.4).
+    """
+
+    count: int
+    itype: InstanceType = LARGE
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"instance count cannot be negative: {self.count}")
+
+    @property
+    def capacity_units(self) -> float:
+        """Total service capacity of the allocation."""
+        return self.count * self.itype.capacity_units
+
+    @property
+    def hourly_cost(self) -> float:
+        return self.count * self.itype.price_per_hour
+
+    def __str__(self) -> str:
+        return f"{self.count}x{self.itype.name}"
+
+
+class CloudProvider:
+    """Owns pre-created VM pools and enacts allocations.
+
+    Parameters
+    ----------
+    max_instances:
+        Pool size per instance type (the paper uses 10 large instances
+        for scale-out, and 5+5 for the scale-up study).
+    meter:
+        Cost meter charged for billable VM time.  A fresh meter is
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        max_instances: int = 10,
+        meter: CostMeter | None = None,
+        instance_types: tuple[InstanceType, ...] = (LARGE, EXTRA_LARGE),
+    ) -> None:
+        if max_instances < 1:
+            raise ValueError(f"pool needs at least one instance: {max_instances}")
+        self.max_instances = max_instances
+        self.meter = meter if meter is not None else CostMeter()
+        self._pools: dict[InstanceType, list[VirtualMachine]] = {
+            itype: [VirtualMachine(itype=itype) for _ in range(max_instances)]
+            for itype in instance_types
+        }
+        self._current = Allocation(count=0)
+        self._last_billed_at = 0.0
+        self._last_change_at: float | None = None
+
+    @property
+    def current_allocation(self) -> Allocation:
+        return self._current
+
+    @property
+    def last_change_at(self) -> float | None:
+        """Time of the most recent allocation change, or None if never."""
+        return self._last_change_at
+
+    def full_capacity(self, itype: InstanceType = LARGE) -> Allocation:
+        """The maximum allocation DejaVu deploys for unknown workloads."""
+        return Allocation(count=self.max_instances, itype=itype)
+
+    def apply(self, allocation: Allocation, now: float) -> None:
+        """Transition the pools to ``allocation``.
+
+        Billing for the elapsed period at the *old* allocation is settled
+        first, then VMs are started/stopped.  Newly started VMs pay their
+        warm-up before they serve.
+
+        Raises
+        ------
+        ValueError
+            If the allocation exceeds the pool, or its instance type is
+            not one this provider was configured with.
+        """
+        if allocation.itype not in self._pools:
+            raise ValueError(f"provider has no pool for {allocation.itype.name}")
+        if allocation.count > self.max_instances:
+            raise ValueError(
+                f"allocation {allocation} exceeds pool of {self.max_instances}"
+            )
+        self._settle(now)
+        if allocation == self._current:
+            return
+        for itype, pool in self._pools.items():
+            target = allocation.count if itype is allocation.itype else 0
+            running = [vm for vm in pool if vm.state is not VMState.STOPPED]
+            if len(running) > target:
+                for vm in running[target:]:
+                    vm.stop()
+            elif len(running) < target:
+                stopped = [vm for vm in pool if vm.state is VMState.STOPPED]
+                for vm in stopped[: target - len(running)]:
+                    vm.start(now, pre_created=True)
+        self._current = allocation
+        self._last_change_at = now
+
+    def tick(self, now: float) -> None:
+        """Advance VM lifecycles and billing to time ``now``."""
+        self._settle(now)
+        for pool in self._pools.values():
+            for vm in pool:
+                vm.tick(now)
+
+    def serving_capacity(self, now: float) -> float:
+        """Capacity units of VMs that are RUNNING at ``now``.
+
+        During warm-up after a scale-out this is lower than the target
+        allocation's capacity — the transient the latency plots show.
+        """
+        self.tick(now)
+        return sum(
+            vm.itype.capacity_units
+            for pool in self._pools.values()
+            for vm in pool
+            if vm.is_serving
+        )
+
+    def projected_capacity(self, at_time: float) -> float:
+        """Capacity that will be serving at ``at_time``, without side effects.
+
+        Unlike :meth:`serving_capacity` this neither advances billing nor
+        mutates VM state — controllers use it to ask "once warm-up
+        finishes, what will production look like?" mid-step.
+        """
+        total = 0.0
+        for pool in self._pools.values():
+            for vm in pool:
+                if vm.state is VMState.RUNNING or (
+                    vm.state in (VMState.BOOTING, VMState.WARMING)
+                    and at_time >= vm.ready_at
+                ):
+                    total += vm.itype.capacity_units
+        return total
+
+    def serving_count(self, now: float) -> int:
+        """Number of VMs serving at ``now``."""
+        self.tick(now)
+        return sum(
+            1 for pool in self._pools.values() for vm in pool if vm.is_serving
+        )
+
+    def _settle(self, now: float) -> None:
+        """Charge the meter for the period since the last settlement."""
+        elapsed = now - self._last_billed_at
+        if elapsed < 0:
+            raise ValueError(
+                f"billing time went backwards: {now} < {self._last_billed_at}"
+            )
+        if elapsed > 0 and self._current.count > 0:
+            self.meter.charge(self._current, elapsed)
+        self._last_billed_at = now

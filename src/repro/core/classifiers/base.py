@@ -1,0 +1,54 @@
+"""Classifier interface.
+
+All classifiers map a signature vector to a workload-class label *and a
+certainty level* — the repository "also outputs the certainty level with
+which the repository assigned the new signature to the chosen cluster"
+(Sec. 3.5).  Certainty drives the full-capacity fallback for unforeseen
+workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A classified workload."""
+
+    label: int
+    confidence: float
+    """Posterior probability of the predicted class, in [0, 1]."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence out of [0,1]: {self.confidence}")
+
+
+@runtime_checkable
+class Classifier(Protocol):
+    """Anything that can learn workload classes and label signatures."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Train on signatures ``X`` with cluster labels ``y``."""
+        ...
+
+    def predict(self, x: np.ndarray) -> Prediction:
+        """Classify one signature vector."""
+        ...
+
+
+def validate_training_set(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Common input validation for classifier ``fit`` methods."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=int)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.shape != (X.shape[0],):
+        raise ValueError(f"y shape {y.shape} does not match {X.shape[0]} samples")
+    if X.shape[0] == 0:
+        raise ValueError("empty training set")
+    return X, y

@@ -1,0 +1,177 @@
+"""C4.5-style decision tree (the paper's J48).
+
+A from-scratch implementation of the parts of C4.5 the DejaVu pipeline
+exercises: numeric attributes with binary threshold splits chosen by
+gain ratio, a minimum-leaf-size stopping rule, and Laplace-smoothed leaf
+class distributions providing the prediction confidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classifiers.base import Prediction, validate_training_set
+
+
+def entropy(counts: np.ndarray) -> float:
+    """Shannon entropy of a class-count vector, in bits."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probs = counts[counts > 0] / total
+    return float(-np.sum(probs * np.log2(probs)))
+
+
+@dataclass
+class _Node:
+    """One tree node; a leaf when ``feature`` is None."""
+
+    class_counts: np.ndarray
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class C45DecisionTree:
+    """Gain-ratio decision tree over numeric signature metrics.
+
+    Parameters
+    ----------
+    min_samples_leaf:
+        Smallest allowed leaf; C4.5's default of 2 suits the paper's
+        small training sets (24 workloads x a few trials).
+    max_depth:
+        Depth cap, a simple stand-in for C4.5's pessimistic pruning on
+        these low-dimensional, well-separated datasets.
+    """
+
+    def __init__(self, min_samples_leaf: int = 2, max_depth: int = 12) -> None:
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be positive: {min_samples_leaf}")
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be positive: {max_depth}")
+        self._min_leaf = min_samples_leaf
+        self._max_depth = max_depth
+        self._root: _Node | None = None
+        self._n_classes = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "C45DecisionTree":
+        X, y = validate_training_set(X, y)
+        self._n_classes = int(y.max()) + 1
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _class_counts(self, y: np.ndarray) -> np.ndarray:
+        return np.bincount(y, minlength=self._n_classes).astype(float)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        counts = self._class_counts(y)
+        node = _Node(class_counts=counts)
+        if (
+            depth >= self._max_depth
+            or np.unique(y).size == 1
+            or y.size < 2 * self._min_leaf
+        ):
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float] | None:
+        """The (feature, threshold) with the highest gain ratio.
+
+        C4.5 considers midpoints between consecutive distinct values of
+        each numeric attribute and normalizes information gain by the
+        split's intrinsic information.
+        """
+        parent_entropy = entropy(self._class_counts(y))
+        n = y.size
+        best: tuple[float, int, float] | None = None
+        for feature in range(X.shape[1]):
+            order = np.argsort(X[:, feature], kind="stable")
+            values = X[order, feature]
+            labels = y[order]
+            distinct = np.flatnonzero(np.diff(values) > 0)
+            for idx in distinct:
+                threshold = (values[idx] + values[idx + 1]) / 2.0
+                n_left = idx + 1
+                n_right = n - n_left
+                if n_left < self._min_leaf or n_right < self._min_leaf:
+                    continue
+                left_counts = self._class_counts(labels[:n_left])
+                right_counts = self._class_counts(labels[n_left:])
+                children_entropy = (
+                    n_left * entropy(left_counts)
+                    + n_right * entropy(right_counts)
+                ) / n
+                gain = parent_entropy - children_entropy
+                if gain <= 1e-12:
+                    continue
+                p_left = n_left / n
+                split_info = -(
+                    p_left * math.log2(p_left)
+                    + (1 - p_left) * math.log2(1 - p_left)
+                )
+                gain_ratio = gain / split_info
+                if best is None or gain_ratio > best[0]:
+                    best = (gain_ratio, feature, threshold)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _leaf_for(self, x: np.ndarray) -> _Node:
+        if self._root is None:
+            raise RuntimeError("tree used before fit")
+        node = self._root
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict(self, x: np.ndarray) -> Prediction:
+        x = np.asarray(x, dtype=float).ravel()
+        leaf = self._leaf_for(x)
+        # Laplace-smoothed leaf distribution (as in C4.5 release 8).
+        smoothed = leaf.class_counts + 1.0
+        probs = smoothed / smoothed.sum()
+        label = int(np.argmax(probs))
+        return Prediction(label=label, confidence=float(probs[label]))
+
+    def depth(self) -> int:
+        """Fitted tree depth (root-only tree has depth 0)."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree used before fit")
+        return walk(self._root)
+
+    def n_leaves(self) -> int:
+        def count(node: _Node | None) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+
+        if self._root is None:
+            raise RuntimeError("tree used before fit")
+        return count(self._root)

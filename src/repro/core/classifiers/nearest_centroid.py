@@ -1,0 +1,53 @@
+"""Nearest-centroid classifier.
+
+Not in the paper's pipeline — it is the ablation baseline for the
+classifier-choice study: the simplest possible "cache lookup" that skips
+training a model and just assigns signatures to the closest cluster
+centroid, with a softmax-over-distances confidence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.classifiers.base import Prediction, validate_training_set
+
+
+class NearestCentroid:
+    """Assign to the nearest class centroid.
+
+    Parameters
+    ----------
+    temperature:
+        Scale of the softmax over negative distances that produces the
+        confidence; smaller values sharpen the distribution.
+    """
+
+    def __init__(self, temperature: float = 1.0) -> None:
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive: {temperature}")
+        self._temperature = temperature
+        self._centroids: np.ndarray | None = None
+        self._classes: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "NearestCentroid":
+        X, y = validate_training_set(X, y)
+        self._classes = np.unique(y)
+        self._centroids = np.array(
+            [X[y == label].mean(axis=0) for label in self._classes]
+        )
+        return self
+
+    def predict(self, x: np.ndarray) -> Prediction:
+        if self._centroids is None:
+            raise RuntimeError("classifier used before fit")
+        x = np.asarray(x, dtype=float).ravel()
+        distances = np.linalg.norm(self._centroids - x, axis=1)
+        logits = -distances / self._temperature
+        logits -= logits.max()
+        probs = np.exp(logits)
+        probs /= probs.sum()
+        best = int(np.argmin(distances))
+        return Prediction(
+            label=int(self._classes[best]), confidence=float(probs[best])
+        )

@@ -1,0 +1,130 @@
+"""Interference index estimation (Sec. 3.6).
+
+    interference index = PerformanceLevel_production
+                         / PerformanceLevel_isolation          (Eq. 2)
+
+The index "contrasts the performance of the service in production after
+the baseline allocation is deployed with that obtained from the
+profiler".  DejaVu does not need to know *why* production is slower —
+only how much more capacity to request — so the index is quantized into
+a small number of bands, each mapped to an assumed capacity theft the
+Tuner compensates for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.services.slo import LatencySLO, QoSSLO
+
+#: Band edges on the latency-ratio index.  With the paper's 10%/20%
+#: microbenchmarks and our queueing model, a 10% hog lands the index
+#: around 1.3 and a 20% hog around 2.0 at typical operating points.
+DEFAULT_BAND_EDGES: tuple[float, ...] = (1.15, 1.6)
+
+#: Assumed capacity theft per band, used by the Tuner when populating
+#: the repository for that band.  Band 0 is "no interference".
+DEFAULT_BAND_THEFT: tuple[float, ...] = (0.0, 0.15, 0.25)
+
+
+def quantize_index(
+    index: float, band_edges: tuple[float, ...] = DEFAULT_BAND_EDGES
+) -> int:
+    """Map an interference index to a band number (0 = none)."""
+    if index < 0:
+        raise ValueError(f"interference index cannot be negative: {index}")
+    band = 0
+    for edge in band_edges:
+        if index >= edge:
+            band += 1
+    return band
+
+
+@dataclass(frozen=True)
+class InterferenceEstimate:
+    """One production-versus-isolation comparison."""
+
+    index: float
+    band: int
+    assumed_theft: float
+
+
+class InterferenceEstimator:
+    """Computes and quantizes the interference index.
+
+    Parameters
+    ----------
+    band_edges:
+        Index thresholds separating the bands.
+    band_theft:
+        Capacity-theft assumption per band (len(band_edges) + 1 values).
+    """
+
+    def __init__(
+        self,
+        band_edges: tuple[float, ...] = DEFAULT_BAND_EDGES,
+        band_theft: tuple[float, ...] = DEFAULT_BAND_THEFT,
+    ) -> None:
+        if list(band_edges) != sorted(band_edges):
+            raise ValueError(f"band edges must be sorted: {band_edges}")
+        if len(band_theft) != len(band_edges) + 1:
+            raise ValueError(
+                f"{len(band_edges)} edges need {len(band_edges) + 1} theft "
+                f"values, got {len(band_theft)}"
+            )
+        if any(not 0.0 <= theft < 1.0 for theft in band_theft):
+            raise ValueError(f"theft values out of [0,1): {band_theft}")
+        self._edges = tuple(band_edges)
+        self._theft = tuple(band_theft)
+
+    @property
+    def n_bands(self) -> int:
+        return len(self._theft)
+
+    @property
+    def first_edge(self) -> float:
+        """Smallest index that counts as interference at all; gaps below
+        this are attributed to transients (e.g. re-partitioning), not to
+        co-located tenants."""
+        return self._edges[0] if self._edges else float("inf")
+
+    def assumed_theft(self, band: int) -> float:
+        if not 0 <= band < self.n_bands:
+            raise ValueError(f"no band {band}")
+        return self._theft[band]
+
+    def index_from(
+        self,
+        slo: LatencySLO | QoSSLO,
+        production_level: float,
+        isolation_level: float,
+    ) -> float:
+        """Eq. 2, oriented so larger always means more interference.
+
+        For latency SLOs the performance level *is* the latency, so the
+        ratio is production/isolation.  For QoS SLOs higher is better,
+        so the ratio is inverted (isolation/production) to keep the
+        index >= 1 under degradation.
+        """
+        if production_level <= 0 or isolation_level <= 0:
+            raise ValueError(
+                f"performance levels must be positive: "
+                f"{production_level}, {isolation_level}"
+            )
+        if isinstance(slo, LatencySLO):
+            return production_level / isolation_level
+        if isinstance(slo, QoSSLO):
+            return isolation_level / production_level
+        raise TypeError(f"unknown SLO type: {type(slo).__name__}")
+
+    def estimate(
+        self,
+        slo: LatencySLO | QoSSLO,
+        production_level: float,
+        isolation_level: float,
+    ) -> InterferenceEstimate:
+        index = self.index_from(slo, production_level, isolation_level)
+        band = quantize_index(index, self._edges)
+        return InterferenceEstimate(
+            index=index, band=band, assumed_theft=self._theft[band]
+        )

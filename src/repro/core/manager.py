@@ -1,0 +1,495 @@
+"""The DejaVu manager: learning phase plus the online adaptation loop.
+
+This is the controller the paper's Figure 3 sketches:
+
+* **Training** — profile the learning-period workloads, select the
+  signature metrics, cluster into workload classes, tune one
+  representative per class, populate the repository, train the runtime
+  classifier.
+* **Reuse** — on every workload change, collect a signature (~10 s),
+  classify it, and redeploy the cached allocation on a hit; fall back to
+  full capacity on a low-certainty miss; detect interference from the
+  production/isolation performance gap and escalate to the matching
+  interference band.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.instance_types import InstanceType
+from repro.cloud.provider import Allocation
+from repro.core.classifiers import C45DecisionTree, Classifier
+from repro.core.clustering import ClusteringModel, auto_cluster
+from repro.core.feature_selection import CfsSubsetSelector
+from repro.core.interference import InterferenceEstimator
+from repro.core.profiler import ProductionEnvironment, ProfilingEnvironment
+from repro.core.repository import AllocationRepository
+from repro.core.signature import SignatureSchema, Standardizer
+from repro.core.tuner import LinearSearchTuner
+from repro.sim.clock import HOUR
+from repro.sim.engine import StepContext
+from repro.workloads.request_mix import Workload
+
+
+@dataclass(frozen=True)
+class DejaVuConfig:
+    """Tunables of the DejaVu framework (paper defaults)."""
+
+    certainty_threshold: float = 0.6
+    """Classifications below this certainty deploy full capacity."""
+
+    novelty_radius_factor: float = 1.5
+    """A signature farther than ``factor * cluster radius`` from its
+    assigned centroid is treated as an unforeseen workload."""
+
+    novelty_certainty: float = 0.2
+    """Certainty assigned to novel signatures (below the threshold)."""
+
+    trials_per_workload: int = 5
+    """Profiling trials per learning workload (Fig. 4 uses 5 trials per
+    volume).  Five also keeps the classifier's Laplace-smoothed leaf
+    confidence above the certainty threshold for singleton classes like
+    the daily peak hour."""
+
+    check_interval_seconds: float = HOUR
+    """How often the online loop re-profiles (the traces are hourly)."""
+
+    max_signature_metrics: int | None = 12
+    """Cap on the CFS-selected signature length."""
+
+    k_min: int = 2
+    k_max: int = 8
+    """Workload-class count range for automatic clustering."""
+
+    pretune_bands: tuple[int, ...] = (0,)
+    """Interference bands tuned during learning; band 0 is isolation.
+    The Fig. 11 experiment pretunes (0, 1, 2), modeling "historically
+    collected interference information" (Sec. 3.1)."""
+
+    enable_interference_detection: bool = True
+    """Fig. 11 disables this for the comparison run."""
+
+    relearn_after_misses: int = 4
+    """Consecutive low-certainty classifications before flagging that
+    re-clustering is needed (Sec. 3.5)."""
+
+    auto_relearn: bool = False
+    """When the re-learn flag is raised and enough recent workloads
+    have been observed, re-run the clustering/tuning pipeline
+    automatically ("DejaVu can then initiate the clustering and tuning
+    process once again", Sec. 3.5).  Off by default: the paper's
+    evaluation lets the administrator decide."""
+
+    history_size: int = 48
+    """Recent workloads retained for re-learning (two trace days)."""
+
+    min_relearn_history: int = 24
+    """Minimum observed workloads before an automatic re-learn."""
+
+    settle_delay_seconds: float = 300.0
+    """How long after deployment the post-deploy SLO check looks
+    (covers VM warm-up and lets service-internal transients such as
+    Cassandra re-partitioning decay, so they are not mistaken for
+    interference)."""
+
+    adapt_on_violation: bool = False
+    """Also adapt immediately when production violates the SLO
+    mid-interval ("on-demand, e.g. upon a violation of an SLO",
+    Sec. 3.3).  Used by the adaptation-time study."""
+
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """One reaction to a (potential) workload change."""
+
+    t: float
+    duration_seconds: float
+    cache_hit: bool
+    workload_class: int | None
+    certainty: float
+    allocation: Allocation
+
+
+@dataclass
+class LearningReport:
+    """What the learning phase produced (Sec. 3.4)."""
+
+    n_workloads: int
+    n_classes: int
+    selected_metrics: tuple[str, ...]
+    tuning_invocations: int
+    tuning_seconds_total: float
+    class_allocations: dict[tuple[int, int], Allocation] = field(default_factory=dict)
+
+
+class DejaVuManager:
+    """DejaVu as an engine-drivable controller.
+
+    Parameters
+    ----------
+    profiler:
+        The clone-VM sandbox (signatures + isolated performance).
+    production:
+        The live deployment being provisioned.
+    tuner:
+        Linear-search tuner over this experiment's candidate allocations.
+    config:
+        Framework tunables.
+    classifier_factory:
+        Builds a fresh classifier; defaults to the paper's C4.5 tree.
+    full_capacity_type:
+        Instance type of the full-capacity fallback allocation.
+    """
+
+    def __init__(
+        self,
+        profiler: ProfilingEnvironment,
+        production: ProductionEnvironment,
+        tuner: LinearSearchTuner,
+        config: DejaVuConfig | None = None,
+        classifier_factory=C45DecisionTree,
+        estimator: InterferenceEstimator | None = None,
+        full_capacity_type: InstanceType | None = None,
+    ) -> None:
+        self.profiler = profiler
+        self.production = production
+        self.tuner = tuner
+        self.config = config if config is not None else DejaVuConfig()
+        self._classifier_factory = classifier_factory
+        self.estimator = estimator if estimator is not None else InterferenceEstimator()
+        self._full_capacity_type = full_capacity_type
+
+        self.repository = AllocationRepository()
+        self.schema: SignatureSchema | None = None
+        self.standardizer = Standardizer()
+        self.clustering: ClusteringModel | None = None
+        self.classifier: Classifier | None = None
+        self._novelty_radii: np.ndarray | None = None
+        self._class_workloads: dict[int, Workload] = {}
+
+        self.adaptation_events: list[AdaptationEvent] = []
+        self.learning_report: LearningReport | None = None
+        self.workload_history: deque[tuple[float, Workload]] = deque(
+            maxlen=self.config.history_size
+        )
+        self.relearn_count = 0
+        self.relearn_requested = False
+        self._consecutive_misses = 0
+        self._next_check = 0.0
+        self._last_adapt = float("-inf")
+        self._deployed_band: int | None = None
+        self._deployed_class: int | None = None
+
+    # ------------------------------------------------------------------
+    # Learning phase (Sec. 3.3-3.4)
+    # ------------------------------------------------------------------
+
+    def learn(self, workloads: list[Workload], now: float = 0.0) -> LearningReport:
+        """Profile, select features, cluster, tune, and train.
+
+        ``workloads`` are the learning-period observations (e.g. the
+        24 hourly workloads of the trace's first day).  Calling this on
+        an already-trained manager re-learns from scratch: the previous
+        clustering's repository entries are invalidated (class numbers
+        are not comparable across clusterings).
+        """
+        if len(workloads) < 2:
+            raise ValueError("learning needs at least two workloads")
+        self.repository.clear()
+        self._class_workloads.clear()
+        self.relearn_requested = False
+        self._consecutive_misses = 0
+        rows, labels = [], []
+        for index, workload in enumerate(workloads):
+            for _ in range(self.config.trials_per_workload):
+                rows.append(self.profiler.collect_metrics(workload))
+                labels.append(index)
+        metric_names = self.profiler.monitor.metric_names()
+        X_all = np.array(
+            [[row[name] for name in metric_names] for row in rows]
+        )
+        y_workload = np.array(labels)
+
+        selector = CfsSubsetSelector(max_features=self.config.max_signature_metrics)
+        selection = selector.select(X_all, y_workload, metric_names)
+        self.schema = SignatureSchema(metric_names=selection.selected)
+
+        columns = [metric_names.index(name) for name in selection.selected]
+        X_sig = X_all[:, columns]
+        Xz = self.standardizer.fit_transform(X_sig)
+
+        # Cluster per-workload mean signatures (one point per workload,
+        # as in Fig. 5's 24 hourly points).
+        means = np.array(
+            [Xz[y_workload == index].mean(axis=0) for index in range(len(workloads))]
+        )
+        self.clustering = auto_cluster(
+            means,
+            k_min=self.config.k_min,
+            k_max=self.config.k_max,
+            seed=self.config.seed,
+        )
+
+        tuning_invocations = 0
+        tuning_seconds = 0.0
+        report = LearningReport(
+            n_workloads=len(workloads),
+            n_classes=self.clustering.n_classes,
+            selected_metrics=selection.selected,
+            tuning_invocations=0,
+            tuning_seconds_total=0.0,
+        )
+        for cluster in range(self.clustering.n_classes):
+            representative = workloads[self.clustering.representatives[cluster]]
+            self._class_workloads[cluster] = representative
+            for band in self.config.pretune_bands:
+                theft = self.estimator.assumed_theft(band)
+                outcome = self.tuner.tune(representative, assumed_interference=theft)
+                tuning_invocations += 1
+                tuning_seconds += outcome.tuning_seconds
+                entry = self.repository.store(
+                    cluster, band, outcome.allocation, tuned_at=now
+                )
+                report.class_allocations[(cluster, band)] = entry.allocation
+
+        # Train the runtime classifier on all trials, labeled by cluster.
+        cluster_labels = self.clustering.labels[y_workload]
+        self.classifier = self._classifier_factory().fit(Xz, cluster_labels)
+
+        # Novelty radii from the *individual* trials, not the per-workload
+        # means: runtime signatures are single (noisy) collections, so the
+        # in-class radius must reflect single-collection spread.
+        self._novelty_radii = np.array(
+            [
+                float(
+                    np.linalg.norm(
+                        Xz[cluster_labels == j] - self.clustering.centroids[j],
+                        axis=1,
+                    ).max()
+                )
+                for j in range(self.clustering.n_classes)
+            ]
+        )
+
+        report.tuning_invocations = tuning_invocations
+        report.tuning_seconds_total = tuning_seconds
+        self.learning_report = report
+        return report
+
+    # ------------------------------------------------------------------
+    # Online loop (Sec. 3.5-3.6)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_trained(self) -> bool:
+        return self.classifier is not None
+
+    def on_step(self, ctx: StepContext) -> None:
+        """Engine hook: adapt periodically, and on SLO violations when
+        ``adapt_on_violation`` is set."""
+        if ctx.t + 1e-9 >= self._next_check:
+            self.adapt(ctx)
+            self._next_check = ctx.t + self.config.check_interval_seconds
+            self._last_adapt = ctx.t
+            return
+        if not (self.config.adapt_on_violation and self.is_trained):
+            return
+        cooldown = 2.0 * self.profiler.signature_seconds
+        if ctx.t - self._last_adapt < cooldown:
+            return
+        sample = self.production.performance_at(ctx.workload, ctx.t)
+        if not self.production.service.slo_met(sample):
+            self.adapt(ctx)
+            self._next_check = ctx.t + self.config.check_interval_seconds
+            self._last_adapt = ctx.t
+
+    def classify(self, workload: Workload) -> tuple[int, float, np.ndarray]:
+        """Collect a signature and classify it.
+
+        Returns
+        -------
+        (label, certainty, signature_z):
+            Certainty combines the classifier's posterior confidence
+            with a novelty check against the assigned cluster's radius.
+        """
+        if self.schema is None or self.classifier is None or self.clustering is None:
+            raise RuntimeError("DejaVu used online before learning")
+        metrics = self.profiler.collect_metrics(workload)
+        x = self.schema.vector_from(metrics)
+        xz = self.standardizer.transform(x[None, :])[0]
+        prediction = self.classifier.predict(xz)
+        radius = float(self._novelty_radii[prediction.label])
+        # Guard against degenerate single-member clusters (radius 0):
+        # use half the distance to the nearest other centroid as floor.
+        centroid_dists = np.linalg.norm(
+            self.clustering.centroids
+            - self.clustering.centroids[prediction.label],
+            axis=1,
+        )
+        other = centroid_dists[centroid_dists > 0]
+        floor = 0.5 * float(other.min()) if other.size else 1.0
+        threshold = max(radius * self.config.novelty_radius_factor, floor)
+        distance = self.clustering.distance_to_centroid(xz, prediction.label)
+        if distance > threshold:
+            certainty = min(prediction.confidence, self.config.novelty_certainty)
+        else:
+            certainty = prediction.confidence
+        return prediction.label, certainty, xz
+
+    def relearn(self, now: float, workloads: list[Workload] | None = None) -> LearningReport:
+        """Re-run clustering and tuning on recent workloads (Sec. 3.5).
+
+        "If the repository repeatedly outputs low certainty levels, it
+        most likely means that the workload has changed over time and
+        that the current clustering is no longer relevant."  By default
+        the retained :attr:`workload_history` is used.
+
+        Raises
+        ------
+        ValueError
+            If no (or too little) history is available and no workload
+            list was supplied.
+        """
+        if workloads is None:
+            workloads = [w for _t, w in self.workload_history]
+        if len(workloads) < 2:
+            raise ValueError(
+                "re-learning needs recent workloads; none were observed"
+            )
+        report = self.learn(workloads, now=now)
+        self.relearn_count += 1
+        return report
+
+    def _maybe_auto_relearn(self, ctx: StepContext) -> bool:
+        """Run an automatic re-learn when flagged and enough history."""
+        if not (self.config.auto_relearn and self.relearn_requested):
+            return False
+        if len(self.workload_history) < self.config.min_relearn_history:
+            return False
+        self.relearn(now=ctx.t)
+        return True
+
+    def adapt(self, ctx: StepContext) -> AdaptationEvent:
+        """One adaptation: profile, classify, redeploy (Sec. 3.5)."""
+        self.workload_history.append((ctx.t, ctx.workload))
+        label, certainty, _xz = self.classify(ctx.workload)
+        hit = certainty >= self.config.certainty_threshold
+        if hit:
+            self._consecutive_misses = 0
+            entry = self.repository.lookup(label, 0)
+            if entry is None:
+                # A class without a band-0 entry should not happen after
+                # learning, but fall back safely.
+                allocation = self._full_capacity()
+                hit = False
+            else:
+                allocation = entry.allocation
+        else:
+            self._consecutive_misses += 1
+            self.repository.stats.misses += 1
+            allocation = self._full_capacity()
+            if self._consecutive_misses >= self.config.relearn_after_misses:
+                self.relearn_requested = True
+                if self._maybe_auto_relearn(ctx):
+                    # The clustering changed; classify this workload
+                    # against the fresh model before deploying.
+                    label, certainty, _xz = self.classify(ctx.workload)
+                    if certainty >= self.config.certainty_threshold:
+                        entry = self.repository.lookup(label, 0)
+                        if entry is not None:
+                            hit = True
+                            allocation = entry.allocation
+        self.production.apply(allocation, ctx.t)
+        self._deployed_class = label if hit else None
+        self._deployed_band = 0 if hit else None
+        if hit and self.config.enable_interference_detection:
+            allocation = self._interference_check(ctx, label, allocation)
+        event = AdaptationEvent(
+            t=ctx.t,
+            duration_seconds=self.profiler.signature_seconds,
+            cache_hit=hit,
+            workload_class=label if hit else None,
+            certainty=certainty,
+            allocation=allocation,
+        )
+        self.adaptation_events.append(event)
+        return event
+
+    def _full_capacity(self) -> Allocation:
+        itype = self._full_capacity_type
+        if itype is None:
+            return self.production.provider.full_capacity()
+        return self.production.provider.full_capacity(itype)
+
+    def _interference_check(
+        self, ctx: StepContext, label: int, allocation: Allocation
+    ) -> Allocation:
+        """Post-deploy SLO check and interference escalation (Sec. 3.6).
+
+        Returns the finally deployed allocation.
+        """
+        service = self.production.service
+        for _attempt in range(self.estimator.n_bands - 1):
+            check_t = ctx.t + self.config.settle_delay_seconds
+            capacity = self.production.provider.projected_capacity(check_t)
+            if capacity <= 0:
+                break
+            prod = service.performance(
+                ctx.workload,
+                capacity,
+                interference=self.production.interference_at(check_t),
+                now=check_t,
+            )
+            if service.slo_met(prod):
+                break
+            # Workload changes are excluded as the cause: the class was
+            # just identified in isolation.  Blame interference (Eq. 2).
+            iso = self.profiler.isolated_performance(ctx.workload, allocation)
+            estimate = self.estimator.estimate(
+                service.slo,
+                prod.slo_metric(service.slo),
+                iso.slo_metric(service.slo),
+            )
+            deployed = self._deployed_band or 0
+            if estimate.index < self.estimator.first_edge:
+                # The gap is too small to be co-located tenants; most
+                # likely an internal transient — leave the allocation.
+                break
+            band = estimate.band if estimate.band > deployed else deployed + 1
+            band = min(band, self.estimator.n_bands - 1)
+            if band == deployed:
+                break
+            entry = self.repository.lookup(label, band)
+            if entry is None:
+                outcome = self.tuner.tune(
+                    self._class_workloads.get(label, ctx.workload),
+                    assumed_interference=self.estimator.assumed_theft(band),
+                )
+                entry = self.repository.store(
+                    label, band, outcome.allocation, tuned_at=ctx.t
+                )
+            self.production.apply(entry.allocation, ctx.t)
+            allocation = entry.allocation
+            self._deployed_band = band
+        return allocation
+
+    # ------------------------------------------------------------------
+    # Introspection used by the analysis layer
+    # ------------------------------------------------------------------
+
+    def mean_adaptation_seconds(self) -> float:
+        """Average reaction time over all adaptations (Fig. 8's bar)."""
+        if not self.adaptation_events:
+            raise ValueError("no adaptations recorded")
+        return float(
+            np.mean([e.duration_seconds for e in self.adaptation_events])
+        )
+
+    def miss_events(self) -> list[AdaptationEvent]:
+        return [e for e in self.adaptation_events if not e.cache_hit]

@@ -1,0 +1,116 @@
+"""Workload signatures.
+
+A workload signature is "an ordered N-tuple WS = {m1, m2, ..., mN}"
+(Eq. 1): the values of the selected metrics, normalized by sampling time
+(normalization already happens in the Monitor).  The schema fixes metric
+order so signatures are comparable vectors; the standardizer puts
+heterogeneous metric scales (cycles/s vs. percent) on equal footing for
+clustering and distance computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SignatureSchema:
+    """The ordered metric names forming the signature."""
+
+    metric_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.metric_names:
+            raise ValueError("signature schema needs at least one metric")
+        if len(set(self.metric_names)) != len(self.metric_names):
+            raise ValueError(f"duplicate metrics in schema: {self.metric_names}")
+
+    @property
+    def n_metrics(self) -> int:
+        return len(self.metric_names)
+
+    def vector_from(self, metrics: dict[str, float]) -> np.ndarray:
+        """Extract this schema's ordered vector from a metric mapping.
+
+        Raises
+        ------
+        KeyError
+            If a schema metric was not collected.
+        """
+        missing = [m for m in self.metric_names if m not in metrics]
+        if missing:
+            raise KeyError(f"metrics missing from collection: {missing}")
+        return np.array([metrics[m] for m in self.metric_names], dtype=float)
+
+    def signature_from(self, metrics: dict[str, float]) -> "WorkloadSignature":
+        return WorkloadSignature(schema=self, values=self.vector_from(metrics))
+
+
+@dataclass(frozen=True)
+class WorkloadSignature:
+    """One workload's signature vector under a schema."""
+
+    schema: SignatureSchema
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.shape != (self.schema.n_metrics,):
+            raise ValueError(
+                f"signature has {values.shape} values for "
+                f"{self.schema.n_metrics} metrics"
+            )
+        object.__setattr__(self, "values", values)
+
+    def distance_to(self, other: "WorkloadSignature") -> float:
+        """Euclidean distance (assumes both are in the same space)."""
+        if self.schema != other.schema:
+            raise ValueError("cannot compare signatures under different schemas")
+        return float(np.linalg.norm(self.values - other.values))
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(zip(self.schema.metric_names, self.values.tolist()))
+
+
+class Standardizer:
+    """Per-feature z-score scaling fit on the learning dataset.
+
+    Metrics span wildly different scales (event rates vs. utilization
+    percentages); k-means and distance-based novelty checks need them
+    commensurate.  Constant features get unit scale so they contribute
+    zero after centering instead of dividing by zero.
+    """
+
+    def __init__(self) -> None:
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    @property
+    def is_fit(self) -> bool:
+        return self._mean is not None
+
+    def fit(self, X: np.ndarray) -> "Standardizer":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[0] < 1:
+            raise ValueError(f"need a non-empty 2-D matrix, got shape {X.shape}")
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        # A column of identical values can leave a tiny floating-point
+        # residue in the std; treat anything negligible relative to the
+        # column's magnitude as constant, or the division would blow
+        # rounding noise up into huge z-scores.
+        negligible = scale <= 1e-9 * (np.abs(self._mean) + 1.0)
+        scale[negligible] = 1.0
+        self._scale = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not self.is_fit:
+            raise RuntimeError("standardizer used before fit")
+        X = np.asarray(X, dtype=float)
+        return (X - self._mean) / self._scale
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,159 @@
+"""The Tuner: linear search over resource allocations.
+
+"We resort to a very simple technique — linear search — in our
+evaluation.  We replay a sequence of runs of the workload, each time
+with an increasing amount of virtual resources.  We then choose the
+minimal set of resources that fulfill the target SLO" (Sec. 3.4).  Each
+evaluated allocation costs a sandboxed experiment — the paper cites
+minutes per experiment [42] — which is exactly the overhead DejaVu's
+cache amortizes away.
+
+The tuner evaluates candidates in the profiling environment (isolation),
+optionally under an *assumed* interference level when populating
+interference bands (Sec. 3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.provider import Allocation
+from repro.services.base import Service
+from repro.services.slo import LatencySLO, QoSSLO
+from repro.workloads.request_mix import Workload
+
+#: Sandboxed experiment length; "[42] suggests that each experiment may
+#: require minutes to execute" (Sec. 1) — we charge 3 minutes each,
+#: matching the ~3-minute state-of-the-art adaptation the paper compares
+#: against (Sec. 4.1: DejaVu's 10 s is "18x faster than the reported
+#: figures of about 3 minutes").
+DEFAULT_EXPERIMENT_SECONDS = 180.0
+
+
+@dataclass(frozen=True)
+class TuningOutcome:
+    """Result of one tuning invocation."""
+
+    allocation: Allocation
+    experiments_run: int
+    tuning_seconds: float
+    met_slo: bool
+    """False when even the largest candidate missed the SLO; the
+    returned allocation is then the full-capacity one."""
+
+
+class LinearSearchTuner:
+    """Linear search from the smallest to the largest allocation.
+
+    Parameters
+    ----------
+    service:
+        The service model used for sandboxed evaluation.
+    candidates:
+        Allocations in increasing capacity order (e.g. 1–10 large
+        instances for scale-out, {5xL, 5xXL} for scale-up).
+    latency_margin:
+        Safety factor on latency SLOs: the tuner requires
+        ``latency <= bound * latency_margin`` so intra-class workload
+        spread does not immediately violate the SLO in production.
+    qos_margin_points:
+        Safety margin on QoS SLOs, in percentage points above the floor.
+    experiment_seconds:
+        Charged wall-clock per evaluated candidate.
+    """
+
+    def __init__(
+        self,
+        service: Service,
+        candidates: list[Allocation],
+        latency_margin: float = 0.9,
+        qos_margin_points: float = 1.0,
+        experiment_seconds: float = DEFAULT_EXPERIMENT_SECONDS,
+    ) -> None:
+        if not candidates:
+            raise ValueError("tuner needs at least one candidate allocation")
+        ordered = sorted(candidates)
+        if ordered != candidates:
+            raise ValueError("candidates must be in increasing capacity order")
+        if not 0 < latency_margin <= 1:
+            raise ValueError(f"latency margin out of (0,1]: {latency_margin}")
+        if qos_margin_points < 0:
+            raise ValueError(f"QoS margin cannot be negative: {qos_margin_points}")
+        if experiment_seconds <= 0:
+            raise ValueError(f"experiment time must be positive: {experiment_seconds}")
+        self._service = service
+        self._candidates = candidates
+        self._latency_margin = latency_margin
+        self._qos_margin = qos_margin_points
+        self._experiment_seconds = experiment_seconds
+
+    @property
+    def candidates(self) -> list[Allocation]:
+        return list(self._candidates)
+
+    def _meets_slo_with_margin(
+        self, workload: Workload, allocation: Allocation, interference: float
+    ) -> bool:
+        sample = self._service.performance(
+            workload, allocation.capacity_units, interference=interference
+        )
+        slo = self._service.slo
+        if isinstance(slo, LatencySLO):
+            return sample.latency_ms <= slo.bound_ms * self._latency_margin
+        if isinstance(slo, QoSSLO):
+            return sample.qos_percent >= slo.floor_percent + self._qos_margin
+        raise TypeError(f"unknown SLO type: {type(slo).__name__}")
+
+    def tune(
+        self, workload: Workload, assumed_interference: float = 0.0
+    ) -> TuningOutcome:
+        """Find the minimal candidate meeting the SLO (with margin).
+
+        When populating an interference band, ``assumed_interference``
+        is the capacity theft the band represents; the sandbox then
+        evaluates candidates as if that much capacity were stolen.
+
+        If no candidate suffices, the largest one is returned with
+        ``met_slo=False`` — there is nothing better to deploy.
+        """
+        if not 0.0 <= assumed_interference < 1.0:
+            raise ValueError(
+                f"assumed interference out of [0,1): {assumed_interference}"
+            )
+        experiments = 0
+        for allocation in self._candidates:
+            experiments += 1
+            if self._meets_slo_with_margin(workload, allocation, assumed_interference):
+                return TuningOutcome(
+                    allocation=allocation,
+                    experiments_run=experiments,
+                    tuning_seconds=experiments * self._experiment_seconds,
+                    met_slo=True,
+                )
+        return TuningOutcome(
+            allocation=self._candidates[-1],
+            experiments_run=experiments,
+            tuning_seconds=experiments * self._experiment_seconds,
+            met_slo=False,
+        )
+
+
+def scale_out_candidates(max_instances: int = 10) -> list[Allocation]:
+    """1..max large instances — the paper's scale-out search space."""
+    from repro.cloud.instance_types import LARGE
+
+    if max_instances < 1:
+        raise ValueError(f"need at least one instance: {max_instances}")
+    return [Allocation(count=n, itype=LARGE) for n in range(1, max_instances + 1)]
+
+
+def scale_up_candidates(fixed_count: int = 5) -> list[Allocation]:
+    """{count x large, count x xlarge} — the scale-up search space."""
+    from repro.cloud.instance_types import EXTRA_LARGE, LARGE
+
+    if fixed_count < 1:
+        raise ValueError(f"need at least one instance: {fixed_count}")
+    return [
+        Allocation(count=fixed_count, itype=LARGE),
+        Allocation(count=fixed_count, itype=EXTRA_LARGE),
+    ]

@@ -1,0 +1,84 @@
+"""Interference scheduling across the production fleet.
+
+Fig. 11 varies the injected interference over time between 10% and 20%.
+The schedule maps simulation time to a :class:`Microbenchmark` (or
+none), and the injector exposes the *effective* interference the service
+experiences — which DejaVu never reads directly; it only sees the
+resulting performance gap between production and its isolated profiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.interference.microbenchmark import Microbenchmark
+from repro.sim.clock import HOUR
+
+
+@dataclass(frozen=True)
+class InterferenceSchedule:
+    """Piecewise-constant interference over time.
+
+    ``segments`` is a sequence of ``(start_seconds, microbenchmark)``
+    pairs sorted by start time; a ``None`` microbenchmark means the
+    co-located tenant is idle.
+    """
+
+    segments: tuple[tuple[float, Microbenchmark | None], ...]
+
+    def __post_init__(self) -> None:
+        starts = [s for s, _ in self.segments]
+        if starts != sorted(starts):
+            raise ValueError("schedule segments must be sorted by start time")
+        if not self.segments or self.segments[0][0] != 0.0:
+            raise ValueError("schedule must start at t=0")
+
+    def active_at(self, t: float) -> Microbenchmark | None:
+        if t < 0:
+            raise ValueError(f"negative time: {t}")
+        current = None
+        for start, bench in self.segments:
+            if t >= start:
+                current = bench
+            else:
+                break
+        return current
+
+    @staticmethod
+    def none() -> "InterferenceSchedule":
+        """The interference-free production environment."""
+        return InterferenceSchedule(segments=((0.0, None),))
+
+    @staticmethod
+    def alternating_10_20(
+        total_seconds: float,
+        segment_hours: float = 6.0,
+        seed: int = 3,
+    ) -> "InterferenceSchedule":
+        """Fig. 11's regime: interference varying between 10% and 20%."""
+        if total_seconds <= 0:
+            raise ValueError(f"duration must be positive: {total_seconds}")
+        if segment_hours <= 0:
+            raise ValueError(f"segment length must be positive: {segment_hours}")
+        rng = np.random.default_rng(seed)
+        segments: list[tuple[float, Microbenchmark | None]] = []
+        t = 0.0
+        while t < total_seconds:
+            fraction = float(rng.choice([0.10, 0.20]))
+            segments.append((t, Microbenchmark(cpu_fraction=fraction)))
+            t += segment_hours * HOUR
+        return InterferenceSchedule(segments=tuple(segments))
+
+
+class InterferenceInjector:
+    """Applies a schedule to the production environment."""
+
+    def __init__(self, schedule: InterferenceSchedule) -> None:
+        self._schedule = schedule
+
+    def interference_at(self, t: float) -> float:
+        """Effective capacity fraction stolen at time ``t``."""
+        bench = self._schedule.active_at(t)
+        return bench.capacity_theft if bench is not None else 0.0

@@ -1,0 +1,45 @@
+"""The interference microbenchmark.
+
+"The microbenchmark iterates over its working set and performs
+multiplication while enforcing the set limit" (Sec. 4.3) — i.e. it
+steals a configured fraction of CPU and pollutes the shared cache.  In
+our capacity-based performance model both effects collapse into a
+fraction of stolen effective capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Microbenchmark:
+    """A CPU/memory hog pinned to a victim VM's host.
+
+    Parameters
+    ----------
+    cpu_fraction:
+        Fraction of the VM's CPU the hog occupies (paper: 0.10 or 0.20).
+    working_set_mb:
+        Hog working-set size; larger sets pollute more cache, adding a
+        small extra capacity theft on top of the CPU share.
+    """
+
+    cpu_fraction: float
+    working_set_mb: float = 64.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu_fraction < 1.0:
+            raise ValueError(f"cpu fraction out of [0,1): {self.cpu_fraction}")
+        if self.working_set_mb < 0:
+            raise ValueError(f"working set cannot be negative: {self.working_set_mb}")
+
+    @property
+    def capacity_theft(self) -> float:
+        """Total effective-capacity fraction stolen from the victim.
+
+        CPU share plus a cache-pollution term that saturates at 4% for
+        working sets at or beyond the 6 MB L2 of the testbed CPUs.
+        """
+        cache_term = 0.04 * min(1.0, self.working_set_mb / 96.0)
+        return min(0.95, self.cpu_fraction + cache_term * (self.cpu_fraction > 0))

@@ -1,0 +1,83 @@
+"""Downstream-answer cache for mid-tier profiling.
+
+When DejaVu profiles only a middle tier, the clone has no database
+behind it.  "The proxy caches recent answers from the database such that
+they can be re-used by the profiler.  Upon receiving a request from the
+profiler, the proxy computes its hash and mimics the existence of the
+database by looking up the most recent answer for the given hash"
+(Sec. 3.2.1).  Lookups exhibit good temporal locality because production
+and clone process the same requests slightly shifted in time; misses
+(request permutations) and staleness (obsolete data) are tolerated
+because DejaVu only needs similar load, not identical answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stale_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class AnswerCache:
+    """Most-recent-answer cache keyed by request hash.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained answers; eviction is least-recently-stored.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[str, tuple[int, str]] = OrderedDict()
+        self.stats = CacheStats()
+
+    @staticmethod
+    def _hash(request_key: str) -> str:
+        return hashlib.sha1(request_key.encode()).hexdigest()
+
+    def store(self, request_key: str, answer: str, version: int = 0) -> None:
+        """Record the production system's answer for a request.
+
+        ``version`` models data freshness: the profiler may later read
+        an answer recorded before a production write (obsolete data),
+        which the cache counts but serves anyway.
+        """
+        digest = self._hash(request_key)
+        if digest in self._entries:
+            self._entries.move_to_end(digest)
+        self._entries[digest] = (version, answer)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def lookup(self, request_key: str, current_version: int = 0) -> str | None:
+        """Serve the profiler's request from cached production answers.
+
+        Returns None on a miss (e.g. the clone generated a slightly
+        different request than production — "minor request
+        permutations").
+        """
+        digest = self._hash(request_key)
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        version, answer = entry
+        self.stats.hits += 1
+        if version < current_version:
+            self.stats.stale_hits += 1
+        return answer

@@ -1,0 +1,102 @@
+"""Request duplication at session granularity.
+
+"The proxy duplicates incoming network traffic (all the requests) of the
+server instance that DejaVu intends to profile, and forwards it to the
+clone ... the clone's replies are dropped by the profiler" (Sec. 3.2.1).
+Sampling happens at client-session granularity so the clone never sees a
+request whose session state (cookies) it lacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.client import Request
+
+
+@dataclass
+class TrafficStats:
+    """Byte/request accounting for the overhead analysis (Sec. 4.4)."""
+
+    production_requests: int = 0
+    duplicated_requests: int = 0
+    production_bytes: int = 0
+    duplicated_bytes: int = 0
+
+    @property
+    def duplication_fraction(self) -> float:
+        """Fraction of inbound traffic mirrored to the profiler."""
+        if self.production_bytes == 0:
+            return 0.0
+        return self.duplicated_bytes / self.production_bytes
+
+    def network_overhead_fraction(self, outbound_ratio: float = 10.0) -> float:
+        """Duplicated bytes as a fraction of total (in + out) traffic.
+
+        With the paper's 1:10 inbound/outbound assumption and full
+        duplication of one instance out of *n*, this lands at ~0.1% for
+        n = 100.
+        """
+        if outbound_ratio <= 0:
+            raise ValueError(f"outbound ratio must be positive: {outbound_ratio}")
+        total = self.production_bytes * (1.0 + outbound_ratio)
+        if total == 0:
+            return 0.0
+        return self.duplicated_bytes / total
+
+
+class DejaVuProxy:
+    """Transparent duplicating proxy for one profiled service instance.
+
+    Parameters
+    ----------
+    profiled_instance:
+        Index of the instance whose traffic is mirrored.
+    n_instances:
+        Total service instances; traffic is assumed evenly balanced, so
+        the profiled instance sees ``1/n`` of the service's requests.
+    session_filter:
+        Optional predicate over session ids, supporting selective
+        duplication ("configured to selectively duplicate the incoming
+        traffic such that private information is not dispatched",
+        Sec. 3.7).
+    """
+
+    def __init__(
+        self,
+        n_instances: int,
+        profiled_instance: int = 0,
+        session_filter=None,
+    ) -> None:
+        if n_instances < 1:
+            raise ValueError(f"need at least one instance: {n_instances}")
+        if not 0 <= profiled_instance < n_instances:
+            raise ValueError(
+                f"profiled instance {profiled_instance} outside 0..{n_instances - 1}"
+            )
+        self.n_instances = n_instances
+        self.profiled_instance = profiled_instance
+        self._session_filter = session_filter
+        self.stats = TrafficStats()
+
+    def route(self, request: Request) -> tuple[int, bool]:
+        """Route one request.
+
+        Returns
+        -------
+        (instance, duplicated):
+            The production instance that serves the request, and whether
+            a copy went to the profiler.  Instance assignment hashes the
+            session id, so a session sticks to one instance — and the
+            profiled instance's sessions are mirrored *in full*.
+        """
+        instance = request.session_id % self.n_instances
+        self.stats.production_requests += 1
+        self.stats.production_bytes += request.payload_bytes
+        duplicated = instance == self.profiled_instance
+        if duplicated and self._session_filter is not None:
+            duplicated = bool(self._session_filter(request.session_id))
+        if duplicated:
+            self.stats.duplicated_requests += 1
+            self.stats.duplicated_bytes += request.payload_bytes
+        return instance, duplicated

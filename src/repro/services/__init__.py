@@ -1,0 +1,28 @@
+"""Service substrate.
+
+The paper evaluates DejaVu on three real services: Cassandra under the
+YCSB update-heavy workload (scale-out, Figs. 6–8, 11), SPECweb2009
+support (scale-up, Figs. 9–10), and RUBiS (motivation Fig. 1 and the
+proxy-overhead study, Sec. 4.4).  We replace each with a calibrated
+queueing-theoretic performance model exposing exactly the quantities the
+evaluation consumes: response latency, QoS (fraction of downloads meeting
+the SPECweb rate target), and post-reconfiguration stabilization
+transients (Cassandra re-partitioning).
+"""
+
+from repro.services.base import Service
+from repro.services.cassandra import CassandraService
+from repro.services.perf_model import QueueingModel
+from repro.services.rubis import RubisService
+from repro.services.slo import LatencySLO, QoSSLO
+from repro.services.specweb import SpecWebService
+
+__all__ = [
+    "Service",
+    "CassandraService",
+    "QueueingModel",
+    "RubisService",
+    "LatencySLO",
+    "QoSSLO",
+    "SpecWebService",
+]

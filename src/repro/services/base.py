@@ -1,0 +1,116 @@
+"""Common service interface.
+
+A :class:`Service` is the thing DejaVu provisions: it turns (offered
+workload, deployed capacity, interference) into the performance metric
+its SLO is written against.  Controllers never look inside — they observe
+``performance`` and ``slo`` only, matching the paper's assumption that
+applications merely "report a performance-level metric" (Sec. 3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.services.perf_model import QueueingModel
+from repro.services.slo import LatencySLO, QoSSLO
+from repro.workloads.request_mix import Workload
+
+
+@dataclass(frozen=True)
+class PerformanceSample:
+    """One observation of the service's externally visible performance."""
+
+    latency_ms: float
+    qos_percent: float
+    utilization: float
+
+    def slo_metric(self, slo: LatencySLO | QoSSLO) -> float:
+        """The component of the sample the given SLO is written against."""
+        if isinstance(slo, LatencySLO):
+            return self.latency_ms
+        return self.qos_percent
+
+
+class Service:
+    """Base class for the simulated services.
+
+    Subclasses provide the calibrated :class:`QueueingModel` and may add
+    service-specific behaviour (Cassandra's re-partitioning transient,
+    SPECweb's QoS curve).
+
+    Parameters
+    ----------
+    name:
+        Service label used in experiment output.
+    slo:
+        The agreed service-level objective.
+    model:
+        Latency model mapping (demand, capacity, interference) to
+        response time.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        slo: LatencySLO | QoSSLO,
+        model: QueueingModel | None = None,
+    ) -> None:
+        self.name = name
+        self.slo = slo
+        self.model = model if model is not None else QueueingModel()
+
+    def performance(
+        self,
+        workload: Workload,
+        capacity_units: float,
+        *,
+        interference: float = 0.0,
+        now: float | None = None,
+    ) -> PerformanceSample:
+        """Observe service performance at one simulation instant.
+
+        ``now`` lets stateful services (Cassandra) apply time-dependent
+        transients; stateless models ignore it.
+        """
+        latency = self._latency_ms(workload, capacity_units, interference, now)
+        rho = self.model.utilization(
+            workload.demand_units, capacity_units, interference
+        )
+        return PerformanceSample(
+            latency_ms=latency,
+            qos_percent=self._qos_percent(rho),
+            utilization=rho,
+        )
+
+    def slo_met(self, sample: PerformanceSample) -> bool:
+        return self.slo.is_met(sample.slo_metric(self.slo))
+
+    def notify_allocation_change(self, now: float) -> None:
+        """Hook invoked when the deployed allocation changes.
+
+        Stateless services ignore it; Cassandra starts its
+        re-partitioning transient here.
+        """
+
+    # -- hooks for subclasses ------------------------------------------
+
+    def _latency_ms(
+        self,
+        workload: Workload,
+        capacity_units: float,
+        interference: float,
+        now: float | None,
+    ) -> float:
+        return self.model.latency_ms(
+            workload.demand_units, capacity_units, interference
+        )
+
+    def _qos_percent(self, rho: float) -> float:
+        """Default QoS curve: degrade linearly past a utilization knee.
+
+        Calibrated so a well-provisioned service sits near 99.5% and a
+        saturated one falls into the low 80s (Figs. 9(b)/10(b) y-range).
+        """
+        knee, slope = 0.72, 55.0
+        qos = 99.5 - max(0.0, rho - knee) * slope
+        return float(max(50.0, min(99.5, qos)))

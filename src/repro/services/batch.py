@@ -1,0 +1,149 @@
+"""Batch (MapReduce/Hadoop-style) workloads under DejaVu.
+
+Sec. 3.7: "our interference mechanism can be useful even for
+long-running batch workloads ... the SLO could be their user-provided
+expected running times (possibly as a function of the input size).
+Upon an SLO violation, DejaVu would run a subset of tasks in isolation
+to determine the interference index.  This computation would also expose
+cases in which interference is not significant and the user simply
+mis-estimated the expected running times."
+
+This module implements that extension: batch tasks with an expected-
+runtime SLO, production/isolated task execution, and an advisor that
+diagnoses a violated expectation as *interference* or *mis-estimation*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.interference import InterferenceEstimator
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One map-style task.
+
+    Parameters
+    ----------
+    work_units:
+        Compute units the task needs (scales with input size).
+    expected_seconds:
+        The user's stated expectation — the batch SLO.
+    """
+
+    work_units: float
+    expected_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.work_units <= 0:
+            raise ValueError(f"work must be positive: {self.work_units}")
+        if self.expected_seconds <= 0:
+            raise ValueError(
+                f"expected runtime must be positive: {self.expected_seconds}"
+            )
+
+
+class BatchHost:
+    """A host slot executing batch tasks at a fixed service rate.
+
+    Parameters
+    ----------
+    units_per_second:
+        Compute units per second in isolation.
+    """
+
+    def __init__(self, units_per_second: float = 1.0) -> None:
+        if units_per_second <= 0:
+            raise ValueError(f"rate must be positive: {units_per_second}")
+        self._rate = units_per_second
+
+    def runtime_seconds(self, task: BatchTask, interference: float = 0.0) -> float:
+        """Task runtime with a fraction of the host's capacity stolen."""
+        if not 0.0 <= interference < 1.0:
+            raise ValueError(f"interference out of [0,1): {interference}")
+        return task.work_units / (self._rate * (1.0 - interference))
+
+
+class BatchDiagnosis(enum.Enum):
+    """What the isolated re-run revealed about a slow batch task."""
+
+    MEETS_EXPECTATION = "meets-expectation"
+    INTERFERENCE = "interference"
+    MISESTIMATED = "mis-estimated"
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Outcome of one batch-SLO investigation."""
+
+    diagnosis: BatchDiagnosis
+    production_seconds: float
+    isolated_seconds: float
+    interference_index: float
+    interference_band: int
+
+
+class BatchWorkloadAdvisor:
+    """Applies DejaVu's interference mechanism to batch tasks.
+
+    Parameters
+    ----------
+    host:
+        The execution substrate (both production and the isolated
+        profiling slot run the same host model).
+    estimator:
+        Interference-index quantizer shared with the online service path.
+    tolerance:
+        Relative slack on the expectation before a task counts as slow
+        (tasks are noisy; a 10% overshoot is not a violation).
+    """
+
+    def __init__(
+        self,
+        host: BatchHost | None = None,
+        estimator: InterferenceEstimator | None = None,
+        tolerance: float = 0.10,
+    ) -> None:
+        if tolerance < 0:
+            raise ValueError(f"tolerance cannot be negative: {tolerance}")
+        self.host = host if host is not None else BatchHost()
+        self.estimator = estimator if estimator is not None else InterferenceEstimator()
+        self.tolerance = tolerance
+
+    def _is_slow(self, runtime: float, task: BatchTask) -> bool:
+        return runtime > task.expected_seconds * (1.0 + self.tolerance)
+
+    def investigate(
+        self, task: BatchTask, production_interference: float
+    ) -> BatchReport:
+        """Run the task in production; if slow, re-run in isolation.
+
+        The index contrasts production and isolated runtimes (runtime is
+        a latency-style metric: higher is worse, so the plain Eq. 2
+        ratio applies).  ``diagnosis`` then separates the three cases
+        the paper describes.
+        """
+        production = self.host.runtime_seconds(task, production_interference)
+        isolated = self.host.runtime_seconds(task, 0.0)
+        index = production / isolated
+        band = 0
+        if not self._is_slow(production, task):
+            diagnosis = BatchDiagnosis.MEETS_EXPECTATION
+        elif self._is_slow(isolated, task):
+            # Even in isolation the task misses the expectation: the
+            # user mis-estimated; interference is not the (main) cause.
+            diagnosis = BatchDiagnosis.MISESTIMATED
+        else:
+            diagnosis = BatchDiagnosis.INTERFERENCE
+            from repro.core.interference import quantize_index
+
+            band = quantize_index(index)
+        return BatchReport(
+            diagnosis=diagnosis,
+            production_seconds=production,
+            isolated_seconds=isolated,
+            interference_index=index,
+            interference_band=band,
+        )

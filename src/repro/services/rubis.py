@@ -1,0 +1,47 @@
+"""RUBiS-like three-tier auction service model.
+
+RUBiS (an eBay clone: Apache front end, Tomcat application tier, MySQL
+back end; 26 client interactions driven by transition tables; 1,000,000
+registered clients/items) appears twice in the paper: the motivating
+sine-wave experiment (Fig. 1, where online tuning keeps re-converging)
+and the proxy-overhead study (Sec. 4.4, profiling the database tier at
+100–500 clients).
+"""
+
+from __future__ import annotations
+
+from repro.services.base import Service
+from repro.services.perf_model import QueueingModel
+from repro.services.slo import LatencySLO
+
+#: The Fig. 1 SLO line sits at 150 ms on the latency axis.
+DEFAULT_SLO = LatencySLO(bound_ms=150.0)
+
+#: The 26 RUBiS interactions (default transition-table names), used by
+#: the proxy study to label duplicated requests realistically.
+INTERACTIONS: tuple[str, ...] = (
+    "Home", "Browse", "BrowseCategories", "SearchItemsInCategory",
+    "BrowseRegions", "BrowseCategoriesInRegion", "SearchItemsInRegion",
+    "ViewItem", "ViewUserInfo", "ViewBidHistory", "BuyNowAuth", "BuyNow",
+    "StoreBuyNow", "PutBidAuth", "PutBid", "StoreBid", "PutCommentAuth",
+    "PutComment", "StoreComment", "RegisterItem", "RegisterUser",
+    "SellItemForm", "Sell", "AboutMe", "AboutMeAuth", "Logout",
+)
+
+
+class RubisService(Service):
+    """RUBiS with a heavier base service time (3-tier round trips)."""
+
+    def __init__(
+        self,
+        slo: LatencySLO = DEFAULT_SLO,
+        model: QueueingModel | None = None,
+    ) -> None:
+        if model is None:
+            model = QueueingModel(base_latency_ms=50.0, max_latency_ms=500.0)
+        super().__init__(name="rubis", slo=slo, model=model)
+
+    @staticmethod
+    def interaction_count() -> int:
+        """Number of distinct client interactions (paper: 26)."""
+        return len(INTERACTIONS)

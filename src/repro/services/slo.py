@@ -1,0 +1,52 @@
+"""Service-level objectives.
+
+Two SLO flavours appear in the paper: a latency bound (Cassandra, 60 ms;
+RUBiS, Fig. 1) and a QoS floor (SPECweb2009: "at least 95% of the
+downloads meet a minimum 0.99 Mbps rate").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencySLO:
+    """An upper bound on service response latency."""
+
+    bound_ms: float
+
+    def __post_init__(self) -> None:
+        if self.bound_ms <= 0:
+            raise ValueError(f"latency bound must be positive: {self.bound_ms}")
+
+    def is_met(self, latency_ms: float) -> bool:
+        return latency_ms <= self.bound_ms
+
+    def is_violated(self, latency_ms: float) -> bool:
+        return not self.is_met(latency_ms)
+
+    def headroom(self, latency_ms: float) -> float:
+        """Positive when under the bound; the tuner maximizes cost subject
+        to this staying positive."""
+        return self.bound_ms - latency_ms
+
+
+@dataclass(frozen=True)
+class QoSSLO:
+    """A lower bound on a quality-of-service percentage (higher is better)."""
+
+    floor_percent: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.floor_percent <= 100:
+            raise ValueError(f"QoS floor out of range: {self.floor_percent}")
+
+    def is_met(self, qos_percent: float) -> bool:
+        return qos_percent >= self.floor_percent
+
+    def is_violated(self, qos_percent: float) -> bool:
+        return not self.is_met(qos_percent)
+
+    def headroom(self, qos_percent: float) -> float:
+        return qos_percent - self.floor_percent

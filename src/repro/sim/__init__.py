@@ -1,0 +1,24 @@
+"""Discrete-time simulation substrate.
+
+The paper's evaluation runs real services on EC2 for a simulated week of
+trace time.  We reproduce the same structure in a stepped simulator: a
+:class:`~repro.sim.clock.SimClock` advances in fixed steps, controllers
+observe the service and adjust allocations, and a
+:class:`~repro.sim.result.TimeSeries` records everything the paper plots
+(cost, latency, QoS, allocation, SLO state).
+"""
+
+from repro.sim.clock import HOUR, MINUTE, SECONDS_PER_DAY, SimClock
+from repro.sim.engine import SimulationEngine, StepContext
+from repro.sim.result import SimulationResult, TimeSeries
+
+__all__ = [
+    "HOUR",
+    "MINUTE",
+    "SECONDS_PER_DAY",
+    "SimClock",
+    "SimulationEngine",
+    "StepContext",
+    "SimulationResult",
+    "TimeSeries",
+]

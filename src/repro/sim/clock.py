@@ -1,0 +1,65 @@
+"""Simulation clock.
+
+All simulation time is expressed in seconds since the start of the run.
+The trace-driven experiments in the paper span one week at one-hour load
+granularity, while DejaVu's adaptation happens on the order of seconds,
+so the clock supports both coarse (hourly) and fine (second) stepping.
+"""
+
+from __future__ import annotations
+
+MINUTE = 60
+HOUR = 3600
+SECONDS_PER_DAY = 24 * HOUR
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+class SimClock:
+    """A monotonically advancing simulation clock.
+
+    Parameters
+    ----------
+    start:
+        Initial time in seconds.  Defaults to 0 (start of the trace).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def hour(self) -> int:
+        """Whole hours elapsed since the start of the trace."""
+        return int(self._now // HOUR)
+
+    @property
+    def hour_of_day(self) -> int:
+        """Hour within the current day, in ``[0, 24)``."""
+        return self.hour % 24
+
+    @property
+    def day(self) -> int:
+        """Whole days elapsed since the start of the trace."""
+        return int(self._now // SECONDS_PER_DAY)
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward and return the new time.
+
+        Raises
+        ------
+        ValueError
+            If ``seconds`` is negative; simulation time never rewinds.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        self._now += seconds
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(day={self.day}, hour_of_day={self.hour_of_day}, t={self._now:.0f}s)"

@@ -1,0 +1,135 @@
+"""Time-series recording for simulation runs.
+
+Every experiment in the paper is reported as one or more time series over
+the trace week (latency, QoS, instance count, instance type) plus scalar
+aggregates (cost savings, SLO-violation fraction, adaptation time).  A
+:class:`TimeSeries` collects ``(t, value)`` samples; a
+:class:`SimulationResult` groups the named series of one run and computes
+the aggregates the paper's tables quote.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class TimeSeries:
+    """An append-only series of ``(time_seconds, value)`` samples."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        """Append a sample; samples must arrive in non-decreasing time order."""
+        if self._times and t < self._times[-1]:
+            raise ValueError(
+                f"out-of-order sample for {self.name!r}: t={t} < {self._times[-1]}"
+            )
+        self._times.append(float(t))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def value_at(self, t: float) -> float:
+        """Value of the most recent sample at or before ``t`` (step-hold)."""
+        if not self._times:
+            raise ValueError(f"series {self.name!r} is empty")
+        idx = bisect_right(self._times, t) - 1
+        if idx < 0:
+            raise ValueError(f"no sample at or before t={t} in {self.name!r}")
+        return self._values[idx]
+
+    def window(self, t_start: float, t_end: float) -> "TimeSeries":
+        """Samples with ``t_start <= t < t_end``, as a new series."""
+        if t_end < t_start:
+            raise ValueError(f"bad window [{t_start}, {t_end})")
+        out = TimeSeries(self.name)
+        for t, v in self:
+            if t_start <= t < t_end:
+                out.record(t, v)
+        return out
+
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return float(np.mean(self._values))
+
+    def max(self) -> float:
+        if not self._values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return float(np.max(self._values))
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples strictly above ``threshold``.
+
+        Used for SLO-violation accounting (e.g. the paper's "Autopilot
+        violates the SLO at least 28% of the time").
+        """
+        if not self._values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return float(np.mean(np.asarray(self._values) > threshold))
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples strictly below ``threshold`` (QoS-style SLOs)."""
+        if not self._values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return float(np.mean(np.asarray(self._values) < threshold))
+
+    def integrate(self) -> float:
+        """Left-Riemann integral of the step function defined by the samples.
+
+        The last sample is held until the final sample time, so a series
+        with a single sample integrates to zero.  Used for instance-hour
+        cost accounting.
+        """
+        total = 0.0
+        for (t0, v0), (t1, _v1) in zip(self, list(self)[1:]):
+            total += v0 * (t1 - t0)
+        return total
+
+
+@dataclass
+class SimulationResult:
+    """All recorded outputs of one simulation run."""
+
+    label: str
+    series: dict[str, TimeSeries] = field(default_factory=dict)
+    scalars: dict[str, float] = field(default_factory=dict)
+    events: list[tuple[float, str]] = field(default_factory=list)
+
+    def series_named(self, name: str) -> TimeSeries:
+        if name not in self.series:
+            self.series[name] = TimeSeries(name)
+        return self.series[name]
+
+    def record(self, name: str, t: float, value: float) -> None:
+        self.series_named(name).record(t, value)
+
+    def log_event(self, t: float, description: str) -> None:
+        self.events.append((t, description))
+
+    def events_matching(self, substring: str) -> list[tuple[float, str]]:
+        return [(t, e) for t, e in self.events if substring in e]
+
+    def merged_scalars(self, extra: Iterable[tuple[str, float]]) -> dict[str, float]:
+        merged = dict(self.scalars)
+        merged.update(extra)
+        return merged

@@ -1,0 +1,122 @@
+"""Hardware-performance-counter sampling model.
+
+Real HPCs are read "before a VM is scheduled, and right after it is
+preempted; the difference gives the exact number of events for which the
+VM should be charged" (Sec. 3.3).  We model the end product: per-event
+counts accumulated over a sampling window, equal to the event's
+workload-coupled rate times the window, with multiplicative reading
+noise.  Only four counters can be monitored at once on the X5472; the
+sampler honours that register budget and models the accuracy loss of
+time-division multiplexing when asked for more events than registers
+(Mathur & Cook, cited in Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.events import EVENT_CATALOGUE, HPCEvent, event_by_name
+from repro.workloads.request_mix import Workload
+
+#: HPC registers available on the profiling server (Intel Xeon X5472).
+HARDWARE_REGISTERS = 4
+
+#: Extra relative noise per multiplexed batch beyond the register budget.
+MULTIPLEX_NOISE_SD = 0.015
+
+
+@dataclass(frozen=True)
+class CounterReading:
+    """One sampled counter: raw count over a window."""
+
+    event: str
+    count: float
+    duration_seconds: float
+
+    @property
+    def rate(self) -> float:
+        """Count normalized by sampling time.
+
+        Sec. 3.3: "we normalize the values with the sampling time ...
+        it allows us to generalize our signatures across workloads
+        regardless of how long the sampling takes."
+        """
+        if self.duration_seconds <= 0:
+            raise ValueError(f"bad sampling window: {self.duration_seconds}")
+        return self.count / self.duration_seconds
+
+
+class HPCSampler:
+    """Samples hardware counters for a VM hosting a given workload.
+
+    Parameters
+    ----------
+    events:
+        Event mnemonics to monitor; defaults to the full catalogue
+        (time-multiplexed).
+    seed:
+        RNG seed; readings are reproducible given (seed, call order).
+    """
+
+    def __init__(
+        self,
+        events: list[str] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if events is None:
+            self._events: list[HPCEvent] = list(EVENT_CATALOGUE)
+        else:
+            if not events:
+                raise ValueError("must monitor at least one event")
+            self._events = [event_by_name(name) for name in events]
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def monitored(self) -> list[str]:
+        return [e.name for e in self._events]
+
+    @property
+    def multiplexed(self) -> bool:
+        """True when monitoring more events than hardware registers."""
+        return len(self._events) > HARDWARE_REGISTERS
+
+    def sample(
+        self,
+        workload: Workload,
+        duration_seconds: float,
+        *,
+        interference: float = 0.0,
+    ) -> dict[str, CounterReading]:
+        """Read all monitored counters over one sampling window.
+
+        ``interference`` models co-located tenants polluting shared
+        resources during *production-side* sampling; the DejaVu profiler
+        samples in isolation and passes 0 (the default).  Interference
+        inflates memory-system events and adds variance — the reason the
+        paper profiles on a clone rather than in place (Sec. 3.2.2).
+        """
+        if duration_seconds <= 0:
+            raise ValueError(f"sampling window must be positive: {duration_seconds}")
+        if not 0.0 <= interference < 1.0:
+            raise ValueError(f"interference out of [0,1): {interference}")
+        activity = np.asarray(workload.mix.activity_vector())
+        intensity = workload.demand_units
+        extra_sd = MULTIPLEX_NOISE_SD if self.multiplexed else 0.0
+        readings = {}
+        for event in self._events:
+            rate = event.rate(activity, intensity)
+            if interference > 0:
+                # Shared-cache/bus pollution: memory-coupled events read
+                # high under interference.
+                memory_coupling = abs(event.weights[1]) / 10.0
+                rate *= 1.0 + interference * (0.5 + memory_coupling)
+            noise = self._rng.normal(0.0, event.noise_sd + extra_sd)
+            count = max(0.0, rate * (1.0 + noise)) * duration_seconds
+            readings[event.name] = CounterReading(
+                event=event.name,
+                count=count,
+                duration_seconds=duration_seconds,
+            )
+        return readings

@@ -1,0 +1,189 @@
+"""Catalogue of monitorable hardware events.
+
+The paper's profiling server (Intel Xeon X5472) exposes "up to 60
+different events", of which only a few are useful for workload
+characterization; CFS feature selection picks the eight of Table 1 for
+RUBiS (busq_empty, cpu_clk_unhalted, l2_ads, l2_reject_busq, l2_st,
+load_block, store_block, page_walks).
+
+Each :class:`HPCEvent` carries a weight vector over the hidden workload
+activity dimensions ``(cpu, memory, io, flops, read_fraction)`` plus an
+intensity-independent baseline and a relative noise level.  The
+catalogue is constructed so that:
+
+* the Table-1 events have strong, mutually diverse weights and low noise
+  (informative and non-redundant — CFS should retain most of them);
+* a block of events duplicates the informative ones with extra noise
+  (redundant — CFS's inter-feature correlation term should drop them);
+* the remainder are weakly coupled or pure noise (uninformative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Hidden activity dimensions, in the order used by
+#: :meth:`repro.workloads.request_mix.RequestMix.activity_vector`.
+ACTIVITY_DIMS = ("cpu", "memory", "io", "flops", "read_fraction")
+
+
+@dataclass(frozen=True)
+class HPCEvent:
+    """One monitorable hardware event.
+
+    Parameters
+    ----------
+    name:
+        Event mnemonic (Table-1 style).
+    weights:
+        Coupling of the event rate to each activity dimension.
+    baseline:
+        Event rate present regardless of workload intensity (e.g. timer
+        interrupts); makes uninformative events non-trivially non-zero.
+    noise_sd:
+        Relative (multiplicative) noise standard deviation per reading.
+    """
+
+    name: str
+    weights: tuple[float, ...]
+    baseline: float
+    noise_sd: float
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(ACTIVITY_DIMS):
+            raise ValueError(
+                f"event {self.name!r} needs {len(ACTIVITY_DIMS)} weights, "
+                f"got {len(self.weights)}"
+            )
+        if self.noise_sd < 0:
+            raise ValueError(f"noise sd cannot be negative: {self.noise_sd}")
+
+    def rate(self, activity: np.ndarray, intensity: float) -> float:
+        """Noise-free event rate for a workload."""
+        coupled = float(np.dot(np.asarray(self.weights), activity))
+        return self.baseline + coupled * intensity
+
+
+def _table1_events() -> list[HPCEvent]:
+    """The eight Table-1 events: strong, diverse, low-noise couplings."""
+    spec = {
+        #                  cpu   mem    io  flops  read
+        "cpu_clk_unhalted": (9.0, 1.0, 0.5, 1.0, 0.0),
+        "busq_empty":       (-4.0, -6.0, -1.0, 0.0, 2.0),
+        "l2_ads":           (2.0, 8.0, 0.5, 1.0, -1.0),
+        "l2_reject_busq":   (1.0, 7.0, 0.0, 0.5, -3.0),
+        "l2_st":            (0.5, 5.0, 0.0, 0.0, -6.0),
+        "load_block":       (1.0, 4.0, 0.5, 0.0, 6.0),
+        "store_block":      (0.5, 4.5, 0.5, 0.0, -5.0),
+        "page_walks":       (1.5, 6.5, 2.0, 0.0, 1.0),
+    }
+    return [
+        HPCEvent(name=name, weights=w, baseline=5.0, noise_sd=0.02)
+        for name, w in spec.items()
+    ]
+
+
+def _other_informative_events() -> list[HPCEvent]:
+    """Useful but partly redundant events (some survive selection)."""
+    spec = {
+        "flops_retired":    (0.5, 0.0, 0.0, 9.0, 0.0),
+        "io_reads":         (0.0, 0.5, 8.0, 0.0, 4.0),
+        "io_writes":        (0.0, 0.5, 8.0, 0.0, -4.0),
+        "inst_retired":     (8.0, 1.5, 0.5, 2.0, 0.5),
+        "llc_misses":       (1.0, 7.5, 1.0, 0.5, -1.5),
+        "branch_taken":     (7.0, 1.0, 0.0, 0.5, 1.0),
+        "dtlb_misses":      (1.0, 6.0, 1.5, 0.0, 0.5),
+        "bus_trans_mem":    (1.5, 7.0, 2.5, 0.0, -1.0),
+    }
+    return [
+        HPCEvent(name=name, weights=w, baseline=5.0, noise_sd=0.02)
+        for name, w in spec.items()
+    ]
+
+
+def _redundant_events(rng: np.random.Generator) -> list[HPCEvent]:
+    """Noisy near-duplicates of informative events.
+
+    CFS penalizes feature-feature correlation, so these should lose to
+    their cleaner originals during selection.
+    """
+    originals = _table1_events() + _other_informative_events()
+    events = []
+    for i in range(16):
+        source = originals[i % len(originals)]
+        jitter = rng.normal(0.0, 0.4, len(ACTIVITY_DIMS))
+        weights = tuple(
+            float(w * 0.9 + j) for w, j in zip(source.weights, jitter)
+        )
+        events.append(
+            HPCEvent(
+                name=f"{source.name}_alt{i}",
+                weights=weights,
+                baseline=source.baseline,
+                noise_sd=0.20,
+            )
+        )
+    return events
+
+
+def _noise_events(rng: np.random.Generator) -> list[HPCEvent]:
+    """Events with (near) no workload coupling: pure measurement noise."""
+    events = []
+    names = [
+        "smi_count", "thermal_trips", "prefetch_hits", "sse_input_assists",
+        "x87_ops", "segment_loads", "hw_interrupts", "cpuid_count",
+        "monitor_mwait", "fp_assists", "misaligned_refs", "ld_st_forwards",
+        "speculative_flushes", "apic_timer", "tsc_reads", "halt_cycles",
+        "io_port_reads", "io_port_writes", "nmi_count", "machine_clears",
+        "uncore_snoops", "remote_hitm", "offcore_stalls", "lock_cycles",
+        "cr_writes", "debug_events", "pebs_records", "rdtsc_exits",
+    ]
+    for name in names:
+        weights = tuple(float(w) for w in rng.normal(0.0, 0.05, len(ACTIVITY_DIMS)))
+        events.append(
+            HPCEvent(name=name, weights=weights, baseline=100.0, noise_sd=0.30)
+        )
+    return events
+
+
+def _build_catalogue() -> tuple[HPCEvent, ...]:
+    rng = np.random.default_rng(2012)
+    catalogue = (
+        _table1_events()
+        + _other_informative_events()
+        + _redundant_events(rng)
+        + _noise_events(rng)
+    )
+    names = [e.name for e in catalogue]
+    if len(set(names)) != len(names):
+        raise RuntimeError("duplicate event names in catalogue")
+    return tuple(catalogue)
+
+
+#: The full monitorable-event catalogue (60 events, like the X5472).
+EVENT_CATALOGUE: tuple[HPCEvent, ...] = _build_catalogue()
+
+#: The events the paper reports CFS selecting for RUBiS (Table 1).
+TABLE1_EVENTS: tuple[str, ...] = (
+    "busq_empty",
+    "cpu_clk_unhalted",
+    "l2_ads",
+    "l2_reject_busq",
+    "l2_st",
+    "load_block",
+    "store_block",
+    "page_walks",
+)
+
+
+def event_names() -> list[str]:
+    return [e.name for e in EVENT_CATALOGUE]
+
+
+def event_by_name(name: str) -> HPCEvent:
+    for event in EVENT_CATALOGUE:
+        if event.name == name:
+            return event
+    raise KeyError(f"unknown HPC event {name!r}")

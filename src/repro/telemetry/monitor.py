@@ -1,0 +1,72 @@
+"""The DejaVu Monitor: periodic/on-demand metric collection.
+
+The Monitor (Sec. 3.3) gathers all candidate metrics — HPC events plus
+xentop utilizations — for one sampling window and returns them as a flat
+name→value mapping with counter values normalized by sampling time.  It
+is deliberately ignorant of which metrics will end up in the signature;
+feature selection decides that later (Sec. 3.3's "non-intrusive
+monitoring" constraint: no service knowledge required).
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.counters import HPCSampler
+from repro.telemetry.xentop import XentopSampler
+from repro.workloads.request_mix import Workload
+
+#: Default sampling window; the paper's adaptation time is "about 10
+#: seconds ... needed by the profiler to collect the workload signature".
+DEFAULT_WINDOW_SECONDS = 10.0
+
+
+class Monitor:
+    """Collects the full candidate metric vector for a workload.
+
+    Parameters
+    ----------
+    hpc:
+        Hardware-counter sampler (defaults to the full 60-event
+        catalogue, time-multiplexed).
+    xentop:
+        Per-VM utilization sampler.
+    window_seconds:
+        Sampling window; doubles as DejaVu's adaptation latency.
+    """
+
+    def __init__(
+        self,
+        hpc: HPCSampler | None = None,
+        xentop: XentopSampler | None = None,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError(f"window must be positive: {window_seconds}")
+        self.hpc = hpc if hpc is not None else HPCSampler()
+        self.xentop = xentop if xentop is not None else XentopSampler()
+        self.window_seconds = window_seconds
+
+    def metric_names(self) -> list[str]:
+        """All metric names a collection will contain, in stable order."""
+        from repro.telemetry.xentop import XENTOP_METRICS
+
+        return list(self.hpc.monitored) + list(XENTOP_METRICS)
+
+    def collect(
+        self,
+        workload: Workload,
+        *,
+        interference: float = 0.0,
+        window_seconds: float | None = None,
+    ) -> dict[str, float]:
+        """One monitoring pass: all metrics, time-normalized.
+
+        HPC counts are divided by the sampling window (Sec. 3.3's
+        normalization) so signatures are comparable across windows.
+        """
+        window = self.window_seconds if window_seconds is None else window_seconds
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window}")
+        readings = self.hpc.sample(workload, window, interference=interference)
+        metrics = {name: reading.rate for name, reading in readings.items()}
+        metrics.update(self.xentop.sample(workload, interference=interference))
+        return metrics

@@ -1,0 +1,63 @@
+"""xentop-style per-VM resource metrics.
+
+"Xen's xentop command reports individual VM resource consumption (CPU,
+memory, and I/O)" (Sec. 3.3).  These coarse utilization metrics join the
+HPC events in the candidate signature set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.request_mix import Workload
+
+XENTOP_METRICS: tuple[str, ...] = (
+    "xentop_cpu_percent",
+    "xentop_memory_percent",
+    "xentop_net_rx_kbps",
+    "xentop_net_tx_kbps",
+    "xentop_vbd_io_ops",
+)
+
+
+class XentopSampler:
+    """Samples xentop metrics for a VM hosting a workload.
+
+    Parameters
+    ----------
+    capacity_units:
+        Capacity of the sampled VM; utilizations are expressed against
+        it (a profiling clone is a single instance).
+    seed:
+        RNG seed for reading noise.
+    """
+
+    def __init__(self, capacity_units: float = 1.0, seed: int = 0) -> None:
+        if capacity_units <= 0:
+            raise ValueError(f"capacity must be positive: {capacity_units}")
+        self._capacity = capacity_units
+        self._rng = np.random.default_rng(seed)
+
+    def sample(
+        self, workload: Workload, *, interference: float = 0.0
+    ) -> dict[str, float]:
+        """One xentop snapshot (instantaneous utilizations)."""
+        if not 0.0 <= interference < 1.0:
+            raise ValueError(f"interference out of [0,1): {interference}")
+        mix = workload.mix
+        demand = workload.demand_units
+        rho = demand / (self._capacity * (1.0 - interference))
+        noise = lambda sd: float(self._rng.normal(0.0, sd))  # noqa: E731
+
+        cpu = min(100.0, 100.0 * rho * (0.6 + 0.4 * mix.cpu_intensity))
+        mem = min(100.0, 25.0 + 60.0 * rho * mix.memory_intensity)
+        rx = 80.0 * demand
+        tx = rx * (6.0 + 6.0 * mix.read_fraction)
+        io_ops = 900.0 * demand * (0.3 + 0.7 * mix.io_intensity)
+        return {
+            "xentop_cpu_percent": max(0.0, cpu * (1.0 + noise(0.02))),
+            "xentop_memory_percent": max(0.0, mem * (1.0 + noise(0.02))),
+            "xentop_net_rx_kbps": max(0.0, rx * (1.0 + noise(0.03))),
+            "xentop_net_tx_kbps": max(0.0, tx * (1.0 + noise(0.03))),
+            "xentop_vbd_io_ops": max(0.0, io_ops * (1.0 + noise(0.03))),
+        }

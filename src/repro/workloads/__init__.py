@@ -1,0 +1,49 @@
+"""Workload substrate.
+
+The paper drives its services with (1) real week-long HotMail and Windows
+Live Messenger load traces at 1-hour granularity, (2) a sine wave for the
+motivating RUBiS experiment (Fig. 1), and (3) benchmark-specific request
+mixes (Cassandra update-heavy 95/5, SPECweb support/banking/e-commerce,
+the RUBiS 26-interaction transition mix).
+
+We do not have the Microsoft traces, so :mod:`repro.workloads.traces`
+synthesizes week-long diurnal traces with the statistical properties the
+paper relies on: repeating daily patterns with a handful of load plateaus
+(so clustering finds 3–4 classes), day-to-day jitter and weekend dips (so
+Autopilot's blind time-of-day replay misfires), and one day-4 HotMail
+anomaly (so DejaVu's low-confidence fallback triggers).  See DESIGN.md.
+"""
+
+from repro.workloads.generators import sine_wave_load, spike_load, step_load
+from repro.workloads.request_mix import (
+    CASSANDRA_UPDATE_HEAVY,
+    RUBIS_BIDDING,
+    RUBIS_BROWSING,
+    SPECWEB_BANKING,
+    SPECWEB_ECOMMERCE,
+    SPECWEB_SUPPORT,
+    RequestMix,
+    Workload,
+)
+from repro.workloads.traces import (
+    LoadTrace,
+    synthetic_hotmail_trace,
+    synthetic_messenger_trace,
+)
+
+__all__ = [
+    "sine_wave_load",
+    "spike_load",
+    "step_load",
+    "RequestMix",
+    "Workload",
+    "CASSANDRA_UPDATE_HEAVY",
+    "RUBIS_BROWSING",
+    "RUBIS_BIDDING",
+    "SPECWEB_BANKING",
+    "SPECWEB_ECOMMERCE",
+    "SPECWEB_SUPPORT",
+    "LoadTrace",
+    "synthetic_hotmail_trace",
+    "synthetic_messenger_trace",
+]

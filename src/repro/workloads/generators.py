@@ -1,0 +1,99 @@
+"""Parametric load generators.
+
+The motivating experiment (Fig. 1) drives RUBiS with a sine wave: "we
+change the workload volume every 10 minutes ... to approximate the
+diurnal variation of load in a datacenter, we vary the load according to
+a sine-wave".  Spike and step generators support the unforeseen-workload
+and adaptation-time studies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.workloads.request_mix import RequestMix, Workload
+
+LoadFunction = Callable[[float], Workload]
+
+
+def sine_wave_load(
+    mix: RequestMix,
+    min_clients: float,
+    max_clients: float,
+    period_seconds: float,
+    hold_seconds: float = 600.0,
+) -> LoadFunction:
+    """A sine wave sampled-and-held every ``hold_seconds``.
+
+    The hold reproduces the paper's "change the workload volume every 10
+    minutes": the instantaneous sine value is frozen for each 10-minute
+    interval, giving the step-wise volume curve of Fig. 1.
+    """
+    if min_clients < 0 or max_clients < min_clients:
+        raise ValueError(
+            f"bad client range [{min_clients}, {max_clients}]"
+        )
+    if period_seconds <= 0 or hold_seconds <= 0:
+        raise ValueError("period and hold must be positive")
+    amplitude = (max_clients - min_clients) / 2.0
+    midpoint = min_clients + amplitude
+
+    def load(t: float) -> Workload:
+        held_t = math.floor(t / hold_seconds) * hold_seconds
+        phase = 2.0 * math.pi * held_t / period_seconds
+        volume = midpoint + amplitude * math.sin(phase)
+        return Workload(volume=volume, mix=mix)
+
+    return load
+
+
+def step_load(
+    mix: RequestMix,
+    before_clients: float,
+    after_clients: float,
+    step_at_seconds: float,
+) -> LoadFunction:
+    """A single step change — the unit stimulus for adaptation timing."""
+    if before_clients < 0 or after_clients < 0:
+        raise ValueError("client counts cannot be negative")
+
+    def load(t: float) -> Workload:
+        volume = before_clients if t < step_at_seconds else after_clients
+        return Workload(volume=volume, mix=mix)
+
+    return load
+
+
+def spike_load(
+    mix: RequestMix,
+    base_clients: float,
+    spike_clients: float,
+    spike_start: float,
+    spike_duration: float,
+) -> LoadFunction:
+    """A flash-crowd spike on top of a flat base load."""
+    if spike_duration <= 0:
+        raise ValueError(f"spike duration must be positive: {spike_duration}")
+    if base_clients < 0 or spike_clients < base_clients:
+        raise ValueError(
+            f"spike ({spike_clients}) must be at least base ({base_clients})"
+        )
+
+    def load(t: float) -> Workload:
+        in_spike = spike_start <= t < spike_start + spike_duration
+        volume = spike_clients if in_spike else base_clients
+        return Workload(volume=volume, mix=mix)
+
+    return load
+
+
+def constant_load(mix: RequestMix, clients: float) -> LoadFunction:
+    """A flat load (tuning experiments run one fixed workload)."""
+    if clients < 0:
+        raise ValueError(f"client count cannot be negative: {clients}")
+
+    def load(_t: float) -> Workload:
+        return Workload(volume=clients, mix=mix)
+
+    return load

@@ -1,0 +1,185 @@
+"""Request mixes and workloads.
+
+A :class:`RequestMix` captures *what kind* of requests a service receives
+(read/write ratio, CPU vs. memory vs. I/O emphasis); a :class:`Workload`
+pairs a mix with *how many* clients are issuing them.  Together they are
+the ground truth that (a) drives the service performance models and (b)
+shapes the low-level telemetry from which DejaVu must recover workload
+identity — DejaVu itself never sees these objects, only counters.
+
+The resource-emphasis fields double as the hidden "activity vector" the
+telemetry substrate projects through per-event weights (see
+:mod:`repro.telemetry.counters`), mirroring how real HPC readings are a
+linear-ish function of instruction mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """A request mix, normalized so resource emphases are in ``[0, 1]``.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label (shows up in experiment output).
+    read_fraction:
+        Fraction of read requests; the rest are writes/updates.
+    cpu_intensity, memory_intensity, io_intensity, flops_intensity:
+        Relative emphasis of each resource per request.  These drive
+        both the performance model (service demand) and the telemetry
+        model (counter values).
+    demand_per_client:
+        Capacity units one client consumes at this mix, i.e. the load a
+        single emulated client places on one
+        :class:`~repro.cloud.instance_types.InstanceType` capacity unit.
+    """
+
+    name: str
+    read_fraction: float
+    cpu_intensity: float
+    memory_intensity: float
+    io_intensity: float
+    flops_intensity: float
+    demand_per_client: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(f"read fraction out of range: {self.read_fraction}")
+        for field_name in (
+            "cpu_intensity",
+            "memory_intensity",
+            "io_intensity",
+            "flops_intensity",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} out of range: {value}")
+        if self.demand_per_client <= 0:
+            raise ValueError(
+                f"demand per client must be positive: {self.demand_per_client}"
+            )
+
+    @property
+    def write_fraction(self) -> float:
+        return 1.0 - self.read_fraction
+
+    def with_read_fraction(self, read_fraction: float) -> "RequestMix":
+        """A copy of this mix at a different read/write ratio.
+
+        Fig. 4 varies exactly this knob ("workload type, i.e.
+        read/write ratio") to show signatures separate mixes.
+        """
+        return replace(
+            self,
+            name=f"{self.name}@r{read_fraction:.2f}",
+            read_fraction=read_fraction,
+        )
+
+    def activity_vector(self) -> tuple[float, ...]:
+        """The hidden per-request activity the telemetry model projects."""
+        return (
+            self.cpu_intensity,
+            self.memory_intensity,
+            self.io_intensity,
+            self.flops_intensity,
+            self.read_fraction,
+        )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An offered workload: ``volume`` clients issuing ``mix`` requests."""
+
+    volume: float
+    mix: RequestMix
+
+    def __post_init__(self) -> None:
+        if self.volume < 0:
+            raise ValueError(f"volume cannot be negative: {self.volume}")
+
+    @property
+    def demand_units(self) -> float:
+        """Total capacity units demanded of the service."""
+        return self.volume * self.mix.demand_per_client
+
+    def scaled(self, factor: float) -> "Workload":
+        if factor < 0:
+            raise ValueError(f"scale factor cannot be negative: {factor}")
+        return Workload(volume=self.volume * factor, mix=self.mix)
+
+
+# --- Benchmark mixes from the paper --------------------------------------
+
+#: Cassandra under YCSB update-heavy: "95% of write requests and only 5%
+#: of read requests" (Sec. 4.1); CPU- and memory-intensive (Sec. 4.1,
+#: chosen to match RightScale's default CPU/memory alert profile).
+CASSANDRA_UPDATE_HEAVY = RequestMix(
+    name="cassandra-update-heavy",
+    read_fraction=0.05,
+    cpu_intensity=0.85,
+    memory_intensity=0.80,
+    io_intensity=0.35,
+    flops_intensity=0.20,
+    demand_per_client=0.012,
+)
+
+#: SPECweb2009 support: "mostly I/O-intensive and read-only" large-file
+#: downloads (Sec. 4.2).
+SPECWEB_SUPPORT = RequestMix(
+    name="specweb-support",
+    read_fraction=1.0,
+    cpu_intensity=0.25,
+    memory_intensity=0.30,
+    io_intensity=0.95,
+    flops_intensity=0.10,
+    demand_per_client=0.011,
+)
+
+#: SPECweb2009 banking: HTTPS-dominated, crypto-heavy.
+SPECWEB_BANKING = RequestMix(
+    name="specweb-banking",
+    read_fraction=0.90,
+    cpu_intensity=0.75,
+    memory_intensity=0.45,
+    io_intensity=0.30,
+    flops_intensity=0.70,
+    demand_per_client=0.010,
+)
+
+#: SPECweb2009 e-commerce: mixed HTTP/HTTPS catalogue browsing.
+SPECWEB_ECOMMERCE = RequestMix(
+    name="specweb-ecommerce",
+    read_fraction=0.95,
+    cpu_intensity=0.55,
+    memory_intensity=0.50,
+    io_intensity=0.45,
+    flops_intensity=0.45,
+    demand_per_client=0.010,
+)
+
+#: RUBiS browsing mix (read-only interactions of the 26-transition model).
+RUBIS_BROWSING = RequestMix(
+    name="rubis-browsing",
+    read_fraction=1.0,
+    cpu_intensity=0.50,
+    memory_intensity=0.55,
+    io_intensity=0.40,
+    flops_intensity=0.25,
+    demand_per_client=0.010,
+)
+
+#: RUBiS bidding mix (default transition table: ~15% read-write
+#: interactions — bids, comments, new items).
+RUBIS_BIDDING = RequestMix(
+    name="rubis-bidding",
+    read_fraction=0.85,
+    cpu_intensity=0.60,
+    memory_intensity=0.60,
+    io_intensity=0.50,
+    flops_intensity=0.30,
+    demand_per_client=0.011,
+)

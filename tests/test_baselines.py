@@ -1,0 +1,199 @@
+"""Unit tests for the comparator policies."""
+
+import pytest
+
+from repro.baselines.autopilot import Autopilot
+from repro.baselines.online_tuning import OnlineTuningController
+from repro.baselines.oracle import OracleController
+from repro.baselines.overprovision import Overprovision
+from repro.baselines.rightscale import RightScale, RightScaleConfig
+from repro.cloud.instance_types import LARGE
+from repro.cloud.provider import Allocation, CloudProvider
+from repro.core.profiler import ProductionEnvironment
+from repro.core.tuner import LinearSearchTuner, scale_out_candidates
+from repro.services.cassandra import CassandraService
+from repro.sim.engine import StepContext
+from repro.workloads.request_mix import CASSANDRA_UPDATE_HEAVY, Workload
+
+
+def make_env():
+    return ProductionEnvironment(CassandraService(), CloudProvider(max_instances=10))
+
+
+def make_tuner(env):
+    return LinearSearchTuner(env.service, scale_out_candidates(10))
+
+
+def cassandra_workload(demand: float) -> Workload:
+    return Workload(
+        volume=demand / CASSANDRA_UPDATE_HEAVY.demand_per_client,
+        mix=CASSANDRA_UPDATE_HEAVY,
+    )
+
+
+def ctx_at(t: float, workload: Workload) -> StepContext:
+    return StepContext(t=t, workload=workload, hour=int(t // 3600), day=int(t // 86400))
+
+
+class TestOverprovision:
+    def test_deploys_max_once(self):
+        env = make_env()
+        controller = Overprovision(env)
+        controller.on_step(ctx_at(0.0, cassandra_workload(1.0)))
+        assert env.provider.current_allocation.count == 10
+
+    def test_never_reacts(self):
+        env = make_env()
+        controller = Overprovision(env)
+        controller.on_step(ctx_at(0.0, cassandra_workload(1.0)))
+        controller.on_step(ctx_at(3600.0, cassandra_workload(9.0)))
+        assert env.provider.current_allocation.count == 10
+
+    def test_custom_allocation(self):
+        env = make_env()
+        controller = Overprovision(env, Allocation(count=4, itype=LARGE))
+        controller.on_step(ctx_at(0.0, cassandra_workload(1.0)))
+        assert env.provider.current_allocation.count == 4
+
+
+class TestAutopilot:
+    def test_requires_24_hour_schedule(self):
+        env = make_env()
+        autopilot = Autopilot(env, make_tuner(env))
+        with pytest.raises(ValueError):
+            autopilot.learn_schedule([cassandra_workload(1.0)] * 23)
+
+    def test_runs_24_tunings(self):
+        env = make_env()
+        autopilot = Autopilot(env, make_tuner(env))
+        autopilot.learn_schedule([cassandra_workload(1.0)] * 24)
+        assert autopilot.tuning_invocations == 24
+
+    def test_replays_by_hour_of_day(self):
+        env = make_env()
+        autopilot = Autopilot(env, make_tuner(env))
+        day = [cassandra_workload(1.0)] * 12 + [cassandra_workload(5.0)] * 12
+        autopilot.learn_schedule(day)
+        autopilot.on_step(ctx_at(26 * 3600.0, cassandra_workload(1.0)))
+        low = env.provider.current_allocation.count
+        autopilot.on_step(ctx_at(38 * 3600.0, cassandra_workload(1.0)))
+        high = env.provider.current_allocation.count
+        # Hour 2 replays the low allocation, hour 14 the high one —
+        # regardless of the actual offered workload.
+        assert low < high
+
+    def test_unlearned_autopilot_rejected(self):
+        env = make_env()
+        autopilot = Autopilot(env, make_tuner(env))
+        with pytest.raises(RuntimeError):
+            autopilot.on_step(ctx_at(0.0, cassandra_workload(1.0)))
+
+
+class TestRightScale:
+    def test_initial_deployment(self):
+        env = make_env()
+        controller = RightScale(env, initial_instances=2)
+        controller.on_step(ctx_at(0.0, cassandra_workload(1.0)))
+        assert env.provider.current_allocation.count == 2
+
+    def test_scales_up_by_two(self):
+        env = make_env()
+        controller = RightScale(env, initial_instances=2)
+        controller.on_step(ctx_at(0.0, cassandra_workload(5.0)))
+        controller.on_step(ctx_at(60.0, cassandra_workload(5.0)))
+        assert controller.target_instances == 4
+
+    def test_scales_down_by_one(self):
+        env = make_env()
+        controller = RightScale(env, initial_instances=4)
+        controller.on_step(ctx_at(0.0, cassandra_workload(0.5)))
+        controller.on_step(ctx_at(60.0, cassandra_workload(0.5)))
+        assert controller.target_instances == 3
+
+    def test_calm_time_gates_actions(self):
+        config = RightScaleConfig(resize_calm_seconds=900.0)
+        env = make_env()
+        controller = RightScale(env, config, initial_instances=2)
+        controller.on_step(ctx_at(0.0, cassandra_workload(5.9)))
+        controller.on_step(ctx_at(10.0, cassandra_workload(5.9)))   # resize to 4
+        controller.on_step(ctx_at(20.0, cassandra_workload(5.9)))   # calm: no-op
+        assert controller.target_instances == 4
+        controller.on_step(ctx_at(911.0, cassandra_workload(5.9)))  # next resize
+        assert controller.target_instances == 6
+
+    def test_respects_max_instances(self):
+        config = RightScaleConfig(resize_calm_seconds=0.0, max_instances=4)
+        env = make_env()
+        controller = RightScale(env, config, initial_instances=2)
+        for i in range(10):
+            controller.on_step(ctx_at(i * 60.0, cassandra_workload(9.0)))
+        assert controller.target_instances == 4
+
+    def test_respects_min_instances(self):
+        config = RightScaleConfig(resize_calm_seconds=0.0, min_instances=1)
+        env = make_env()
+        controller = RightScale(env, config, initial_instances=3)
+        for i in range(10):
+            controller.on_step(ctx_at(i * 60.0, cassandra_workload(0.1)))
+        assert controller.target_instances == 1
+
+    def test_resize_actions_logged(self):
+        env = make_env()
+        controller = RightScale(env, initial_instances=2)
+        controller.on_step(ctx_at(0.0, cassandra_workload(5.0)))
+        controller.on_step(ctx_at(60.0, cassandra_workload(5.0)))
+        assert controller.resize_actions == [(60.0, 2, 4)]
+
+    def test_bad_initial_count_rejected(self):
+        with pytest.raises(ValueError):
+            RightScale(make_env(), initial_instances=0)
+
+
+class TestOnlineTuning:
+    def test_tunes_on_first_step(self):
+        env = make_env()
+        controller = OnlineTuningController(env, make_tuner(env))
+        controller.on_step(ctx_at(0.0, cassandra_workload(3.0)))
+        assert controller.tuning_invocations == 1
+
+    def test_allocation_applies_after_tuning_delay(self):
+        env = make_env()
+        controller = OnlineTuningController(env, make_tuner(env))
+        controller.on_step(ctx_at(0.0, cassandra_workload(3.0)))
+        # Full capacity serves while tuning runs.
+        assert env.provider.current_allocation.count == 10
+        controller.on_step(
+            ctx_at(controller.total_tuning_seconds + 1.0, cassandra_workload(3.0))
+        )
+        assert env.provider.current_allocation.count < 10
+
+    def test_no_retune_for_stable_volume(self):
+        env = make_env()
+        controller = OnlineTuningController(env, make_tuner(env))
+        controller.on_step(ctx_at(0.0, cassandra_workload(3.0)))
+        controller.on_step(ctx_at(1e5, cassandra_workload(3.05)))
+        assert controller.tuning_invocations == 1
+
+    def test_retunes_on_large_change(self):
+        env = make_env()
+        controller = OnlineTuningController(env, make_tuner(env))
+        controller.on_step(ctx_at(0.0, cassandra_workload(3.0)))
+        controller.on_step(ctx_at(1e5, cassandra_workload(5.0)))
+        assert controller.tuning_invocations == 2
+
+    def test_bad_threshold_rejected(self):
+        env = make_env()
+        with pytest.raises(ValueError):
+            OnlineTuningController(env, make_tuner(env), volume_change_fraction=0.0)
+
+
+class TestOracle:
+    def test_tracks_demand_exactly(self):
+        env = make_env()
+        oracle = OracleController(env, make_tuner(env))
+        oracle.on_step(ctx_at(0.0, cassandra_workload(1.0)))
+        low = env.provider.current_allocation.count
+        oracle.on_step(ctx_at(60.0, cassandra_workload(5.9)))
+        high = env.provider.current_allocation.count
+        assert low < high
+        assert high == 10

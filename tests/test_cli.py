@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "fig5", "--seed", "3"])
+        assert args.command == "run"
+        assert args.experiment == "fig5"
+        assert args.seed == 3
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRegistry:
+    def test_every_figure_covered(self):
+        expected = {
+            "fig1", "fig4", "table1", "fig5", "fig6", "fig7",
+            "fig8", "fig9", "fig10", "fig11", "overhead", "summary",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_descriptions_nonempty(self):
+        for name, (description, fn) in EXPERIMENTS.items():
+            assert description
+            assert callable(fn)
+
+
+class TestMain:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_fig5(self, capsys):
+        assert main(["run", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "classes" in out
+
+    def test_run_overhead(self, capsys):
+        assert main(["run", "overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out

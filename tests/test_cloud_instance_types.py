@@ -1,0 +1,70 @@
+"""Unit tests for the instance-type catalogue."""
+
+import pytest
+
+from repro.cloud.instance_types import CATALOGUE, EXTRA_LARGE, LARGE, InstanceType, by_name
+
+
+class TestPaperConstants:
+    def test_large_price_is_papers(self):
+        # "$0.34/hour for a large instance on EC2" (Sec. 4.5).
+        assert LARGE.price_per_hour == 0.34
+
+    def test_xlarge_price_is_papers(self):
+        # "$0.68/hour for extra large as of July 2011" (Sec. 4.5).
+        assert EXTRA_LARGE.price_per_hour == 0.68
+
+    def test_xlarge_is_twice_the_price(self):
+        assert EXTRA_LARGE.price_per_hour == 2 * LARGE.price_per_hour
+
+    def test_xlarge_has_more_capacity(self):
+        assert EXTRA_LARGE.capacity_units > LARGE.capacity_units
+
+    def test_xlarge_capacity_is_sublinear_in_price(self):
+        # XL is not a full 2x in delivered capacity (memory/IO do not
+        # scale linearly) — the reason scale-up saves less than
+        # scale-out in the paper.
+        assert EXTRA_LARGE.capacity_units < 2 * LARGE.capacity_units
+
+
+class TestInstanceType:
+    def test_ordering_by_capacity(self):
+        assert LARGE < EXTRA_LARGE
+
+    def test_str_is_name(self):
+        assert str(LARGE) == "m1.large"
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceType(
+                capacity_units=0.0,
+                name="bad",
+                price_per_hour=0.1,
+                memory_gb=1.0,
+                virtual_cores=1,
+            )
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceType(
+                capacity_units=1.0,
+                name="bad",
+                price_per_hour=-0.1,
+                memory_gb=1.0,
+                virtual_cores=1,
+            )
+
+
+class TestByName:
+    def test_lookup_large(self):
+        assert by_name("m1.large") is LARGE
+
+    def test_lookup_xlarge(self):
+        assert by_name("m1.xlarge") is EXTRA_LARGE
+
+    def test_unknown_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            by_name("t2.nano")
+
+    def test_catalogue_has_both_types(self):
+        assert set(t.name for t in CATALOGUE) == {"m1.large", "m1.xlarge"}

@@ -1,0 +1,75 @@
+"""Unit tests for cost accounting."""
+
+import pytest
+
+from repro.cloud.instance_types import LARGE
+from repro.cloud.pricing import (
+    HOURS_PER_YEAR,
+    CostMeter,
+    savings_fraction,
+    yearly_fleet_savings,
+)
+from repro.cloud.provider import Allocation
+
+
+class TestCostMeter:
+    def test_charge_accumulates_dollars(self):
+        meter = CostMeter()
+        meter.charge(Allocation(count=2, itype=LARGE), seconds=3600.0)
+        assert meter.total_dollars == pytest.approx(0.68)
+
+    def test_charge_tracks_instance_seconds(self):
+        meter = CostMeter()
+        meter.charge(Allocation(count=3, itype=LARGE), seconds=100.0)
+        assert meter.instance_seconds["m1.large"] == pytest.approx(300.0)
+
+    def test_instance_hours(self):
+        meter = CostMeter()
+        meter.charge(Allocation(count=1, itype=LARGE), seconds=7200.0)
+        assert meter.instance_hours("m1.large") == pytest.approx(2.0)
+
+    def test_unknown_type_has_zero_hours(self):
+        assert CostMeter().instance_hours("m1.xlarge") == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            CostMeter().charge(Allocation(count=1, itype=LARGE), seconds=-1.0)
+
+
+class TestSavingsFraction:
+    def test_half_cost_is_half_saving(self):
+        assert savings_fraction(50.0, 100.0) == pytest.approx(0.5)
+
+    def test_equal_cost_is_zero_saving(self):
+        assert savings_fraction(100.0, 100.0) == 0.0
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            savings_fraction(1.0, 0.0)
+
+
+class TestYearlyFleetSavings:
+    def test_paper_projection_shape(self):
+        # The paper projects savings for 100 and 1,000 large instances;
+        # the 1,000-instance figure must be exactly 10x the 100-instance
+        # one under the same saving fraction.
+        small = yearly_fleet_savings(0.55, 100)
+        large = yearly_fleet_savings(0.55, 1000)
+        assert large == pytest.approx(10 * small)
+
+    def test_exact_arithmetic(self):
+        expected = 0.5 * 10 * 0.34 * HOURS_PER_YEAR
+        assert yearly_fleet_savings(0.5, 10) == pytest.approx(expected)
+
+    def test_paper_order_of_magnitude(self):
+        # At the paper's 55-60% scale-out savings, 100 instances save
+        # hundreds of thousands of dollars per year.
+        assert yearly_fleet_savings(0.55, 100) > 150_000
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            yearly_fleet_savings(1.5, 100)
+
+    def test_negative_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            yearly_fleet_savings(0.5, -1)

@@ -1,0 +1,85 @@
+"""Unit tests for the VM lifecycle."""
+
+import pytest
+
+from repro.cloud.instance_types import LARGE
+from repro.cloud.vm import VirtualMachine, VMState
+
+
+def make_vm() -> VirtualMachine:
+    return VirtualMachine(itype=LARGE)
+
+
+class TestLifecycle:
+    def test_starts_stopped(self):
+        assert make_vm().state is VMState.STOPPED
+
+    def test_precreated_start_warms(self):
+        vm = make_vm()
+        vm.start(now=100.0, pre_created=True)
+        assert vm.state is VMState.WARMING
+        assert vm.ready_at == 100.0 + vm.warmup_seconds
+
+    def test_cold_start_boots(self):
+        vm = make_vm()
+        vm.start(now=100.0, pre_created=False)
+        assert vm.state is VMState.BOOTING
+        assert vm.ready_at == 100.0 + vm.boot_seconds
+
+    def test_boot_is_longer_than_warmup(self):
+        vm = make_vm()
+        assert vm.boot_seconds > vm.warmup_seconds
+
+    def test_double_start_rejected(self):
+        vm = make_vm()
+        vm.start(now=0.0)
+        with pytest.raises(RuntimeError):
+            vm.start(now=1.0)
+
+    def test_tick_promotes_after_delay(self):
+        vm = make_vm()
+        vm.start(now=0.0)
+        vm.tick(now=vm.warmup_seconds - 0.1)
+        assert vm.state is VMState.WARMING
+        vm.tick(now=vm.warmup_seconds)
+        assert vm.state is VMState.RUNNING
+
+    def test_stop_from_running(self):
+        vm = make_vm()
+        vm.start(now=0.0)
+        vm.tick(now=100.0)
+        vm.stop()
+        assert vm.state is VMState.STOPPED
+
+    def test_stop_resets_ready_at(self):
+        vm = make_vm()
+        vm.start(now=0.0)
+        vm.stop()
+        assert vm.ready_at == 0.0
+
+    def test_restart_after_stop(self):
+        vm = make_vm()
+        vm.start(now=0.0)
+        vm.stop()
+        vm.start(now=50.0)
+        assert vm.state is VMState.WARMING
+
+
+class TestBillingAndServing:
+    def test_stopped_is_not_billable(self):
+        assert not make_vm().is_billable
+
+    def test_warming_is_billable_but_not_serving(self):
+        vm = make_vm()
+        vm.start(now=0.0)
+        assert vm.is_billable
+        assert not vm.is_serving
+
+    def test_running_serves(self):
+        vm = make_vm()
+        vm.start(now=0.0)
+        vm.tick(now=1000.0)
+        assert vm.is_serving
+
+    def test_unique_ids(self):
+        assert make_vm().vm_id != make_vm().vm_id

@@ -1,0 +1,79 @@
+"""Unit tests for the interference index (Eq. 2)."""
+
+import pytest
+
+from repro.core.interference import (
+    InterferenceEstimator,
+    quantize_index,
+)
+from repro.services.slo import LatencySLO, QoSSLO
+
+
+class TestQuantize:
+    def test_band_zero_below_first_edge(self):
+        assert quantize_index(1.0) == 0
+        assert quantize_index(1.14) == 0
+
+    def test_band_one(self):
+        assert quantize_index(1.2) == 1
+
+    def test_band_two(self):
+        assert quantize_index(1.8) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_index(-0.1)
+
+
+class TestEstimator:
+    def test_latency_index_is_prod_over_iso(self):
+        estimator = InterferenceEstimator()
+        index = estimator.index_from(LatencySLO(60.0), 80.0, 50.0)
+        assert index == pytest.approx(1.6)
+
+    def test_qos_index_inverted(self):
+        # QoS is higher-is-better: degradation must still push the
+        # index above 1.
+        estimator = InterferenceEstimator()
+        index = estimator.index_from(QoSSLO(95.0), 90.0, 99.0)
+        assert index == pytest.approx(1.1)
+
+    def test_ten_percent_hog_lands_in_band_one(self):
+        # With the queueing model at a typical operating point, a 10%
+        # hog yields an index around 1.3 (DESIGN.md calibration).
+        estimator = InterferenceEstimator()
+        estimate = estimator.estimate(LatencySLO(60.0), 71.0, 54.0)
+        assert estimate.band == 1
+
+    def test_twenty_percent_hog_lands_in_band_two(self):
+        estimator = InterferenceEstimator()
+        estimate = estimator.estimate(LatencySLO(60.0), 108.0, 54.0)
+        assert estimate.band == 2
+
+    def test_assumed_theft_monotone_in_band(self):
+        estimator = InterferenceEstimator()
+        thefts = [estimator.assumed_theft(b) for b in range(estimator.n_bands)]
+        assert thefts == sorted(thefts)
+        assert thefts[0] == 0.0
+
+    def test_first_edge(self):
+        estimator = InterferenceEstimator(band_edges=(1.15, 1.6))
+        assert estimator.first_edge == 1.15
+
+    def test_bad_levels_rejected(self):
+        estimator = InterferenceEstimator()
+        with pytest.raises(ValueError):
+            estimator.index_from(LatencySLO(60.0), 0.0, 50.0)
+
+    def test_band_out_of_range_rejected(self):
+        estimator = InterferenceEstimator()
+        with pytest.raises(ValueError):
+            estimator.assumed_theft(99)
+
+    def test_mismatched_theft_arity_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceEstimator(band_edges=(1.2,), band_theft=(0.0, 0.1, 0.2))
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceEstimator(band_edges=(1.6, 1.2), band_theft=(0.0, 0.1, 0.2))

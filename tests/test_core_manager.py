@@ -1,0 +1,157 @@
+"""Unit tests for the DejaVu manager."""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import DejaVuConfig, DejaVuManager
+from repro.experiments.setup import build_scaleout_setup
+from repro.sim.engine import StepContext
+from repro.workloads.request_mix import CASSANDRA_UPDATE_HEAVY, Workload
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    setup = build_scaleout_setup("messenger")
+    setup.manager.learn(setup.trace.hourly_workloads(day=0))
+    return setup
+
+
+def ctx_at(t: float, workload: Workload) -> StepContext:
+    return StepContext(t=t, workload=workload, hour=int(t // 3600), day=int(t // 86400))
+
+
+class TestLearning:
+    def test_learning_produces_classes(self, trained_setup):
+        report = trained_setup.manager.learning_report
+        assert report.n_classes == 4
+
+    def test_one_tuning_per_class_per_band(self, trained_setup):
+        report = trained_setup.manager.learning_report
+        assert report.tuning_invocations == report.n_classes
+
+    def test_tuning_is_far_cheaper_than_per_workload(self, trained_setup):
+        # The clustering headline: 24 workloads -> 4 tuning runs.
+        report = trained_setup.manager.learning_report
+        assert report.tuning_invocations <= report.n_workloads / 3
+
+    def test_signature_metrics_selected(self, trained_setup):
+        report = trained_setup.manager.learning_report
+        assert 1 <= len(report.selected_metrics) <= 12
+
+    def test_repository_populated(self, trained_setup):
+        manager = trained_setup.manager
+        for cluster in range(manager.clustering.n_classes):
+            assert manager.repository.contains(cluster, 0)
+
+    def test_class_allocations_span_range(self, trained_setup):
+        counts = sorted(
+            a.count
+            for a in trained_setup.manager.learning_report.class_allocations.values()
+        )
+        # Night needs few instances, the peak needs the full pool.
+        assert counts[0] <= 3
+        assert counts[-1] == 10
+
+    def test_learning_needs_two_workloads(self):
+        setup = build_scaleout_setup("messenger")
+        with pytest.raises(ValueError):
+            setup.manager.learn(setup.trace.hourly_workloads(0)[:1])
+
+
+class TestClassification:
+    def test_known_workload_classifies_with_high_certainty(self, trained_setup):
+        manager = trained_setup.manager
+        workload = trained_setup.trace.workload_at(10 * 3600.0)
+        label, certainty, _xz = manager.classify(workload)
+        assert certainty >= manager.config.certainty_threshold
+        assert 0 <= label < manager.clustering.n_classes
+
+    def test_unforeseen_volume_has_low_certainty(self, trained_setup):
+        manager = trained_setup.manager
+        peak = trained_setup.trace.peak_clients
+        unseen = Workload(volume=1.4 * peak, mix=CASSANDRA_UPDATE_HEAVY)
+        _label, certainty, _xz = manager.classify(unseen)
+        assert certainty < manager.config.certainty_threshold
+
+    def test_classify_before_learning_rejected(self):
+        setup = build_scaleout_setup("messenger")
+        with pytest.raises(RuntimeError):
+            setup.manager.classify(setup.trace.workload_at(0.0))
+
+
+class TestAdaptation:
+    def test_hit_deploys_cached_allocation(self):
+        setup = build_scaleout_setup("messenger")
+        manager = setup.manager
+        manager.learn(setup.trace.hourly_workloads(day=0))
+        workload = setup.trace.workload_at(10 * 3600.0)
+        event = manager.adapt(ctx_at(10 * 3600.0, workload))
+        assert event.cache_hit
+        assert setup.provider.current_allocation == event.allocation
+
+    def test_miss_deploys_full_capacity(self):
+        setup = build_scaleout_setup("messenger")
+        manager = setup.manager
+        manager.learn(setup.trace.hourly_workloads(day=0))
+        unseen = Workload(
+            volume=1.4 * setup.trace.peak_clients, mix=CASSANDRA_UPDATE_HEAVY
+        )
+        event = manager.adapt(ctx_at(3600.0, unseen))
+        assert not event.cache_hit
+        assert event.allocation == setup.provider.full_capacity()
+
+    def test_adaptation_duration_is_signature_window(self):
+        # "DejaVu can adjust ... on the order of a few or several
+        # seconds, as needed by the profiler to collect the signatures."
+        setup = build_scaleout_setup("messenger")
+        manager = setup.manager
+        manager.learn(setup.trace.hourly_workloads(day=0))
+        event = manager.adapt(ctx_at(0.0, setup.trace.workload_at(0.0)))
+        assert event.duration_seconds == manager.profiler.signature_seconds
+
+    def test_consecutive_misses_request_relearn(self):
+        config = DejaVuConfig(relearn_after_misses=2)
+        setup = build_scaleout_setup("messenger", config=config)
+        manager = setup.manager
+        manager.learn(setup.trace.hourly_workloads(day=0))
+        unseen = Workload(
+            volume=1.5 * setup.trace.peak_clients, mix=CASSANDRA_UPDATE_HEAVY
+        )
+        manager.adapt(ctx_at(3600.0, unseen))
+        assert not manager.relearn_requested
+        manager.adapt(ctx_at(7200.0, unseen))
+        assert manager.relearn_requested
+
+    def test_hit_resets_miss_streak(self):
+        config = DejaVuConfig(relearn_after_misses=2)
+        setup = build_scaleout_setup("messenger", config=config)
+        manager = setup.manager
+        manager.learn(setup.trace.hourly_workloads(day=0))
+        unseen = Workload(
+            volume=1.5 * setup.trace.peak_clients, mix=CASSANDRA_UPDATE_HEAVY
+        )
+        manager.adapt(ctx_at(3600.0, unseen))
+        manager.adapt(ctx_at(7200.0, setup.trace.workload_at(7200.0)))
+        manager.adapt(ctx_at(10800.0, unseen))
+        assert not manager.relearn_requested
+
+    def test_on_step_respects_check_interval(self):
+        setup = build_scaleout_setup("messenger")
+        manager = setup.manager
+        manager.learn(setup.trace.hourly_workloads(day=0))
+        workload = setup.trace.workload_at(0.0)
+        manager.on_step(ctx_at(0.0, workload))
+        manager.on_step(ctx_at(60.0, workload))
+        assert len(manager.adaptation_events) == 1
+
+    def test_mean_adaptation_seconds(self):
+        setup = build_scaleout_setup("messenger")
+        manager = setup.manager
+        manager.learn(setup.trace.hourly_workloads(day=0))
+        manager.adapt(ctx_at(0.0, setup.trace.workload_at(0.0)))
+        assert manager.mean_adaptation_seconds() == pytest.approx(10.0)
+
+    def test_mean_adaptation_without_events_rejected(self):
+        setup = build_scaleout_setup("messenger")
+        with pytest.raises(ValueError):
+            setup.manager.mean_adaptation_seconds()

@@ -1,0 +1,156 @@
+"""Unit tests for learned-state persistence."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance_types import EXTRA_LARGE, LARGE
+from repro.cloud.provider import Allocation
+from repro.core.classifiers import (
+    C45DecisionTree,
+    GaussianNaiveBayes,
+    NearestCentroid,
+)
+from repro.core.persistence import (
+    allocation_from_dict,
+    allocation_to_dict,
+    classifier_from_dict,
+    classifier_to_dict,
+    load_manager_state,
+    manager_state_to_dict,
+    repository_from_dict,
+    repository_to_dict,
+    restore_manager_state,
+    save_manager_state,
+    standardizer_from_dict,
+    standardizer_to_dict,
+)
+from repro.core.repository import AllocationRepository
+from repro.core.signature import Standardizer
+from repro.experiments.setup import build_scaleout_setup
+
+
+def three_class_data(seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [5.0, 0.0], [0.0, 5.0]])
+    X = np.vstack([rng.normal(c, 0.3, size=(20, 2)) for c in centers])
+    y = np.repeat([0, 1, 2], 20)
+    return X, y
+
+
+class TestAllocationRoundTrip:
+    def test_large(self):
+        allocation = Allocation(count=7, itype=LARGE)
+        assert allocation_from_dict(allocation_to_dict(allocation)) == allocation
+
+    def test_xlarge(self):
+        allocation = Allocation(count=5, itype=EXTRA_LARGE)
+        assert allocation_from_dict(allocation_to_dict(allocation)) == allocation
+
+
+class TestRepositoryRoundTrip:
+    def test_entries_survive(self):
+        repo = AllocationRepository()
+        repo.store(0, 0, Allocation(count=2, itype=LARGE), tuned_at=10.0)
+        repo.store(0, 1, Allocation(count=4, itype=LARGE), tuned_at=20.0)
+        repo.store(3, 0, Allocation(count=5, itype=EXTRA_LARGE))
+        restored = repository_from_dict(repository_to_dict(repo))
+        assert len(restored) == 3
+        assert restored.lookup(0, 1).allocation.count == 4
+        assert restored.lookup(3, 0).allocation.itype is EXTRA_LARGE
+
+
+class TestStandardizerRoundTrip:
+    def test_transform_identical(self):
+        X, _ = three_class_data()
+        standardizer = Standardizer().fit(X)
+        restored = standardizer_from_dict(standardizer_to_dict(standardizer))
+        assert np.allclose(standardizer.transform(X), restored.transform(X))
+
+    def test_unfit_rejected(self):
+        with pytest.raises(ValueError):
+            standardizer_to_dict(Standardizer())
+
+
+@pytest.mark.parametrize(
+    "classifier_cls", [C45DecisionTree, GaussianNaiveBayes, NearestCentroid]
+)
+class TestClassifierRoundTrip:
+    def test_predictions_identical(self, classifier_cls):
+        X, y = three_class_data()
+        model = classifier_cls().fit(X, y)
+        restored = classifier_from_dict(classifier_to_dict(model))
+        for x in X[::7]:
+            original = model.predict(x)
+            copy = restored.predict(x)
+            assert original.label == copy.label
+            assert original.confidence == pytest.approx(copy.confidence)
+
+    def test_unfit_rejected(self, classifier_cls):
+        with pytest.raises(ValueError):
+            classifier_to_dict(classifier_cls())
+
+
+class TestUnknownClassifier:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            classifier_to_dict(object())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            classifier_from_dict({"kind": "quantum"})
+
+
+class TestManagerState:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        setup = build_scaleout_setup("messenger")
+        setup.manager.learn(setup.trace.hourly_workloads(day=0))
+        return setup
+
+    def test_untrained_manager_rejected(self):
+        setup = build_scaleout_setup("messenger")
+        with pytest.raises(ValueError):
+            manager_state_to_dict(setup.manager)
+
+    def test_round_trip_classifies_identically(self, trained):
+        state = manager_state_to_dict(trained.manager)
+        fresh = build_scaleout_setup("messenger")
+        restore_manager_state(fresh.manager, state)
+        for hour in (2, 8, 12, 19):
+            workload = trained.trace.workload_at(hour * 3600.0)
+            label_a, cert_a, _ = trained.manager.classify(workload)
+            label_b, cert_b, _ = fresh.manager.classify(workload)
+            assert label_a == label_b
+
+    def test_round_trip_preserves_repository(self, trained):
+        state = manager_state_to_dict(trained.manager)
+        fresh = build_scaleout_setup("messenger")
+        restore_manager_state(fresh.manager, state)
+        assert len(fresh.manager.repository) == len(trained.manager.repository)
+
+    def test_file_round_trip(self, trained, tmp_path):
+        path = tmp_path / "state.json"
+        save_manager_state(trained.manager, path)
+        fresh = build_scaleout_setup("messenger")
+        load_manager_state(fresh.manager, path)
+        assert fresh.manager.is_trained
+        assert fresh.manager.clustering.n_classes == 4
+
+    def test_version_checked(self, trained):
+        state = manager_state_to_dict(trained.manager)
+        state["version"] = 999
+        fresh = build_scaleout_setup("messenger")
+        with pytest.raises(ValueError):
+            restore_manager_state(fresh.manager, state)
+
+    def test_restored_manager_adapts(self, trained, tmp_path):
+        from repro.sim.engine import StepContext
+
+        path = tmp_path / "state.json"
+        save_manager_state(trained.manager, path)
+        fresh = build_scaleout_setup("messenger")
+        load_manager_state(fresh.manager, path)
+        workload = fresh.trace.workload_at(30 * 3600.0)
+        ctx = StepContext(t=30 * 3600.0, workload=workload, hour=30, day=1)
+        event = fresh.manager.adapt(ctx)
+        assert event.cache_hit

@@ -1,0 +1,84 @@
+"""Unit tests for the profiling and production environments."""
+
+import pytest
+
+from repro.cloud.instance_types import LARGE
+from repro.cloud.provider import Allocation, CloudProvider
+from repro.core.profiler import ProductionEnvironment, ProfilingEnvironment
+from repro.interference.injector import InterferenceInjector, InterferenceSchedule
+from repro.interference.microbenchmark import Microbenchmark
+from repro.services.cassandra import CassandraService
+from repro.telemetry.monitor import Monitor
+from repro.workloads.request_mix import CASSANDRA_UPDATE_HEAVY, Workload
+
+WORKLOAD = Workload(volume=300.0, mix=CASSANDRA_UPDATE_HEAVY)
+
+
+def make_profiler() -> ProfilingEnvironment:
+    return ProfilingEnvironment(CassandraService(), Monitor())
+
+
+class TestProfilingEnvironment:
+    def test_signature_seconds_is_monitor_window(self):
+        profiler = make_profiler()
+        assert profiler.signature_seconds == profiler.monitor.window_seconds
+
+    def test_collects_full_metric_set(self):
+        profiler = make_profiler()
+        metrics = profiler.collect_metrics(WORKLOAD)
+        assert set(metrics) == set(profiler.monitor.metric_names())
+
+    def test_default_clone_is_one_large_instance(self):
+        profiler = make_profiler()
+        assert profiler.clone_allocation == Allocation(count=1, itype=LARGE)
+
+    def test_isolated_performance_is_interference_free(self):
+        profiler = make_profiler()
+        sample = profiler.isolated_performance(
+            WORKLOAD, Allocation(count=10, itype=LARGE)
+        )
+        expected = profiler.service.performance(WORKLOAD, 10.0, interference=0.0)
+        assert sample.latency_ms == pytest.approx(expected.latency_ms)
+
+
+class TestProductionEnvironment:
+    def test_apply_changes_allocation(self):
+        env = ProductionEnvironment(CassandraService(), CloudProvider())
+        env.apply(Allocation(count=3, itype=LARGE), t=0.0)
+        assert env.provider.current_allocation.count == 3
+
+    def test_apply_notifies_service_on_change_only(self):
+        service = CassandraService()
+        env = ProductionEnvironment(service, CloudProvider())
+        env.apply(Allocation(count=3, itype=LARGE), t=0.0)
+        first_resize = service.repartition_penalty_ms(0.0)
+        env.apply(Allocation(count=3, itype=LARGE), t=5000.0)
+        assert first_resize > 0
+        # No re-notification for a no-op apply: penalty decayed.
+        assert service.repartition_penalty_ms(5000.0) < first_resize
+
+    def test_no_injector_means_no_interference(self):
+        env = ProductionEnvironment(CassandraService(), CloudProvider())
+        assert env.interference_at(1000.0) == 0.0
+
+    def test_injector_interference_applied(self):
+        schedule = InterferenceSchedule(
+            segments=((0.0, Microbenchmark(cpu_fraction=0.2)),)
+        )
+        env = ProductionEnvironment(
+            CassandraService(), CloudProvider(), InterferenceInjector(schedule)
+        )
+        assert env.interference_at(0.0) > 0.2
+
+    def test_performance_during_warmup_uses_old_capacity(self):
+        env = ProductionEnvironment(CassandraService(), CloudProvider())
+        env.apply(Allocation(count=10, itype=LARGE), t=0.0)
+        sample = env.performance_at(WORKLOAD, t=0.0)
+        # Nothing serving yet: the timeout cap is reported.
+        assert sample.latency_ms == env.service.model.max_latency_ms
+
+    def test_performance_after_warmup(self):
+        env = ProductionEnvironment(CassandraService(), CloudProvider())
+        env.apply(Allocation(count=10, itype=LARGE), t=0.0)
+        sample = env.performance_at(WORKLOAD, t=60.0)
+        assert sample.latency_ms < env.service.model.max_latency_ms

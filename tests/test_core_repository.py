@@ -1,0 +1,91 @@
+"""Unit tests for the allocation repository (the DejaVu cache)."""
+
+import pytest
+
+from repro.cloud.instance_types import LARGE
+from repro.cloud.provider import Allocation
+from repro.core.repository import AllocationRepository
+
+
+def alloc(n: int) -> Allocation:
+    return Allocation(count=n, itype=LARGE)
+
+
+class TestStoreAndLookup:
+    def test_hit_returns_entry(self):
+        repo = AllocationRepository()
+        repo.store(0, 0, alloc(4))
+        entry = repo.lookup(0, 0)
+        assert entry is not None
+        assert entry.allocation == alloc(4)
+
+    def test_miss_returns_none(self):
+        repo = AllocationRepository()
+        assert repo.lookup(0, 0) is None
+
+    def test_bands_are_separate_keys(self):
+        repo = AllocationRepository()
+        repo.store(0, 0, alloc(4))
+        repo.store(0, 1, alloc(6))
+        assert repo.lookup(0, 0).allocation == alloc(4)
+        assert repo.lookup(0, 1).allocation == alloc(6)
+
+    def test_overwrite_updates(self):
+        repo = AllocationRepository()
+        repo.store(0, 0, alloc(4))
+        repo.store(0, 0, alloc(5), tuned_at=99.0)
+        entry = repo.lookup(0, 0)
+        assert entry.allocation == alloc(5)
+        assert entry.tuned_at == 99.0
+
+    def test_len_counts_entries(self):
+        repo = AllocationRepository()
+        repo.store(0, 0, alloc(1))
+        repo.store(1, 0, alloc(2))
+        assert len(repo) == 2
+
+    def test_negative_class_rejected(self):
+        with pytest.raises(ValueError):
+            AllocationRepository().store(-1, 0, alloc(1))
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            AllocationRepository().store(0, -1, alloc(1))
+
+
+class TestStats:
+    def test_hit_rate_accounting(self):
+        repo = AllocationRepository()
+        repo.store(0, 0, alloc(4))
+        repo.lookup(0, 0)
+        repo.lookup(1, 0)
+        assert repo.stats.hits == 1
+        assert repo.stats.misses == 1
+        assert repo.stats.hit_rate == pytest.approx(0.5)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert AllocationRepository().stats.hit_rate == 0.0
+
+    def test_contains_does_not_touch_stats(self):
+        repo = AllocationRepository()
+        repo.store(0, 0, alloc(4))
+        assert repo.contains(0, 0)
+        assert not repo.contains(9, 0)
+        assert repo.stats.hits == 0
+        assert repo.stats.misses == 0
+
+
+class TestIntrospection:
+    def test_entries_and_classes(self):
+        repo = AllocationRepository()
+        repo.store(0, 0, alloc(1))
+        repo.store(0, 1, alloc(2))
+        repo.store(2, 0, alloc(3))
+        assert len(repo.entries()) == 3
+        assert repo.classes() == {0, 2}
+
+    def test_clear_empties(self):
+        repo = AllocationRepository()
+        repo.store(0, 0, alloc(1))
+        repo.clear()
+        assert len(repo) == 0

@@ -1,0 +1,81 @@
+"""Unit tests for signatures, schemas, and standardization."""
+
+import numpy as np
+import pytest
+
+from repro.core.signature import SignatureSchema, Standardizer, WorkloadSignature
+
+
+class TestSignatureSchema:
+    def test_vector_extraction_order(self):
+        schema = SignatureSchema(metric_names=("b", "a"))
+        vector = schema.vector_from({"a": 1.0, "b": 2.0, "c": 3.0})
+        assert np.allclose(vector, [2.0, 1.0])
+
+    def test_missing_metric_raises(self):
+        schema = SignatureSchema(metric_names=("a", "b"))
+        with pytest.raises(KeyError):
+            schema.vector_from({"a": 1.0})
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureSchema(metric_names=())
+
+    def test_duplicate_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureSchema(metric_names=("a", "a"))
+
+    def test_signature_from(self):
+        schema = SignatureSchema(metric_names=("a",))
+        signature = schema.signature_from({"a": 5.0})
+        assert signature.as_dict() == {"a": 5.0}
+
+
+class TestWorkloadSignature:
+    def test_shape_checked(self):
+        schema = SignatureSchema(metric_names=("a", "b"))
+        with pytest.raises(ValueError):
+            WorkloadSignature(schema=schema, values=np.array([1.0]))
+
+    def test_distance(self):
+        schema = SignatureSchema(metric_names=("a", "b"))
+        s1 = WorkloadSignature(schema=schema, values=np.array([0.0, 0.0]))
+        s2 = WorkloadSignature(schema=schema, values=np.array([3.0, 4.0]))
+        assert s1.distance_to(s2) == pytest.approx(5.0)
+
+    def test_distance_requires_same_schema(self):
+        s1 = WorkloadSignature(
+            schema=SignatureSchema(metric_names=("a",)), values=np.array([1.0])
+        )
+        s2 = WorkloadSignature(
+            schema=SignatureSchema(metric_names=("b",)), values=np.array([1.0])
+        )
+        with pytest.raises(ValueError):
+            s1.distance_to(s2)
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Z = Standardizer().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = Standardizer().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.ones((2, 2)))
+
+    def test_transform_new_points_uses_fit_stats(self):
+        X = np.array([[0.0], [10.0]])
+        standardizer = Standardizer().fit(X)
+        assert standardizer.transform(np.array([[5.0]]))[0, 0] == pytest.approx(0.0)
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ValueError):
+            Standardizer().fit(np.array([1.0, 2.0]))

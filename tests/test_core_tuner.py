@@ -1,0 +1,129 @@
+"""Unit tests for the linear-search Tuner."""
+
+import pytest
+
+from repro.cloud.instance_types import EXTRA_LARGE, LARGE
+from repro.cloud.provider import Allocation
+from repro.core.tuner import (
+    LinearSearchTuner,
+    scale_out_candidates,
+    scale_up_candidates,
+)
+from repro.services.cassandra import CassandraService
+from repro.services.specweb import SpecWebService
+from repro.workloads.request_mix import (
+    CASSANDRA_UPDATE_HEAVY,
+    SPECWEB_SUPPORT,
+    Workload,
+)
+
+
+def cassandra_workload(demand: float) -> Workload:
+    return Workload(
+        volume=demand / CASSANDRA_UPDATE_HEAVY.demand_per_client,
+        mix=CASSANDRA_UPDATE_HEAVY,
+    )
+
+
+class TestCandidates:
+    def test_scale_out_is_one_to_ten(self):
+        candidates = scale_out_candidates(10)
+        assert [a.count for a in candidates] == list(range(1, 11))
+        assert all(a.itype is LARGE for a in candidates)
+
+    def test_scale_up_is_two_types(self):
+        candidates = scale_up_candidates(5)
+        assert [a.itype for a in candidates] == [LARGE, EXTRA_LARGE]
+        assert all(a.count == 5 for a in candidates)
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            scale_out_candidates(0)
+        with pytest.raises(ValueError):
+            scale_up_candidates(0)
+
+
+class TestLinearSearch:
+    def test_minimal_sufficient_allocation(self):
+        service = CassandraService()
+        tuner = LinearSearchTuner(
+            service, scale_out_candidates(10), latency_margin=0.85
+        )
+        outcome = tuner.tune(cassandra_workload(3.54))
+        # rho <= 0.85 * (2/3) requires ceil(3.54 / 0.6077) = 6 instances.
+        assert outcome.allocation.count == 6
+        assert outcome.met_slo
+
+    def test_search_stops_at_first_sufficient(self):
+        service = CassandraService()
+        tuner = LinearSearchTuner(service, scale_out_candidates(10))
+        outcome = tuner.tune(cassandra_workload(1.0))
+        assert outcome.experiments_run == outcome.allocation.count
+
+    def test_tuning_time_charged_per_experiment(self):
+        service = CassandraService()
+        tuner = LinearSearchTuner(
+            service, scale_out_candidates(10), experiment_seconds=180.0
+        )
+        outcome = tuner.tune(cassandra_workload(3.54))
+        assert outcome.tuning_seconds == outcome.experiments_run * 180.0
+
+    def test_infeasible_returns_max_with_flag(self):
+        service = CassandraService()
+        tuner = LinearSearchTuner(service, scale_out_candidates(3))
+        outcome = tuner.tune(cassandra_workload(10.0))
+        assert outcome.allocation.count == 3
+        assert not outcome.met_slo
+
+    def test_interference_inflates_allocation(self):
+        service = CassandraService()
+        tuner = LinearSearchTuner(service, scale_out_candidates(10))
+        base = tuner.tune(cassandra_workload(3.54)).allocation.count
+        under_hog = tuner.tune(
+            cassandra_workload(3.54), assumed_interference=0.25
+        ).allocation.count
+        assert under_hog > base
+
+    def test_qos_slo_uses_margin_points(self):
+        service = SpecWebService()
+        tuner = LinearSearchTuner(
+            service, scale_up_candidates(5), qos_margin_points=1.0
+        )
+        demand = 4.8  # rho_L = 0.96 -> QoS below floor; XL needed.
+        workload = Workload(
+            volume=demand / SPECWEB_SUPPORT.demand_per_client, mix=SPECWEB_SUPPORT
+        )
+        outcome = tuner.tune(workload)
+        assert outcome.allocation.itype is EXTRA_LARGE
+
+    def test_monotone_in_demand(self):
+        service = CassandraService()
+        tuner = LinearSearchTuner(service, scale_out_candidates(10))
+        counts = [
+            tuner.tune(cassandra_workload(d)).allocation.count
+            for d in (0.5, 1.5, 3.0, 4.5, 5.9)
+        ]
+        assert counts == sorted(counts)
+
+
+class TestValidation:
+    def test_unsorted_candidates_rejected(self):
+        service = CassandraService()
+        candidates = list(reversed(scale_out_candidates(3)))
+        with pytest.raises(ValueError):
+            LinearSearchTuner(service, candidates)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSearchTuner(CassandraService(), [])
+
+    def test_bad_margin_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSearchTuner(
+                CassandraService(), scale_out_candidates(2), latency_margin=0.0
+            )
+
+    def test_bad_interference_rejected(self):
+        tuner = LinearSearchTuner(CassandraService(), scale_out_candidates(2))
+        with pytest.raises(ValueError):
+            tuner.tune(cassandra_workload(1.0), assumed_interference=1.0)

@@ -1,0 +1,109 @@
+"""Integration tests: the scale-out case studies (Figs. 6-7, Sec. 4.1).
+
+These run the full week-long simulations and assert the paper's *shapes*:
+who wins, by roughly what factor, and which qualitative events occur.
+"""
+
+import pytest
+
+from repro.experiments.scaling import REUSE_WINDOW, run_scaleout_comparison
+from repro.sim.clock import SECONDS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def messenger():
+    return run_scaleout_comparison("messenger")
+
+
+@pytest.fixture(scope="module")
+def hotmail():
+    return run_scaleout_comparison("hotmail")
+
+
+class TestMessengerScaleOut:
+    def test_four_workload_classes(self, messenger):
+        # "The initial tuning produces 4 different workload classes."
+        assert messenger.n_classes == 4
+
+    def test_savings_in_paper_band(self, messenger):
+        # Paper: ~55% over the 6-day period; we accept 45-65%.
+        saving = messenger.costs["dejavu"].saving_fraction
+        assert 0.45 <= saving <= 0.65
+
+    def test_dejavu_keeps_slo_except_blips(self, messenger):
+        # "DejaVu keeps the latency below 60 ms, except for short
+        # periods" — adaptation blips only.
+        assert messenger.slo["dejavu"].violation_fraction < 0.03
+
+    def test_autopilot_violates_substantially(self, messenger):
+        # Paper reports >= 28% on the real traces; our synthetic trace's
+        # day-to-day variability is milder, but Autopilot must violate
+        # at least an order of magnitude more than DejaVu.
+        autopilot = messenger.slo["autopilot"].violation_fraction
+        dejavu = messenger.slo["dejavu"].violation_fraction
+        assert autopilot >= 0.12
+        assert autopilot > 10 * dejavu
+
+    def test_no_cache_misses_on_messenger(self, messenger):
+        # All Messenger reuse-day workloads belong to learned classes.
+        assert messenger.n_misses <= 1
+
+    def test_overprovision_never_violates(self, messenger):
+        assert messenger.slo["overprovision"].violation_fraction == 0.0
+
+    def test_adaptation_is_seconds_not_minutes(self, messenger):
+        assert messenger.mean_adaptation_seconds <= 15.0
+
+    def test_instance_counts_track_load(self, messenger):
+        series = messenger.results["dejavu"].series["instances"]
+        # Night hours run few instances, the peak hour the full pool.
+        reuse = series.window(*REUSE_WINDOW)
+        assert reuse.values.min() <= 3
+        assert reuse.values.max() == 10
+
+
+class TestHotmailScaleOut:
+    def test_three_workload_classes(self, hotmail):
+        # "the initial profiling identified 3 workload classes for the
+        # HotMail traces, instead of 4 for the Messenger traces."
+        assert hotmail.n_classes == 3
+
+    def test_savings_in_paper_band(self, hotmail):
+        # Paper: ~60%; we accept 50-65%.
+        saving = hotmail.costs["dejavu"].saving_fraction
+        assert 0.50 <= saving <= 0.65
+
+    def test_day4_surge_falls_back_to_full_capacity(self, hotmail):
+        # "During the 4th day, DejaVu could not classify one workload
+        # with the desired confidence ... DejaVu decided to use the full
+        # capacity."
+        assert 3 <= hotmail.n_misses <= 5
+        surge_day = (3 * SECONDS_PER_DAY, 4 * SECONDS_PER_DAY)
+        instances = hotmail.results["dejavu"].series["instances"]
+        surge_values = instances.window(*surge_day).values
+        assert surge_values.max() == 10
+
+    def test_dejavu_keeps_slo_except_blips(self, hotmail):
+        assert hotmail.slo["dejavu"].violation_fraction < 0.03
+
+    def test_autopilot_worse_than_dejavu(self, hotmail):
+        assert (
+            hotmail.slo["autopilot"].violation_fraction
+            > 10 * hotmail.slo["dejavu"].violation_fraction
+        )
+
+
+class TestCrossTrace:
+    def test_savings_bands_overlap_papers(self, messenger, hotmail):
+        # Sec. 4.5: 50-60% when scaling out (we allow 45-65%).
+        for comparison in (messenger, hotmail):
+            saving = comparison.costs["dejavu"].saving_fraction
+            assert 0.45 <= saving <= 0.65
+
+    def test_dejavu_cheaper_than_autopilot_or_safer(self, messenger, hotmail):
+        # Autopilot may spend less, but only by violating the SLO much
+        # more; DejaVu must dominate on the combined criterion.
+        for comparison in (messenger, hotmail):
+            dv_violations = comparison.slo["dejavu"].violation_fraction
+            ap_violations = comparison.slo["autopilot"].violation_fraction
+            assert dv_violations < ap_violations

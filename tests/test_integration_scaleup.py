@@ -1,0 +1,69 @@
+"""Integration tests: the scale-up case studies (Figs. 9-10, Sec. 4.2)."""
+
+import pytest
+
+from repro.experiments.scaling import REUSE_WINDOW, run_scaleup_comparison
+
+
+@pytest.fixture(scope="module")
+def hotmail():
+    return run_scaleup_comparison("hotmail")
+
+
+@pytest.fixture(scope="module")
+def messenger():
+    return run_scaleup_comparison("messenger")
+
+
+class TestHotmailScaleUp:
+    def test_savings_in_paper_band(self, hotmail):
+        # Paper: "savings of roughly 45%" (we accept 30-50%).
+        saving = hotmail.costs["dejavu"].saving_fraction
+        assert 0.30 <= saving <= 0.50
+
+    def test_qos_stays_above_slo(self, hotmail):
+        # "QoS is always above the target" apart from profiling blips.
+        assert hotmail.slo["dejavu"].violation_fraction < 0.02
+
+    def test_large_suffices_most_of_the_time(self, hotmail):
+        # "the smaller instance was capable of accommodating the load
+        # most of the time."
+        reuse_hours = (REUSE_WINDOW[1] - REUSE_WINDOW[0]) / 3600.0
+        assert hotmail.xl_hours < reuse_hours / 2
+
+    def test_xl_deployed_at_peaks(self, hotmail):
+        assert hotmail.xl_hours > 0
+
+
+class TestMessengerScaleUp:
+    def test_savings_in_paper_band(self, messenger):
+        # Paper: "about 35%" (we accept 18-45% — the synthetic Messenger
+        # busy plateau is wider, see EXPERIMENTS.md).
+        saving = messenger.costs["dejavu"].saving_fraction
+        assert 0.18 <= saving <= 0.45
+
+    def test_qos_stays_above_slo(self, messenger):
+        assert messenger.slo["dejavu"].violation_fraction < 0.02
+
+
+class TestScaleUpVersusScaleOut:
+    def test_hotmail_saves_more_than_messenger_when_scaling_up(
+        self, hotmail, messenger
+    ):
+        # Paper ordering: 45% (HotMail) > 35% (Messenger).
+        assert (
+            hotmail.costs["dejavu"].saving_fraction
+            > messenger.costs["dejavu"].saving_fraction
+        )
+
+    def test_scaleup_saves_less_than_scaleout(self, hotmail):
+        # Sec. 4.5: "savings are higher (50-60% vs. 35-45%) when scaling
+        # out vs. scaling up because of the finer granularity of
+        # possible resource allocations."
+        from repro.experiments.scaling import run_scaleout_comparison
+
+        out = run_scaleout_comparison("hotmail")
+        assert (
+            out.costs["dejavu"].saving_fraction
+            > hotmail.costs["dejavu"].saving_fraction
+        )

@@ -1,0 +1,92 @@
+"""Unit tests for the interference substrate."""
+
+import pytest
+
+from repro.interference.injector import InterferenceInjector, InterferenceSchedule
+from repro.interference.microbenchmark import Microbenchmark
+from repro.sim.clock import HOUR
+
+
+class TestMicrobenchmark:
+    def test_paper_levels_valid(self):
+        # The paper injects 10% and 20% CPU/memory hogs.
+        for fraction in (0.10, 0.20):
+            bench = Microbenchmark(cpu_fraction=fraction)
+            assert bench.capacity_theft >= fraction
+
+    def test_cache_pollution_adds_to_theft(self):
+        small = Microbenchmark(cpu_fraction=0.1, working_set_mb=8.0)
+        big = Microbenchmark(cpu_fraction=0.1, working_set_mb=128.0)
+        assert big.capacity_theft > small.capacity_theft
+
+    def test_zero_cpu_hog_steals_nothing(self):
+        assert Microbenchmark(cpu_fraction=0.0).capacity_theft == 0.0
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Microbenchmark(cpu_fraction=1.0)
+
+    def test_negative_working_set_rejected(self):
+        with pytest.raises(ValueError):
+            Microbenchmark(cpu_fraction=0.1, working_set_mb=-1.0)
+
+
+class TestSchedule:
+    def test_none_schedule(self):
+        schedule = InterferenceSchedule.none()
+        assert schedule.active_at(0.0) is None
+        assert schedule.active_at(1e6) is None
+
+    def test_piecewise_lookup(self):
+        bench = Microbenchmark(cpu_fraction=0.1)
+        schedule = InterferenceSchedule(
+            segments=((0.0, None), (100.0, bench), (200.0, None))
+        )
+        assert schedule.active_at(50.0) is None
+        assert schedule.active_at(150.0) is bench
+        assert schedule.active_at(250.0) is None
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            InterferenceSchedule(segments=((1.0, None),))
+
+    def test_must_be_sorted(self):
+        bench = Microbenchmark(cpu_fraction=0.1)
+        with pytest.raises(ValueError):
+            InterferenceSchedule(segments=((0.0, None), (50.0, bench), (20.0, None)))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceSchedule.none().active_at(-1.0)
+
+    def test_alternating_10_20_levels(self):
+        schedule = InterferenceSchedule.alternating_10_20(
+            total_seconds=24 * HOUR, segment_hours=6.0
+        )
+        fractions = {
+            schedule.active_at(h * HOUR).cpu_fraction for h in range(0, 24, 6)
+        }
+        assert fractions <= {0.10, 0.20}
+
+    def test_alternating_deterministic(self):
+        a = InterferenceSchedule.alternating_10_20(24 * HOUR, seed=5)
+        b = InterferenceSchedule.alternating_10_20(24 * HOUR, seed=5)
+        assert [
+            (s, getattr(m, "cpu_fraction", None)) for s, m in a.segments
+        ] == [(s, getattr(m, "cpu_fraction", None)) for s, m in b.segments]
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceSchedule.alternating_10_20(0.0)
+
+
+class TestInjector:
+    def test_injects_capacity_theft(self):
+        bench = Microbenchmark(cpu_fraction=0.2)
+        schedule = InterferenceSchedule(segments=((0.0, bench),))
+        injector = InterferenceInjector(schedule)
+        assert injector.interference_at(10.0) == pytest.approx(bench.capacity_theft)
+
+    def test_idle_tenant_means_zero(self):
+        injector = InterferenceInjector(InterferenceSchedule.none())
+        assert injector.interference_at(10.0) == 0.0

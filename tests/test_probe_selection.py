@@ -1,0 +1,97 @@
+"""Tests for percentile probe selection under per-VM interference."""
+
+import numpy as np
+import pytest
+
+from repro.interference.injector import InterferenceSchedule
+from repro.interference.probe_selection import (
+    FleetInterference,
+    select_probe_instance,
+)
+from repro.sim.clock import HOUR
+
+
+class TestSelectProbeInstance:
+    def test_max_at_100th_percentile(self):
+        values = [0.0, 0.1, 0.2, 0.05]
+        assert select_probe_instance(values, 100.0) == 2
+
+    def test_percentile_semantics(self):
+        # With 10 instances at distinct levels, the 90th-percentile
+        # probe experiences more interference than at least 9 of them.
+        values = [i / 100.0 for i in range(10)]
+        index = select_probe_instance(values, 90.0)
+        probed = values[index]
+        assert sum(v < probed for v in values) >= 9
+
+    def test_tightest_valid_bound(self):
+        # Among candidates above the percentile target, the least-loaded
+        # one is chosen, not the pathological maximum.
+        values = [0.0, 0.0, 0.0, 0.5, 0.9]
+        index = select_probe_instance(values, 60.0)
+        assert values[index] == 0.5
+
+    def test_uniform_fleet(self):
+        values = [0.1] * 5
+        assert values[select_probe_instance(values, 90.0)] == 0.1
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            select_probe_instance([], 90.0)
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            select_probe_instance([0.1], 101.0)
+
+
+class TestFleetInterference:
+    def test_random_fleet_shapes(self):
+        fleet = FleetInterference.random(
+            n_instances=8, total_seconds=24 * HOUR, seed=1
+        )
+        assert fleet.n_instances == 8
+        values = fleet.interference_at(5 * HOUR)
+        assert len(values) == 8
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_instances_differ(self):
+        fleet = FleetInterference.random(
+            n_instances=10, total_seconds=24 * HOUR, seed=2
+        )
+        values = fleet.interference_at(3 * HOUR)
+        assert len(set(np.round(values, 3))) > 1
+
+    def test_probe_is_conservative(self):
+        fleet = FleetInterference.random(
+            n_instances=10, total_seconds=24 * HOUR, seed=3
+        )
+        _, probe_value = fleet.probe_at(6 * HOUR, percentile=90.0)
+        values = fleet.interference_at(6 * HOUR)
+        covered = sum(v <= probe_value for v in values) / len(values)
+        assert covered >= 0.9
+
+    def test_mean_between_extremes(self):
+        fleet = FleetInterference.random(
+            n_instances=10, total_seconds=24 * HOUR, seed=4
+        )
+        values = fleet.interference_at(0.0)
+        assert min(values) <= fleet.mean_at(0.0) <= max(values)
+
+    def test_deterministic_given_seed(self):
+        a = FleetInterference.random(4, 24 * HOUR, seed=7)
+        b = FleetInterference.random(4, 24 * HOUR, seed=7)
+        assert a.interference_at(10 * HOUR) == b.interference_at(10 * HOUR)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            FleetInterference(schedules=())
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            FleetInterference.random(0, 24 * HOUR)
+
+    def test_quiet_schedule_gives_zero(self):
+        fleet = FleetInterference(
+            schedules=(InterferenceSchedule.none(), InterferenceSchedule.none())
+        )
+        assert fleet.interference_at(100.0) == [0.0, 0.0]

@@ -1,0 +1,151 @@
+"""Unit tests for the DejaVu proxy substrate."""
+
+import pytest
+
+from repro.proxy.answer_cache import AnswerCache
+from repro.proxy.duplicator import DejaVuProxy
+from repro.proxy.overhead import ProxyOverheadModel
+from repro.services.rubis import RubisService
+from repro.workloads.client import ClientPopulation, Request
+from repro.workloads.request_mix import RUBIS_BIDDING, Workload
+
+
+def request_for_session(session_id: int) -> Request:
+    return Request(
+        session_id=session_id,
+        sequence=1,
+        is_read=True,
+        payload_bytes=1000,
+        key=f"s{session_id}-q1",
+    )
+
+
+class TestDuplicator:
+    def test_session_sticks_to_instance(self):
+        proxy = DejaVuProxy(n_instances=10)
+        instance_a, _ = proxy.route(request_for_session(13))
+        instance_b, _ = proxy.route(request_for_session(13))
+        assert instance_a == instance_b
+
+    def test_only_profiled_instance_duplicated(self):
+        proxy = DejaVuProxy(n_instances=10, profiled_instance=3)
+        _, duplicated_hit = proxy.route(request_for_session(3))
+        _, duplicated_miss = proxy.route(request_for_session(4))
+        assert duplicated_hit
+        assert not duplicated_miss
+
+    def test_duplication_fraction_near_one_over_n(self):
+        # Sec. 4.4: overhead "is roughly equal to 1/n of the incoming
+        # network traffic".
+        n = 20
+        proxy = DejaVuProxy(n_instances=n)
+        population = ClientPopulation(n_clients=200, mix=RUBIS_BIDDING, seed=0)
+        for request in population.issue(10000):
+            proxy.route(request)
+        assert proxy.stats.duplication_fraction == pytest.approx(1.0 / n, rel=0.3)
+
+    def test_network_overhead_fraction_at_scale(self):
+        # ~0.1% of total traffic for 100 instances at 1:10 in/out.
+        proxy = DejaVuProxy(n_instances=100)
+        population = ClientPopulation(n_clients=1000, mix=RUBIS_BIDDING, seed=0)
+        for request in population.issue(20000):
+            proxy.route(request)
+        overhead = proxy.stats.network_overhead_fraction(outbound_ratio=10.0)
+        assert overhead < 0.002
+
+    def test_session_filter_blocks_private_sessions(self):
+        proxy = DejaVuProxy(
+            n_instances=1, session_filter=lambda session_id: session_id % 2 == 0
+        )
+        _, even = proxy.route(request_for_session(2))
+        _, odd = proxy.route(request_for_session(3))
+        assert even
+        assert not odd
+
+    def test_bad_instance_count_rejected(self):
+        with pytest.raises(ValueError):
+            DejaVuProxy(n_instances=0)
+
+    def test_profiled_instance_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DejaVuProxy(n_instances=3, profiled_instance=3)
+
+
+class TestAnswerCache:
+    def test_hit_after_store(self):
+        cache = AnswerCache()
+        cache.store("query-1", "answer-1")
+        assert cache.lookup("query-1") == "answer-1"
+        assert cache.stats.hits == 1
+
+    def test_miss_on_permuted_request(self):
+        # "minor request permutations (i.e. different timestamps)" miss.
+        cache = AnswerCache()
+        cache.store("query-t=100", "answer")
+        assert cache.lookup("query-t=101") is None
+        assert cache.stats.misses == 1
+
+    def test_stale_hits_counted_but_served(self):
+        # The profiler may be "fed with obsolete data" — served anyway.
+        cache = AnswerCache()
+        cache.store("q", "old-answer", version=1)
+        answer = cache.lookup("q", current_version=2)
+        assert answer == "old-answer"
+        assert cache.stats.stale_hits == 1
+
+    def test_most_recent_answer_wins(self):
+        cache = AnswerCache()
+        cache.store("q", "v1")
+        cache.store("q", "v2")
+        assert cache.lookup("q") == "v2"
+
+    def test_eviction_at_capacity(self):
+        cache = AnswerCache(capacity=2)
+        cache.store("a", "1")
+        cache.store("b", "2")
+        cache.store("c", "3")
+        assert cache.lookup("a") is None
+        assert cache.lookup("c") == "3"
+
+    def test_temporal_locality_gives_high_hit_rate(self):
+        # Production and profiler process the same requests slightly
+        # shifted in time; the cache must exploit that locality.
+        cache = AnswerCache(capacity=512)
+        keys = [f"request-{i}" for i in range(1000)]
+        lag = 5
+        for i, key in enumerate(keys):
+            cache.store(key, f"answer-{i}")
+            if i >= lag:
+                cache.lookup(keys[i - lag])
+        assert cache.stats.hit_rate > 0.95
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AnswerCache(capacity=0)
+
+
+class TestOverheadModel:
+    def test_overhead_near_3ms(self):
+        # Sec. 4.4: "degrades response time by about 3 ms on average".
+        model = ProxyOverheadModel()
+        overheads = [model.overhead_ms(u) for u in (0.2, 0.4, 0.6, 0.8)]
+        assert 2.0 < sum(overheads) / len(overheads) < 4.0
+
+    def test_overhead_grows_with_load(self):
+        model = ProxyOverheadModel()
+        assert model.overhead_ms(0.9) > model.overhead_ms(0.1)
+
+    def test_latency_with_profiling_pair(self):
+        model = ProxyOverheadModel()
+        service = RubisService()
+        workload = Workload(volume=300.0, mix=RUBIS_BIDDING)
+        baseline, profiled = model.latency_with_profiling(service, workload, 8.0)
+        assert profiled > baseline
+
+    def test_negative_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            ProxyOverheadModel().overhead_ms(-0.1)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            ProxyOverheadModel(base_overhead_ms=-1.0)

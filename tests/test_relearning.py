@@ -1,0 +1,117 @@
+"""Tests for online re-learning (Sec. 3.5's re-clustering path)."""
+
+import pytest
+
+from repro.core.manager import DejaVuConfig
+from repro.experiments.setup import build_scaleout_setup
+from repro.sim.engine import StepContext
+from repro.workloads.request_mix import CASSANDRA_UPDATE_HEAVY, Workload
+
+
+def ctx_at(t: float, workload: Workload) -> StepContext:
+    return StepContext(t=t, workload=workload, hour=int(t // 3600), day=int(t // 86400))
+
+
+def unseen_workload(setup, factor: float = 1.35) -> Workload:
+    """A volume far above every learned plateau (a flash crowd)."""
+    return Workload(
+        volume=factor * setup.trace.peak_clients, mix=CASSANDRA_UPDATE_HEAVY
+    )
+
+
+class TestManualRelearn:
+    def test_relearn_replaces_clustering(self):
+        setup = build_scaleout_setup("messenger")
+        manager = setup.manager
+        manager.learn(setup.trace.hourly_workloads(day=0))
+        old_classes = manager.clustering.n_classes
+        # Re-learn from a day that also contains the unseen level.
+        workloads = setup.trace.hourly_workloads(day=1) + [unseen_workload(setup)] * 3
+        report = manager.relearn(now=2 * 86400.0, workloads=workloads)
+        assert manager.relearn_count == 1
+        assert report.n_classes >= old_classes
+
+    def test_relearn_makes_unseen_workload_a_hit(self):
+        setup = build_scaleout_setup("messenger")
+        manager = setup.manager
+        manager.learn(setup.trace.hourly_workloads(day=0))
+        novel = unseen_workload(setup)
+        _, certainty_before, _ = manager.classify(novel)
+        assert certainty_before < manager.config.certainty_threshold
+        workloads = setup.trace.hourly_workloads(day=1) + [novel] * 3
+        manager.relearn(now=2 * 86400.0, workloads=workloads)
+        _, certainty_after, _ = manager.classify(novel)
+        assert certainty_after >= manager.config.certainty_threshold
+
+    def test_relearn_invalidates_repository(self):
+        setup = build_scaleout_setup("messenger")
+        manager = setup.manager
+        manager.learn(setup.trace.hourly_workloads(day=0))
+        manager.repository.store(99, 0, setup.provider.full_capacity())
+        manager.relearn(
+            now=86400.0, workloads=setup.trace.hourly_workloads(day=1)
+        )
+        # Stale entries from the previous clustering are gone.
+        assert not manager.repository.contains(99, 0)
+
+    def test_relearn_without_history_rejected(self):
+        setup = build_scaleout_setup("messenger")
+        manager = setup.manager
+        manager.learn(setup.trace.hourly_workloads(day=0))
+        with pytest.raises(ValueError):
+            manager.relearn(now=0.0)
+
+
+class TestAutoRelearn:
+    def _setup_with_auto(self):
+        config = DejaVuConfig(
+            auto_relearn=True,
+            relearn_after_misses=3,
+            min_relearn_history=10,
+        )
+        setup = build_scaleout_setup("messenger", config=config)
+        setup.manager.learn(setup.trace.hourly_workloads(day=0))
+        return setup
+
+    def test_auto_relearn_triggers_after_miss_streak(self):
+        setup = self._setup_with_auto()
+        manager = setup.manager
+        # Build up enough history with normal hours first.
+        for hour in range(24, 40):
+            t = hour * 3600.0
+            manager.adapt(ctx_at(t, setup.trace.workload_at(t)))
+        novel = unseen_workload(setup)
+        for i in range(3):
+            manager.adapt(ctx_at((41 + i) * 3600.0, novel))
+        assert manager.relearn_count == 1
+        # The novel level is now a learned class: next time is a hit.
+        event = manager.adapt(ctx_at(45 * 3600.0, novel))
+        assert event.cache_hit
+
+    def test_no_auto_relearn_without_history(self):
+        config = DejaVuConfig(
+            auto_relearn=True, relearn_after_misses=2, min_relearn_history=24
+        )
+        setup = build_scaleout_setup("messenger", config=config)
+        manager = setup.manager
+        manager.learn(setup.trace.hourly_workloads(day=0))
+        novel = unseen_workload(setup)
+        for i in range(3):
+            manager.adapt(ctx_at((24 + i) * 3600.0, novel))
+        assert manager.relearn_count == 0
+        assert manager.relearn_requested
+
+    def test_auto_relearn_off_by_default(self):
+        setup = build_scaleout_setup(
+            "messenger", config=DejaVuConfig(relearn_after_misses=2)
+        )
+        manager = setup.manager
+        manager.learn(setup.trace.hourly_workloads(day=0))
+        novel = unseen_workload(setup)
+        for hour in range(24, 48):
+            t = hour * 3600.0
+            manager.adapt(ctx_at(t, setup.trace.workload_at(t)))
+        for i in range(4):
+            manager.adapt(ctx_at((48 + i) * 3600.0, novel))
+        assert manager.relearn_requested
+        assert manager.relearn_count == 0

@@ -1,0 +1,50 @@
+"""Tests for the multiplexing and flash-crowd scenario studies."""
+
+import pytest
+
+from repro.experiments.flash_crowd import run_flash_crowd_study
+from repro.experiments.multiplexing_study import run_multiplexing_study
+from repro.telemetry.counters import HARDWARE_REGISTERS
+
+
+class TestMultiplexingStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_multiplexing_study()
+
+    def test_fits_register_budget(self, study):
+        assert len(study.events) <= HARDWARE_REGISTERS
+
+    def test_multiplexing_is_noisier(self, study):
+        assert study.multiplexed_cv > study.dedicated_cv
+
+    def test_noise_levels_are_small(self, study):
+        # Both modes remain usable signatures (cv well below the
+        # between-class gaps), matching Fig. 4's tight trials.
+        assert study.dedicated_cv < 0.05
+        assert study.multiplexed_cv < 0.10
+
+    def test_too_few_trials_rejected(self):
+        with pytest.raises(ValueError):
+            run_multiplexing_study(trials=1)
+
+
+class TestFlashCrowdStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_flash_crowd_study()
+
+    def test_fallback_then_relearn(self, study):
+        assert study.fallback_hours >= 1
+        assert study.relearn_runs == 1
+
+    def test_right_sized_after_relearn(self, study):
+        assert study.crowd_allocation_after < study.full_capacity
+
+    def test_slo_held_throughout(self, study):
+        assert study.slo_met_during_fallback
+        assert study.slo_met_after_relearn
+
+    def test_bad_hours_rejected(self):
+        with pytest.raises(ValueError):
+            run_flash_crowd_study(crowd_hours=0)

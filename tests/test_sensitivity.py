@@ -1,0 +1,36 @@
+"""Tests for the sensitivity-sweep runners."""
+
+import pytest
+
+from repro.experiments.sensitivity import run_margin_sweep, run_trials_sweep
+
+
+class TestMarginSweep:
+    def test_points_sorted_by_margin(self):
+        points = run_margin_sweep(margins=(0.9, 0.7))
+        assert [p.margin for p in points] == [0.7, 0.9]
+
+    def test_tighter_margin_never_violates_more(self):
+        points = run_margin_sweep(margins=(0.7, 1.0))
+        assert points[0].violation_fraction <= points[1].violation_fraction
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            run_margin_sweep(margins=())
+
+
+class TestTrialsSweep:
+    def test_default_trials_are_clean(self):
+        points = run_trials_sweep(trials_options=(5,))
+        assert points[0].misses == 0
+        assert points[0].n_classes == 4
+
+    def test_three_trials_trigger_conservative_fallbacks(self):
+        points = run_trials_sweep(trials_options=(3,))
+        assert points[0].misses > 0
+        # Fallbacks are conservative: violations stay at blip level.
+        assert points[0].violation_fraction < 0.03
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials_sweep(trials_options=())

@@ -1,0 +1,86 @@
+"""Tests for the batch-workload extension (Sec. 3.7)."""
+
+import pytest
+
+from repro.services.batch import (
+    BatchDiagnosis,
+    BatchHost,
+    BatchTask,
+    BatchWorkloadAdvisor,
+)
+
+
+def task(work: float = 100.0, expected: float = 110.0) -> BatchTask:
+    return BatchTask(work_units=work, expected_seconds=expected)
+
+
+class TestBatchHost:
+    def test_isolated_runtime(self):
+        host = BatchHost(units_per_second=2.0)
+        assert host.runtime_seconds(task(work=100.0)) == pytest.approx(50.0)
+
+    def test_interference_slows_task(self):
+        host = BatchHost()
+        clean = host.runtime_seconds(task())
+        degraded = host.runtime_seconds(task(), interference=0.2)
+        assert degraded == pytest.approx(clean / 0.8)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BatchHost(units_per_second=0.0)
+
+    def test_bad_interference_rejected(self):
+        with pytest.raises(ValueError):
+            BatchHost().runtime_seconds(task(), interference=1.0)
+
+
+class TestBatchTask:
+    def test_zero_work_rejected(self):
+        with pytest.raises(ValueError):
+            BatchTask(work_units=0.0, expected_seconds=10.0)
+
+    def test_zero_expectation_rejected(self):
+        with pytest.raises(ValueError):
+            BatchTask(work_units=1.0, expected_seconds=0.0)
+
+
+class TestAdvisor:
+    def test_fast_task_meets_expectation(self):
+        advisor = BatchWorkloadAdvisor()
+        report = advisor.investigate(task(work=100.0, expected=110.0), 0.0)
+        assert report.diagnosis is BatchDiagnosis.MEETS_EXPECTATION
+        assert report.interference_band == 0
+
+    def test_interference_diagnosed(self):
+        # In isolation the task meets the expectation; under a 20% hog
+        # it does not -> interference.
+        advisor = BatchWorkloadAdvisor()
+        report = advisor.investigate(task(work=100.0, expected=110.0), 0.25)
+        assert report.diagnosis is BatchDiagnosis.INTERFERENCE
+        assert report.interference_index == pytest.approx(1.0 / 0.75)
+        assert report.interference_band >= 1
+
+    def test_misestimation_diagnosed(self):
+        # Even in isolation the task takes 200 s against a 120 s
+        # expectation: "the user simply mis-estimated".
+        advisor = BatchWorkloadAdvisor()
+        report = advisor.investigate(task(work=200.0, expected=120.0), 0.2)
+        assert report.diagnosis is BatchDiagnosis.MISESTIMATED
+
+    def test_tolerance_absorbs_small_overshoot(self):
+        # 5% over the expectation is inside the default 10% tolerance.
+        advisor = BatchWorkloadAdvisor()
+        report = advisor.investigate(task(work=105.0, expected=100.0), 0.0)
+        assert report.diagnosis is BatchDiagnosis.MEETS_EXPECTATION
+
+    def test_interference_band_scales_with_hog(self):
+        advisor = BatchWorkloadAdvisor()
+        light = advisor.investigate(task(work=100.0, expected=100.0), 0.15)
+        heavy = advisor.investigate(task(work=100.0, expected=100.0), 0.40)
+        assert light.diagnosis is BatchDiagnosis.INTERFERENCE
+        assert heavy.diagnosis is BatchDiagnosis.INTERFERENCE
+        assert heavy.interference_band > light.interference_band
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            BatchWorkloadAdvisor(tolerance=-0.1)

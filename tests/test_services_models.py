@@ -1,0 +1,130 @@
+"""Unit tests for the three service models."""
+
+import pytest
+
+from repro.services.base import PerformanceSample, Service
+from repro.services.cassandra import CassandraService
+from repro.services.rubis import RubisService
+from repro.services.slo import LatencySLO, QoSSLO
+from repro.services.specweb import SpecWebService
+from repro.workloads.request_mix import (
+    CASSANDRA_UPDATE_HEAVY,
+    RUBIS_BIDDING,
+    SPECWEB_SUPPORT,
+    Workload,
+)
+
+
+def cassandra_workload(demand: float) -> Workload:
+    volume = demand / CASSANDRA_UPDATE_HEAVY.demand_per_client
+    return Workload(volume=volume, mix=CASSANDRA_UPDATE_HEAVY)
+
+
+class TestServiceBase:
+    def test_performance_sample_fields(self):
+        service = Service("s", LatencySLO(60.0))
+        sample = service.performance(cassandra_workload(3.0), 10.0)
+        assert sample.latency_ms > 0
+        assert 50.0 <= sample.qos_percent <= 99.5
+        assert sample.utilization == pytest.approx(0.3)
+
+    def test_slo_metric_selects_latency(self):
+        sample = PerformanceSample(latency_ms=42.0, qos_percent=99.0, utilization=0.5)
+        assert sample.slo_metric(LatencySLO(60.0)) == 42.0
+        assert sample.slo_metric(QoSSLO(95.0)) == 99.0
+
+    def test_slo_met(self):
+        service = Service("s", LatencySLO(60.0))
+        good = service.performance(cassandra_workload(3.0), 10.0)
+        bad = service.performance(cassandra_workload(9.9), 10.0)
+        assert service.slo_met(good)
+        assert not service.slo_met(bad)
+
+
+class TestCassandra:
+    def test_default_slo_is_60ms(self):
+        # Sec. 4.1: "The SLO latency is set to 60 ms."
+        assert CassandraService().slo == LatencySLO(60.0)
+
+    def test_repartition_penalty_decays(self):
+        service = CassandraService(
+            repartition_peak_ms=12.0, repartition_tau_seconds=600.0
+        )
+        service.notify_allocation_change(now=0.0)
+        assert service.repartition_penalty_ms(0.0) == pytest.approx(12.0)
+        assert service.repartition_penalty_ms(600.0) == pytest.approx(
+            12.0 * 0.367879, rel=1e-3
+        )
+
+    def test_no_penalty_before_any_resize(self):
+        assert CassandraService().repartition_penalty_ms(100.0) == 0.0
+
+    def test_no_penalty_when_now_unknown(self):
+        service = CassandraService()
+        service.notify_allocation_change(now=0.0)
+        assert service.repartition_penalty_ms(None) == 0.0
+
+    def test_resize_raises_latency_transiently(self):
+        service = CassandraService()
+        workload = cassandra_workload(5.0)
+        steady = service.performance(workload, 10.0).latency_ms
+        service.notify_allocation_change(now=1000.0)
+        transient = service.performance(workload, 10.0, now=1000.0).latency_ms
+        late = service.performance(workload, 10.0, now=1000.0 + 3600.0).latency_ms
+        assert transient > steady
+        assert late == pytest.approx(steady, rel=1e-3)
+
+    def test_negative_peak_rejected(self):
+        with pytest.raises(ValueError):
+            CassandraService(repartition_peak_ms=-1.0)
+
+    def test_bad_tau_rejected(self):
+        with pytest.raises(ValueError):
+            CassandraService(repartition_tau_seconds=0.0)
+
+
+class TestSpecWeb:
+    def test_default_slo_is_95_percent(self):
+        # SPECweb2009 compliance: 95% of downloads at 0.99 Mbps.
+        assert SpecWebService().slo == QoSSLO(95.0)
+
+    def test_qos_high_when_underloaded(self):
+        service = SpecWebService()
+        workload = Workload(volume=100.0, mix=SPECWEB_SUPPORT)
+        sample = service.performance(workload, 10.0)
+        assert sample.qos_percent > 99.0
+
+    def test_qos_degrades_past_knee(self):
+        service = SpecWebService(qos_knee=0.7, qos_slope=60.0)
+        volume = 0.9 * 5.0 / SPECWEB_SUPPORT.demand_per_client
+        workload = Workload(volume=volume, mix=SPECWEB_SUPPORT)
+        sample = service.performance(workload, 5.0)
+        assert sample.qos_percent < 95.0
+
+    def test_qos_floor_is_50(self):
+        service = SpecWebService()
+        volume = 50.0 / SPECWEB_SUPPORT.demand_per_client
+        workload = Workload(volume=volume, mix=SPECWEB_SUPPORT)
+        assert service.performance(workload, 1.0).qos_percent == 50.0
+
+    def test_bad_knee_rejected(self):
+        with pytest.raises(ValueError):
+            SpecWebService(qos_knee=1.5)
+
+    def test_bad_slope_rejected(self):
+        with pytest.raises(ValueError):
+            SpecWebService(qos_slope=0.0)
+
+
+class TestRubis:
+    def test_has_26_interactions(self):
+        # "RUBiS defines 26 client interactions" (Sec. 4).
+        assert RubisService.interaction_count() == 26
+
+    def test_default_slo(self):
+        assert RubisService().slo == LatencySLO(150.0)
+
+    def test_three_tier_base_latency_is_heavier(self):
+        rubis = RubisService()
+        cassandra = CassandraService()
+        assert rubis.model.base_latency_ms > cassandra.model.base_latency_ms

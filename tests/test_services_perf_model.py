@@ -1,0 +1,95 @@
+"""Unit tests for the queueing performance model."""
+
+import pytest
+
+from repro.services.perf_model import QueueingModel
+
+
+class TestUtilization:
+    def test_basic_ratio(self):
+        model = QueueingModel()
+        assert model.utilization(3.0, 6.0) == pytest.approx(0.5)
+
+    def test_interference_steals_capacity(self):
+        model = QueueingModel()
+        assert model.utilization(3.0, 6.0, interference=0.5) == pytest.approx(1.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QueueingModel().utilization(1.0, 0.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            QueueingModel().utilization(-1.0, 1.0)
+
+    def test_interference_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            QueueingModel().utilization(1.0, 1.0, interference=1.0)
+
+
+class TestLatency:
+    def test_zero_load_is_base(self):
+        model = QueueingModel(base_latency_ms=20.0)
+        assert model.latency_ms(0.0, 10.0) == pytest.approx(20.0)
+
+    def test_open_system_curve(self):
+        # latency = base / (1 - rho): at rho = 0.5 it doubles.
+        model = QueueingModel(base_latency_ms=20.0)
+        assert model.latency_ms(5.0, 10.0) == pytest.approx(40.0)
+
+    def test_slo_knee_at_two_thirds(self):
+        # The 60 ms Cassandra SLO binds at rho = 2/3 with base 20 ms —
+        # the calibration point every trace experiment relies on.
+        model = QueueingModel(base_latency_ms=20.0)
+        assert model.latency_ms(2.0, 3.0) == pytest.approx(60.0)
+
+    def test_monotone_in_demand(self):
+        model = QueueingModel()
+        latencies = [model.latency_ms(d, 10.0) for d in (1.0, 5.0, 9.0, 11.0, 15.0)]
+        assert latencies == sorted(latencies)
+
+    def test_overload_is_capped(self):
+        model = QueueingModel(max_latency_ms=250.0)
+        assert model.latency_ms(100.0, 1.0) == 250.0
+
+    def test_finite_through_saturation(self):
+        # At full saturation the client-side timeout cap applies; the
+        # function stays finite rather than diverging.
+        model = QueueingModel()
+        assert model.latency_ms(1.0, 1.0) == model.max_latency_ms
+
+    def test_interference_increases_latency(self):
+        model = QueueingModel()
+        clean = model.latency_ms(4.0, 10.0)
+        degraded = model.latency_ms(4.0, 10.0, interference=0.2)
+        assert degraded > clean
+
+
+class TestInverse:
+    def test_capacity_for_latency_inverts(self):
+        model = QueueingModel(base_latency_ms=20.0)
+        capacity = model.capacity_for_latency(4.0, 60.0)
+        assert model.latency_ms(4.0, capacity) == pytest.approx(60.0)
+
+    def test_unreachable_latency_rejected(self):
+        model = QueueingModel(base_latency_ms=20.0)
+        with pytest.raises(ValueError):
+            model.capacity_for_latency(1.0, 19.0)
+
+    def test_zero_demand_needs_zero_capacity(self):
+        model = QueueingModel()
+        assert model.capacity_for_latency(0.0, 60.0) == 0.0
+
+
+class TestValidation:
+    def test_bad_base_latency(self):
+        with pytest.raises(ValueError):
+            QueueingModel(base_latency_ms=0.0)
+
+    def test_bad_smoothing_rho(self):
+        with pytest.raises(ValueError):
+            QueueingModel(smoothing_rho=1.0)
+
+    def test_cap_must_exceed_base(self):
+        with pytest.raises(ValueError):
+            QueueingModel(base_latency_ms=100.0, max_latency_ms=50.0)

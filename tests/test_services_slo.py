@@ -1,0 +1,41 @@
+"""Unit tests for SLO objects."""
+
+import pytest
+
+from repro.services.slo import LatencySLO, QoSSLO
+
+
+class TestLatencySLO:
+    def test_met_at_bound(self):
+        assert LatencySLO(60.0).is_met(60.0)
+
+    def test_violated_above_bound(self):
+        assert LatencySLO(60.0).is_violated(60.1)
+
+    def test_headroom_sign(self):
+        slo = LatencySLO(60.0)
+        assert slo.headroom(50.0) > 0
+        assert slo.headroom(70.0) < 0
+
+    def test_zero_bound_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySLO(0.0)
+
+
+class TestQoSSLO:
+    def test_met_at_floor(self):
+        assert QoSSLO(95.0).is_met(95.0)
+
+    def test_violated_below_floor(self):
+        assert QoSSLO(95.0).is_violated(94.9)
+
+    def test_headroom_sign(self):
+        slo = QoSSLO(95.0)
+        assert slo.headroom(99.0) > 0
+        assert slo.headroom(90.0) < 0
+
+    def test_floor_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            QoSSLO(0.0)
+        with pytest.raises(ValueError):
+            QoSSLO(101.0)

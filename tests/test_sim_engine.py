@@ -1,0 +1,94 @@
+"""Unit tests for the simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, StepContext
+from repro.workloads.request_mix import CASSANDRA_UPDATE_HEAVY, Workload
+
+
+def constant_workload(_t: float) -> Workload:
+    return Workload(volume=100.0, mix=CASSANDRA_UPDATE_HEAVY)
+
+
+class RecordingController:
+    def __init__(self):
+        self.contexts: list[StepContext] = []
+
+    def on_step(self, ctx: StepContext) -> None:
+        self.contexts.append(ctx)
+
+
+def observe_nothing(_ctx: StepContext) -> dict[str, float]:
+    return {"constant": 1.0}
+
+
+class TestSimulationEngine:
+    def test_step_count(self):
+        controller = RecordingController()
+        engine = SimulationEngine(
+            constant_workload, controller, observe_nothing, step_seconds=10.0
+        )
+        engine.run(100.0)
+        assert len(controller.contexts) == 10
+
+    def test_contexts_carry_time(self):
+        controller = RecordingController()
+        engine = SimulationEngine(
+            constant_workload, controller, observe_nothing, step_seconds=25.0
+        )
+        engine.run(100.0)
+        assert [c.t for c in controller.contexts] == [0.0, 25.0, 50.0, 75.0]
+
+    def test_contexts_carry_hour_and_day(self):
+        controller = RecordingController()
+        engine = SimulationEngine(
+            constant_workload, controller, observe_nothing, step_seconds=3600.0
+        )
+        engine.run(3 * 3600.0, start=24 * 3600.0)
+        assert [c.hour for c in controller.contexts] == [24, 25, 26]
+        assert [c.day for c in controller.contexts] == [1, 1, 1]
+
+    def test_observations_recorded(self):
+        engine = SimulationEngine(
+            constant_workload,
+            RecordingController(),
+            lambda ctx: {"x": ctx.t * 2.0},
+            step_seconds=10.0,
+        )
+        result = engine.run(30.0)
+        assert list(result.series["x"]) == [(0.0, 0.0), (10.0, 20.0), (20.0, 40.0)]
+
+    def test_label_propagates(self):
+        engine = SimulationEngine(
+            constant_workload,
+            RecordingController(),
+            observe_nothing,
+            step_seconds=10.0,
+            label="my-run",
+        )
+        assert engine.run(10.0).label == "my-run"
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine(
+                constant_workload, RecordingController(), observe_nothing, 0.0
+            )
+
+    def test_bad_duration_rejected(self):
+        engine = SimulationEngine(
+            constant_workload, RecordingController(), observe_nothing, 10.0
+        )
+        with pytest.raises(ValueError):
+            engine.run(0.0)
+
+    def test_workload_fn_receives_time(self):
+        seen = []
+
+        def workload_fn(t: float) -> Workload:
+            seen.append(t)
+            return Workload(volume=1.0, mix=CASSANDRA_UPDATE_HEAVY)
+
+        SimulationEngine(
+            workload_fn, RecordingController(), observe_nothing, 50.0
+        ).run(100.0)
+        assert seen == [0.0, 50.0]

@@ -1,0 +1,130 @@
+"""Unit tests for time-series recording."""
+
+import numpy as np
+import pytest
+
+from repro.sim.result import SimulationResult, TimeSeries
+
+
+class TestTimeSeries:
+    def test_record_and_len(self):
+        series = TimeSeries("x")
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        assert len(series) == 2
+
+    def test_out_of_order_rejected(self):
+        series = TimeSeries("x")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        series = TimeSeries("x")
+        series.record(5.0, 1.0)
+        series.record(5.0, 2.0)
+        assert len(series) == 2
+
+    def test_iteration_yields_pairs(self):
+        series = TimeSeries("x")
+        series.record(0.0, 1.0)
+        series.record(2.0, 3.0)
+        assert list(series) == [(0.0, 1.0), (2.0, 3.0)]
+
+    def test_times_and_values_arrays(self):
+        series = TimeSeries("x")
+        series.record(0.0, 1.0)
+        series.record(1.0, 4.0)
+        assert np.allclose(series.times, [0.0, 1.0])
+        assert np.allclose(series.values, [1.0, 4.0])
+
+    def test_value_at_step_hold(self):
+        series = TimeSeries("x")
+        series.record(0.0, 1.0)
+        series.record(10.0, 2.0)
+        assert series.value_at(5.0) == 1.0
+        assert series.value_at(10.0) == 2.0
+        assert series.value_at(100.0) == 2.0
+
+    def test_value_at_before_first_sample_fails(self):
+        series = TimeSeries("x")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.value_at(4.0)
+
+    def test_value_at_empty_fails(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").value_at(0.0)
+
+    def test_window_half_open(self):
+        series = TimeSeries("x")
+        for t in range(5):
+            series.record(float(t), float(t))
+        windowed = series.window(1.0, 3.0)
+        assert list(windowed) == [(1.0, 1.0), (2.0, 2.0)]
+
+    def test_window_bad_bounds(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").window(3.0, 1.0)
+
+    def test_mean_and_max(self):
+        series = TimeSeries("x")
+        series.record(0.0, 1.0)
+        series.record(1.0, 3.0)
+        assert series.mean() == 2.0
+        assert series.max() == 3.0
+
+    def test_mean_of_empty_fails(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").mean()
+
+    def test_fraction_above(self):
+        series = TimeSeries("x")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            series.record(0.0, value)
+        assert series.fraction_above(2.0) == 0.5
+
+    def test_fraction_below(self):
+        series = TimeSeries("x")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            series.record(0.0, value)
+        assert series.fraction_below(2.0) == 0.25
+
+    def test_integrate_left_riemann(self):
+        series = TimeSeries("x")
+        series.record(0.0, 2.0)
+        series.record(10.0, 4.0)
+        series.record(20.0, 0.0)
+        # 2*10 + 4*10; the final sample holds no interval.
+        assert series.integrate() == pytest.approx(60.0)
+
+    def test_integrate_single_sample_is_zero(self):
+        series = TimeSeries("x")
+        series.record(0.0, 5.0)
+        assert series.integrate() == 0.0
+
+
+class TestSimulationResult:
+    def test_record_creates_series(self):
+        result = SimulationResult(label="run")
+        result.record("latency_ms", 0.0, 10.0)
+        assert "latency_ms" in result.series
+        assert len(result.series["latency_ms"]) == 1
+
+    def test_series_named_is_idempotent(self):
+        result = SimulationResult(label="run")
+        a = result.series_named("x")
+        b = result.series_named("x")
+        assert a is b
+
+    def test_events_matching(self):
+        result = SimulationResult(label="run")
+        result.log_event(1.0, "cache miss at hour 3")
+        result.log_event(2.0, "resize 2 -> 4")
+        assert result.events_matching("miss") == [(1.0, "cache miss at hour 3")]
+
+    def test_merged_scalars(self):
+        result = SimulationResult(label="run")
+        result.scalars["a"] = 1.0
+        merged = result.merged_scalars([("b", 2.0)])
+        assert merged == {"a": 1.0, "b": 2.0}

@@ -1,0 +1,60 @@
+"""Unit tests for session-granularity client emulation."""
+
+import pytest
+
+from repro.workloads.client import ClientPopulation, ClientSession
+from repro.workloads.request_mix import RUBIS_BROWSING, SPECWEB_SUPPORT
+
+import numpy as np
+
+
+class TestClientSession:
+    def test_sequence_increments(self):
+        session = ClientSession()
+        rng = np.random.default_rng(0)
+        first = session.next_request(RUBIS_BROWSING, rng)
+        second = session.next_request(RUBIS_BROWSING, rng)
+        assert (first.sequence, second.sequence) == (1, 2)
+
+    def test_read_only_mix_yields_reads(self):
+        session = ClientSession()
+        rng = np.random.default_rng(0)
+        requests = [session.next_request(RUBIS_BROWSING, rng) for _ in range(50)]
+        assert all(r.is_read for r in requests)
+
+    def test_request_keys_are_unique_within_session(self):
+        session = ClientSession()
+        rng = np.random.default_rng(0)
+        keys = {session.next_request(SPECWEB_SUPPORT, rng).key for _ in range(100)}
+        assert len(keys) == 100
+
+
+class TestClientPopulation:
+    def test_issue_count(self):
+        population = ClientPopulation(10, RUBIS_BROWSING, seed=1)
+        assert len(population.issue(55)) == 55
+
+    def test_round_robin_across_sessions(self):
+        population = ClientPopulation(5, RUBIS_BROWSING, seed=1)
+        requests = population.issue(10)
+        session_ids = [r.session_id for r in requests]
+        assert session_ids[:5] == session_ids[5:]
+
+    def test_payloads_in_realistic_range(self):
+        population = ClientPopulation(3, RUBIS_BROWSING, seed=1)
+        for request in population.issue(100):
+            assert 200 <= request.payload_bytes < 1400
+
+    def test_zero_clients_rejected(self):
+        with pytest.raises(ValueError):
+            ClientPopulation(0, RUBIS_BROWSING)
+
+    def test_negative_issue_rejected(self):
+        population = ClientPopulation(1, RUBIS_BROWSING)
+        with pytest.raises(ValueError):
+            population.issue(-1)
+
+    def test_deterministic_given_seed(self):
+        a = ClientPopulation(3, SPECWEB_SUPPORT, seed=7).issue(20)
+        b = ClientPopulation(3, SPECWEB_SUPPORT, seed=7).issue(20)
+        assert [r.payload_bytes for r in a] == [r.payload_bytes for r in b]

@@ -1,0 +1,84 @@
+"""Unit tests for the parametric load generators."""
+
+import pytest
+
+from repro.workloads.generators import (
+    constant_load,
+    sine_wave_load,
+    spike_load,
+    step_load,
+)
+from repro.workloads.request_mix import RUBIS_BIDDING
+
+MIX = RUBIS_BIDDING
+
+
+class TestSineWave:
+    def test_starts_at_midpoint(self):
+        load = sine_wave_load(MIX, 100.0, 500.0, period_seconds=4800.0)
+        assert load(0.0).volume == pytest.approx(300.0)
+
+    def test_holds_for_ten_minutes(self):
+        # "we change the workload volume every 10 minutes" (Sec. 2.2).
+        load = sine_wave_load(MIX, 100.0, 500.0, period_seconds=4800.0)
+        assert load(0.0).volume == load(599.0).volume
+        assert load(0.0).volume != load(600.0).volume
+
+    def test_stays_in_range(self):
+        load = sine_wave_load(MIX, 100.0, 500.0, period_seconds=4800.0)
+        volumes = [load(t * 60.0).volume for t in range(200)]
+        assert min(volumes) >= 100.0 - 1e-9
+        assert max(volumes) <= 500.0 + 1e-9
+
+    def test_reaches_peak(self):
+        load = sine_wave_load(
+            MIX, 100.0, 500.0, period_seconds=4800.0, hold_seconds=1.0
+        )
+        assert load(1200.0).volume == pytest.approx(500.0)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            sine_wave_load(MIX, 500.0, 100.0, 4800.0)
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            sine_wave_load(MIX, 100.0, 500.0, 0.0)
+
+
+class TestStep:
+    def test_before_and_after(self):
+        load = step_load(MIX, 100.0, 400.0, step_at_seconds=1000.0)
+        assert load(999.0).volume == 100.0
+        assert load(1000.0).volume == 400.0
+
+    def test_negative_clients_rejected(self):
+        with pytest.raises(ValueError):
+            step_load(MIX, -1.0, 400.0, 1000.0)
+
+
+class TestSpike:
+    def test_spike_window(self):
+        load = spike_load(MIX, 100.0, 900.0, spike_start=50.0, spike_duration=10.0)
+        assert load(49.0).volume == 100.0
+        assert load(50.0).volume == 900.0
+        assert load(59.0).volume == 900.0
+        assert load(60.0).volume == 100.0
+
+    def test_spike_below_base_rejected(self):
+        with pytest.raises(ValueError):
+            spike_load(MIX, 100.0, 50.0, 0.0, 10.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            spike_load(MIX, 100.0, 200.0, 0.0, 0.0)
+
+
+class TestConstant:
+    def test_constant_everywhere(self):
+        load = constant_load(MIX, 123.0)
+        assert load(0.0).volume == 123.0
+        assert load(1e6).volume == 123.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            constant_load(MIX, -1.0)

@@ -1,0 +1,108 @@
+"""Unit tests for request mixes and workloads."""
+
+import pytest
+
+from repro.workloads.request_mix import (
+    CASSANDRA_UPDATE_HEAVY,
+    RUBIS_BIDDING,
+    RUBIS_BROWSING,
+    SPECWEB_BANKING,
+    SPECWEB_ECOMMERCE,
+    SPECWEB_SUPPORT,
+    RequestMix,
+    Workload,
+)
+
+
+class TestPaperMixes:
+    def test_cassandra_update_heavy_is_95_percent_writes(self):
+        # "95% of write requests and only 5% of read requests" (Sec 4.1).
+        assert CASSANDRA_UPDATE_HEAVY.write_fraction == pytest.approx(0.95)
+
+    def test_cassandra_is_cpu_and_memory_intensive(self):
+        # Chosen to match RightScale's default alert profile (Sec 4.1).
+        assert CASSANDRA_UPDATE_HEAVY.cpu_intensity > 0.7
+        assert CASSANDRA_UPDATE_HEAVY.memory_intensity > 0.7
+
+    def test_support_is_io_heavy_read_only(self):
+        # "mostly I/O-intensive and read-only" (Sec 4.2).
+        assert SPECWEB_SUPPORT.read_fraction == 1.0
+        assert SPECWEB_SUPPORT.io_intensity > 0.9
+
+    def test_banking_is_crypto_heavy(self):
+        assert SPECWEB_BANKING.flops_intensity > SPECWEB_ECOMMERCE.flops_intensity
+
+    def test_browsing_is_read_only(self):
+        assert RUBIS_BROWSING.read_fraction == 1.0
+
+    def test_bidding_has_writes(self):
+        assert RUBIS_BIDDING.write_fraction > 0.0
+
+
+class TestRequestMix:
+    def test_with_read_fraction(self):
+        varied = CASSANDRA_UPDATE_HEAVY.with_read_fraction(0.5)
+        assert varied.read_fraction == 0.5
+        assert varied.cpu_intensity == CASSANDRA_UPDATE_HEAVY.cpu_intensity
+        assert varied.name != CASSANDRA_UPDATE_HEAVY.name
+
+    def test_activity_vector_length(self):
+        assert len(CASSANDRA_UPDATE_HEAVY.activity_vector()) == 5
+
+    def test_bad_read_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            RequestMix(
+                name="bad",
+                read_fraction=1.2,
+                cpu_intensity=0.5,
+                memory_intensity=0.5,
+                io_intensity=0.5,
+                flops_intensity=0.5,
+            )
+
+    def test_bad_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            RequestMix(
+                name="bad",
+                read_fraction=0.5,
+                cpu_intensity=1.5,
+                memory_intensity=0.5,
+                io_intensity=0.5,
+                flops_intensity=0.5,
+            )
+
+    def test_zero_demand_rejected(self):
+        with pytest.raises(ValueError):
+            RequestMix(
+                name="bad",
+                read_fraction=0.5,
+                cpu_intensity=0.5,
+                memory_intensity=0.5,
+                io_intensity=0.5,
+                flops_intensity=0.5,
+                demand_per_client=0.0,
+            )
+
+
+class TestWorkload:
+    def test_demand_units(self):
+        workload = Workload(volume=100.0, mix=CASSANDRA_UPDATE_HEAVY)
+        expected = 100.0 * CASSANDRA_UPDATE_HEAVY.demand_per_client
+        assert workload.demand_units == pytest.approx(expected)
+
+    def test_scaled(self):
+        workload = Workload(volume=100.0, mix=CASSANDRA_UPDATE_HEAVY)
+        assert workload.scaled(2.0).volume == 200.0
+
+    def test_scaled_preserves_mix(self):
+        workload = Workload(volume=100.0, mix=RUBIS_BIDDING)
+        assert workload.scaled(0.5).mix is RUBIS_BIDDING
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(volume=-1.0, mix=RUBIS_BIDDING)
+
+    def test_negative_scale_rejected(self):
+        workload = Workload(volume=1.0, mix=RUBIS_BIDDING)
+        with pytest.raises(ValueError):
+            workload.scaled(-1.0)
