@@ -1,0 +1,70 @@
+"""Fleet-scale benchmark: hundreds of co-hosted services, one process.
+
+The paper's cost model (Sec. 5) assumes one DejaVu deployment —
+profiling environment, signature repository, proxies — serves many
+co-hosted services at once.  This benchmark drives a 200-service fleet
+for a simulated day on one shared clock and records the engine's
+per-lane step throughput, the shared-repository hit rate, and the
+profiling-queue contention the multiplexing introduces.
+"""
+
+import time
+
+from benchmarks.conftest import print_figure
+from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+
+FLEET_LANES = 200
+FLEET_HOURS = 24.0
+
+
+def test_fleet_scale_200_services(benchmark):
+    start = time.perf_counter()
+    study = benchmark.pedantic(
+        run_fleet_multiplexing_study,
+        kwargs={"n_lanes": FLEET_LANES, "hours": FLEET_HOURS},
+        rounds=1,
+        iterations=1,
+    )
+    elapsed = time.perf_counter() - start
+    lane_steps = study.n_lanes * study.n_steps
+    lane_steps_per_second = lane_steps / elapsed
+
+    print_figure(
+        "Fleet scale: 200 services, one shared repository and profiler",
+        [
+            f"{study.n_lanes} lanes x {study.n_steps} steps = "
+            f"{lane_steps:,} lane-steps in {elapsed:.1f} s "
+            f"({lane_steps_per_second:,.0f} lane-steps/s)",
+            f"learning phases paid: {study.learning_runs} "
+            f"({study.tuning_invocations} tuner runs for the whole fleet)",
+            f"shared-repository hit rate: {study.hit_rate:.1%}",
+            f"profiling queue: mean wait {study.mean_queue_wait_seconds:.0f} s, "
+            f"max wait {study.max_queue_wait_seconds:.0f} s, "
+            f"peak depth {study.max_queue_depth}",
+            f"profiling environment cost: "
+            f"{study.amortized_profiling_fraction:.2%} of fleet spend",
+            f"fleet SLO violations: {study.violation_fraction:.1%}",
+        ],
+    )
+    benchmark.extra_info["lane_steps_per_second"] = lane_steps_per_second
+    benchmark.extra_info["hit_rate"] = study.hit_rate
+    benchmark.extra_info["max_queue_depth"] = study.max_queue_depth
+    benchmark.extra_info["amortized_profiling_fraction"] = (
+        study.amortized_profiling_fraction
+    )
+
+    # A 200-lane fleet must run end-to-end in one process, pay exactly
+    # one learning phase, and keep reusing the shared repository.
+    assert study.n_lanes == FLEET_LANES
+    assert study.n_steps == int(FLEET_HOURS * 3600 / study.step_seconds)
+    assert study.learning_runs == 1
+    assert study.hit_rate > 0.9
+    # With one profiling slot and 200 services adapting each hour, the
+    # queue must actually be contended — and still drain within the hour.
+    assert study.max_queue_depth == FLEET_LANES
+    assert study.max_queue_wait_seconds <= 3600.0
+    assert study.rejected_profiles == 0
+    # Amortization: the profiling environment is a rounding error at
+    # this fleet size (the paper's "cost of the DejaVu system" claim).
+    assert study.amortized_profiling_fraction < 0.01
+    assert study.violation_fraction < 0.05

@@ -3,10 +3,13 @@
     python -m repro.cli list
     python -m repro.cli run fig6
     python -m repro.cli run all --seed 3
+    python -m repro.cli fleet --lanes 200 --hours 24
 
 Each experiment name maps to the table/figure it regenerates; ``run``
 prints the headline numbers the paper's text quotes (the benchmark
-suite under ``benchmarks/`` prints the full series).
+suite under ``benchmarks/`` prints the full series).  ``fleet`` runs
+the fleet-scale multiplexing study: N co-hosted services sharing one
+signature repository and one bounded profiling queue (Sec. 5).
 """
 
 from __future__ import annotations
@@ -160,6 +163,34 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[int], list[str]]]] = {
 }
 
 
+def _fleet_rows(args) -> list[str]:
+    from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+
+    study = run_fleet_multiplexing_study(
+        n_lanes=args.lanes,
+        hours=args.hours,
+        step_seconds=args.step,
+        profiling_slots=args.slots,
+        seed=args.seed,
+    )
+    return [
+        f"{study.n_lanes} services x {study.n_steps} steps "
+        f"({study.step_seconds:.0f} s each) on one shared clock",
+        f"learning phases paid: {study.learning_runs} "
+        f"({study.tuning_invocations} tuner runs, amortized fleet-wide)",
+        f"shared-repository hit rate: {study.hit_rate:.1%}",
+        f"profiling queue ({args.slots} slot(s)): mean wait "
+        f"{study.mean_queue_wait_seconds:.0f} s, max wait "
+        f"{study.max_queue_wait_seconds:.0f} s, peak depth "
+        f"{study.max_queue_depth}, utilization "
+        f"{study.profiler_utilization:.1%}",
+        f"fleet production spend: ${study.fleet_hourly_cost:,.2f}/h; "
+        f"profiling environment adds "
+        f"{study.amortized_profiling_fraction:.2%} of that",
+        f"SLO violations across the fleet: {study.violation_fraction:.1%}",
+    ]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -170,6 +201,15 @@ def build_parser() -> argparse.ArgumentParser:
     run = subparsers.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
     run.add_argument("--seed", type=int, default=0)
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="fleet-scale multiplexing study (shared repository + profiler)",
+    )
+    fleet.add_argument("--lanes", type=int, default=8)
+    fleet.add_argument("--hours", type=float, default=24.0)
+    fleet.add_argument("--step", type=float, default=300.0)
+    fleet.add_argument("--slots", type=int, default=1)
+    fleet.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -178,6 +218,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         for name, (description, _fn) in EXPERIMENTS.items():
             print(f"{name:<9} {description}")
+        return 0
+    if args.command == "fleet":
+        print(f"== fleet: {args.lanes}-service multiplexing study")
+        for row in _fleet_rows(args):
+            print(f"   {row}")
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -15,6 +15,7 @@ This is the controller the paper's Figure 3 sketches:
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -145,6 +146,11 @@ class DejaVuManager:
         Builds a fresh classifier; defaults to the paper's C4.5 tree.
     full_capacity_type:
         Instance type of the full-capacity fallback allocation.
+    repository:
+        The allocation cache.  Defaults to a private repository; a fleet
+        of co-hosted services may pass one shared instance so tuned
+        allocations (and hit/miss accounting) are amortized across
+        services — the paper's Sec. 5 multiplexing argument.
     """
 
     def __init__(
@@ -156,6 +162,7 @@ class DejaVuManager:
         classifier_factory=C45DecisionTree,
         estimator: InterferenceEstimator | None = None,
         full_capacity_type: InstanceType | None = None,
+        repository: AllocationRepository | None = None,
     ) -> None:
         self.profiler = profiler
         self.production = production
@@ -165,7 +172,9 @@ class DejaVuManager:
         self.estimator = estimator if estimator is not None else InterferenceEstimator()
         self._full_capacity_type = full_capacity_type
 
-        self.repository = AllocationRepository()
+        self.repository = repository if repository is not None else AllocationRepository()
+        self._repository_external = repository is not None
+        self._repository_fleet_shared = False
         self.schema: SignatureSchema | None = None
         self.standardizer = Standardizer()
         self.clustering: ClusteringModel | None = None
@@ -201,6 +210,20 @@ class DejaVuManager:
         """
         if len(workloads) < 2:
             raise ValueError("learning needs at least two workloads")
+        if self._repository_fleet_shared or (
+            self._repository_external
+            and len(self.repository) > 0
+            and self.learning_report is None
+        ):
+            # This manager runs on a repository shared with other
+            # managers — via adopt_trained_state, or supplied at
+            # construction and already populated by another learner.
+            # Clearing it (or storing entries keyed by a fresh
+            # clustering's class numbers) would corrupt the fleet.
+            # Detach onto a private cache instead.
+            self.repository = AllocationRepository()
+            self._repository_fleet_shared = False
+            self._repository_external = False
         self.repository.clear()
         self._class_workloads.clear()
         self.relearn_requested = False
@@ -281,6 +304,39 @@ class DejaVuManager:
         report.tuning_seconds_total = tuning_seconds
         self.learning_report = report
         return report
+
+    def adopt_trained_state(self, leader: "DejaVuManager") -> None:
+        """Reuse another manager's learned model instead of re-learning.
+
+        The paper amortizes one profiling environment and one signature
+        repository across many co-hosted services (Sec. 5): replicas of
+        the same service do not each pay the learning day.  Adopting
+        shares the leader's repository object (so tuned allocations and
+        hit/miss accounting are fleet-wide) and copies its trained
+        model: schema, standardizer, clustering, classifier, novelty
+        radii, and class representatives.  Mutable pieces (the
+        standardizer, novelty radii, class map) are copied, not
+        aliased, so a later re-learn on either side cannot corrupt the
+        other's model in place.  Once shared, the repository is marked
+        fleet-shared on *both* sides: re-clustering renumbers workload
+        classes, so a manager that re-learns first detaches onto a
+        private repository rather than clearing (or re-keying) the
+        fleet's shared cache under everyone else.
+        """
+        if not leader.is_trained:
+            raise ValueError("cannot adopt state from an untrained manager")
+        if leader is self:
+            raise ValueError("a manager cannot adopt its own state")
+        self.repository = leader.repository
+        self.schema = leader.schema
+        self.standardizer = copy.deepcopy(leader.standardizer)
+        self.clustering = leader.clustering
+        self.classifier = leader.classifier
+        self._novelty_radii = np.array(leader._novelty_radii, copy=True)
+        self._class_workloads = dict(leader._class_workloads)
+        self.learning_report = leader.learning_report
+        self._repository_fleet_shared = True
+        leader._repository_fleet_shared = True
 
     # ------------------------------------------------------------------
     # Online loop (Sec. 3.5-3.6)

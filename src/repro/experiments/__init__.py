@@ -18,7 +18,10 @@ from repro.experiments.setup import (
 )
 from repro.experiments.flash_crowd import run_flash_crowd_study
 from repro.experiments.hit_rate import run_hit_rate_study
-from repro.experiments.multiplexing_study import run_multiplexing_study
+from repro.experiments.multiplexing_study import (
+    run_fleet_multiplexing_study,
+    run_multiplexing_study,
+)
 from repro.experiments.probe_study import run_probe_study
 from repro.experiments.sensitivity import run_margin_sweep, run_trials_sweep
 from repro.experiments.scaling import (
@@ -42,6 +45,7 @@ __all__ = [
     "run_scaleup_comparison",
     "run_flash_crowd_study",
     "run_hit_rate_study",
+    "run_fleet_multiplexing_study",
     "run_multiplexing_study",
     "run_probe_study",
     "run_margin_sweep",

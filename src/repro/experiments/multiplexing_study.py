@@ -1,17 +1,19 @@
-"""Multiplexing-accuracy study (Sec. 3.3).
+"""Multiplexing studies: registers (Sec. 3.3) and fleets (Sec. 5).
 
-"It is possible to monitor a large number of events using time-division
-multiplexing, but this causes a loss in accuracy [16].  Moreover ...
-we can reduce the dimensionality of the ensuing classification problem
-and significantly speed up the process by selecting only a subset of
-relevant events."
+Two senses of *multiplexing* appear in the paper, and this module
+quantifies both:
 
-This study quantifies the benefit our telemetry model gives to short
-signatures: signature readings collected with a dedicated-register
-sampler (<= 4 events, no multiplexing penalty) are compared against the
-same metrics extracted from a fully multiplexed 60-event sweep.  The
-per-reading noise difference translates into tighter in-class clusters
-and a larger separation margin between workload classes.
+* **Register multiplexing** (Sec. 3.3): "It is possible to monitor a
+  large number of events using time-division multiplexing, but this
+  causes a loss in accuracy [16]."  :func:`run_multiplexing_study`
+  compares signature-reading noise on dedicated registers against a
+  fully multiplexed 60-event sweep.
+* **System multiplexing** (Sec. 5, "cost of the DejaVu system"): one
+  profiling environment and one signature repository are amortized
+  across many co-hosted services.  :func:`run_fleet_multiplexing_study`
+  reproduces that argument at fleet scale: N service lanes share a
+  repository and contend for a bounded profiling queue, and the study
+  reports the amortized overhead alongside hit rate and queueing cost.
 """
 
 from __future__ import annotations
@@ -20,6 +22,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.repository import AllocationRepository
+from repro.sim.clock import HOUR
+from repro.sim.fleet import FleetEngine, FleetLane, FleetResult, ProfilingQueue
 from repro.telemetry.counters import HARDWARE_REGISTERS, HPCSampler
 from repro.telemetry.events import TABLE1_EVENTS
 from repro.workloads.request_mix import CASSANDRA_UPDATE_HEAVY, Workload
@@ -81,4 +86,148 @@ def run_multiplexing_study(
         events=events,
         dedicated_cv=cv(dedicated),
         multiplexed_cv=cv(multiplexed),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fleet-scale multiplexing (Sec. 5)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetMultiplexingStudy:
+    """One profiling environment and repository shared by ``n_lanes`` services."""
+
+    n_lanes: int
+    n_steps: int
+    step_seconds: float
+    learning_runs: int
+    """Learning phases paid by the whole fleet (1 when amortized)."""
+
+    tuning_invocations: int
+    """Tuner runs paid during learning — independent of fleet size."""
+
+    hit_rate: float
+    """Shared-repository hit rate across every lane's lookups."""
+
+    mean_queue_wait_seconds: float
+    max_queue_wait_seconds: float
+    max_queue_depth: int
+    rejected_profiles: int
+    profiler_utilization: float
+    """Fraction of shared profiling slot-time spent collecting."""
+
+    fleet_hourly_cost: float
+    """Mean fleet-wide production spend per hour (all lanes summed)."""
+
+    amortized_profiling_fraction: float
+    """Profiling-environment cost as a fraction of fleet production
+    cost; the paper's multiplexing claim is that this shrinks as the
+    fleet grows."""
+
+    violation_fraction: float
+    """Fraction of (step, lane) samples violating the latency SLO."""
+
+    result: FleetResult
+
+
+def run_fleet_multiplexing_study(
+    n_lanes: int = 4,
+    hours: float = 48.0,
+    step_seconds: float = 300.0,
+    profiling_slots: int = 1,
+    max_pending: int | None = None,
+    lane_seed_stride: int = 1,
+    trace_name: str = "messenger",
+    seed: int = 0,
+) -> FleetMultiplexingStudy:
+    """Run ``n_lanes`` co-hosted services against one shared DejaVu.
+
+    Lane 0's manager pays the learning day; every other lane adopts the
+    trained model and the shared repository, so the fleet pays one
+    learning phase regardless of size.  All lanes ride one
+    :class:`ProfilingQueue` with ``profiling_slots`` clone VMs, so each
+    online signature collection contends for the shared profiler.
+    ``lane_seed_stride`` controls workload diversity: stride 0 gives
+    every lane the identical trace (useful for determinism properties),
+    stride 1 gives each lane its own phase wander and jitter.
+
+    The default 5-minute step keeps adaptation hourly (the managers'
+    check interval) while sampling performance between adaptations, so
+    the VM warm-up transient right after a reallocation is weighted as
+    in the paper's 60-second-step case studies rather than dominating
+    every sample.
+    """
+    # Imported here: repro.experiments.setup imports the manager layer,
+    # which this module must not pull in at import time for the
+    # register-multiplexing study alone.
+    from repro.experiments.setup import build_scaleout_setup, observe_scaleout
+
+    if n_lanes < 1:
+        raise ValueError(f"need at least one lane: {n_lanes}")
+    if hours <= 0:
+        raise ValueError(f"need a positive duration: {hours}")
+    shared_repository = AllocationRepository()
+    setups = [
+        build_scaleout_setup(
+            trace_name=trace_name,
+            repository=shared_repository,
+            trace_seed=seed + lane * lane_seed_stride,
+            # Monitors derive two sampler seeds from this (seed and
+            # seed + 1), so lanes stride by 2 to keep every lane's
+            # telemetry noise stream independent of its neighbours'.
+            seed=seed + 2 * lane * lane_seed_stride,
+        )
+        for lane in range(n_lanes)
+    ]
+    leader = setups[0].manager
+    leader.learn(setups[0].trace.hourly_workloads(day=0))
+    for setup in setups[1:]:
+        setup.manager.adopt_trained_state(leader)
+
+    queue = ProfilingQueue(
+        slots=profiling_slots,
+        service_seconds=setups[0].profiler.signature_seconds,
+        max_pending=max_pending,
+    )
+    lanes = [
+        FleetLane(
+            workload_fn=setup.trace.workload_at,
+            controller=setup.manager,
+            observe_fn=observe_scaleout(setup),
+            label=f"svc-{lane}",
+        )
+        for lane, setup in enumerate(setups)
+    ]
+    engine = FleetEngine(
+        lanes,
+        step_seconds=step_seconds,
+        label=f"fleet-{n_lanes}",
+        profiling_queue=queue,
+    )
+    duration = hours * HOUR
+    result = engine.run(duration)
+
+    latency = result.matrix("latency_ms")
+    bound_ms = setups[0].service.slo.bound_ms
+    fleet_hourly_cost = result.total("hourly_cost").mean()
+    profiling_hourly_cost = (
+        profiling_slots * setups[0].profiler.clone_allocation.hourly_cost
+    )
+    return FleetMultiplexingStudy(
+        n_lanes=n_lanes,
+        n_steps=result.n_steps,
+        step_seconds=step_seconds,
+        learning_runs=1 + sum(s.manager.relearn_count for s in setups),
+        tuning_invocations=leader.learning_report.tuning_invocations,
+        hit_rate=shared_repository.stats.hit_rate,
+        mean_queue_wait_seconds=queue.mean_wait_seconds,
+        max_queue_wait_seconds=queue.max_wait_seconds,
+        max_queue_depth=queue.max_depth,
+        rejected_profiles=queue.rejected,
+        profiler_utilization=queue.utilization(duration),
+        fleet_hourly_cost=fleet_hourly_cost,
+        amortized_profiling_fraction=profiling_hourly_cost / fleet_hourly_cost,
+        violation_fraction=float(np.mean(latency > bound_ms)),
+        result=result,
     )

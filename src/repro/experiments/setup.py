@@ -126,12 +126,20 @@ def build_scaleout_setup(
     config: DejaVuConfig | None = None,
     service: Service | None = None,
     classifier_factory=None,
+    repository=None,
+    trace_seed: int | None = None,
     seed: int = 0,
 ) -> ScaleOutSetup:
-    """Assemble the Cassandra scale-out case study (Sec. 4.1, Figs. 6-8, 11)."""
+    """Assemble the Cassandra scale-out case study (Sec. 4.1, Figs. 6-8, 11).
+
+    ``seed`` feeds the telemetry samplers; ``trace_seed`` (None keeps
+    the canonical calibrated trace) re-draws the synthetic trace's
+    phase wander and jitter — fleet studies use it to give each lane a
+    genuinely different workload week.
+    """
     if service is None:
         service = CassandraService()
-    trace = make_trace(trace_name, CASSANDRA_UPDATE_HEAVY, peak_demand)
+    trace = make_trace(trace_name, CASSANDRA_UPDATE_HEAVY, peak_demand, seed=trace_seed)
     provider = CloudProvider(max_instances=10)
     injector = (
         InterferenceInjector(interference_schedule)
@@ -148,6 +156,8 @@ def build_scaleout_setup(
     manager_kwargs = {}
     if classifier_factory is not None:
         manager_kwargs["classifier_factory"] = classifier_factory
+    if repository is not None:
+        manager_kwargs["repository"] = repository
     manager = DejaVuManager(
         profiler=profiler,
         production=production,

@@ -10,6 +10,14 @@ observe the service and adjust allocations, and a
 
 from repro.sim.clock import HOUR, MINUTE, SECONDS_PER_DAY, SimClock
 from repro.sim.engine import SimulationEngine, StepContext
+from repro.sim.fleet import (
+    FleetEngine,
+    FleetLane,
+    FleetResult,
+    ProfilingGrant,
+    ProfilingQueue,
+    QueuedController,
+)
 from repro.sim.result import SimulationResult, TimeSeries
 
 __all__ = [
@@ -19,6 +27,12 @@ __all__ = [
     "SimClock",
     "SimulationEngine",
     "StepContext",
+    "FleetEngine",
+    "FleetLane",
+    "FleetResult",
+    "ProfilingGrant",
+    "ProfilingQueue",
+    "QueuedController",
     "SimulationResult",
     "TimeSeries",
 ]

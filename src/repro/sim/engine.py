@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
-from repro.sim.clock import SimClock
 from repro.sim.result import SimulationResult
 from repro.workloads.request_mix import Workload
 
@@ -87,19 +86,21 @@ class SimulationEngine:
         self._label = label
 
     def run(self, duration_seconds: float, start: float = 0.0) -> SimulationResult:
-        """Run the simulation and return the recorded result."""
-        if duration_seconds <= 0:
-            raise ValueError(f"duration must be positive, got {duration_seconds}")
-        clock = SimClock(start)
-        result = SimulationResult(label=self._label)
-        end = start + duration_seconds
-        while clock.now < end:
-            workload = self._workload_fn(clock.now)
-            ctx = StepContext(
-                t=clock.now, workload=workload, hour=clock.hour, day=clock.day
-            )
-            self._controller.on_step(ctx)
-            for name, value in self._observe_fn(ctx).items():
-                result.record(name, clock.now, value)
-            clock.advance(self._step)
-        return result
+        """Run the simulation and return the recorded result.
+
+        Implemented as a one-lane :class:`~repro.sim.fleet.FleetEngine`
+        run, so the single-service experiments exercise the same batched
+        stepping code path as fleet-scale studies.
+        """
+        from repro.sim.fleet import FleetEngine, FleetLane
+
+        lane = FleetLane(
+            workload_fn=self._workload_fn,
+            controller=self._controller,
+            observe_fn=self._observe_fn,
+            label=self._label,
+        )
+        fleet = FleetEngine(
+            [lane], step_seconds=self._step, label=self._label
+        )
+        return fleet.run(duration_seconds, start=start).lane_result(0)

@@ -1,0 +1,435 @@
+"""Fleet-scale simulation: many (controller, service, workload) lanes.
+
+The paper's headline economics (Sec. 5, "cost of the DejaVu system")
+rest on *multiplexing*: one profiling environment and one workload
+signature repository are amortized across many co-hosted services.  The
+single-service :class:`~repro.sim.engine.SimulationEngine` cannot
+exercise that argument, so this module generalizes it to a **fleet**: N
+independent lanes stepped on one shared clock.
+
+Three pieces:
+
+* :class:`FleetLane` — one (workload, controller, observation) triple,
+  exactly the contract the single-service engine had.
+* :class:`ProfilingQueue` — the shared profiling environment modeled as
+  a bounded multi-slot FIFO queue.  Lanes that want to collect a
+  signature in the same step contend for slots; the queue reports
+  per-request waiting time, peak depth, and utilization — the price of
+  multiplexing one profiler across hundreds of services.
+* :class:`FleetEngine` / :class:`FleetResult` — the stepped loop and its
+  batched recording.  Observations are gathered into one
+  ``(n_series, n_lanes)`` row per step and appended to growable numpy
+  buffers, instead of the per-sample ``dict`` → ``TimeSeries.record``
+  round-trip the legacy engine performed.  Per-lane series materialize
+  lazily (and bit-identically) from buffer columns.
+
+The legacy :meth:`SimulationEngine.run` is a thin wrapper over a 1-lane
+fleet, so every existing experiment exercises this code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import Controller, StepContext
+from repro.sim.result import SimulationResult, TimeSeries
+from repro.workloads.request_mix import Workload
+
+
+@dataclass
+class FleetLane:
+    """One independent service lane in the fleet.
+
+    The contract mirrors the single-service engine: a workload function,
+    a controller, and an observation function recording named series.
+    """
+
+    workload_fn: Callable[[float], Workload]
+    controller: Controller
+    observe_fn: Callable[[StepContext], dict[str, float]]
+    label: str = "lane"
+
+
+# ----------------------------------------------------------------------
+# Shared profiling environment as a bounded queue
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProfilingGrant:
+    """Outcome of one profiling request against the shared environment."""
+
+    requested_at: float
+    start_at: float
+    finish_at: float
+    accepted: bool = True
+
+    @property
+    def wait_seconds(self) -> float:
+        """Time spent queued before a profiling slot opened."""
+        return self.start_at - self.requested_at
+
+
+class ProfilingQueue:
+    """A contended profiling environment: ``slots`` clone VMs, FIFO order.
+
+    Each profiling run (signature collection) occupies one slot for
+    ``service_seconds``.  Requests arriving while all slots are busy
+    wait for the earliest slot to free; once more than ``max_pending``
+    requests are queued (not yet started), further arrivals are rejected
+    — the bounded-queue back-pressure a real shared profiler would
+    apply.  Time never rewinds: requests must arrive in non-decreasing
+    time order, as the fleet engine guarantees.
+    """
+
+    def __init__(
+        self,
+        slots: int = 1,
+        service_seconds: float = 10.0,
+        max_pending: int | None = None,
+    ) -> None:
+        if slots < 1:
+            raise ValueError(f"need at least one profiling slot: {slots}")
+        if service_seconds <= 0:
+            raise ValueError(f"service time must be positive: {service_seconds}")
+        if max_pending is not None and max_pending < 0:
+            raise ValueError(f"bad queue bound: {max_pending}")
+        self.slots = slots
+        self.service_seconds = float(service_seconds)
+        self.max_pending = max_pending
+        self._slot_free = np.zeros(slots, dtype=float)
+        self._last_request_at = float("-inf")
+        self.grants: list[ProfilingGrant] = []
+        self.rejected = 0
+        self.max_depth = 0
+        self.busy_seconds = 0.0
+
+    def _outstanding_per_slot(self, t: float) -> np.ndarray:
+        """Unfinished requests stacked on each slot at time ``t``.
+
+        Accepted requests occupy a slot back-to-back for exactly
+        ``service_seconds`` each, so a slot freeing at ``F`` still owes
+        ``ceil((F - t) / service_seconds)`` runs (the epsilon keeps
+        exact multiples from rounding up).
+        """
+        backlog = np.maximum(self._slot_free - t, 0.0)
+        return np.ceil(backlog / self.service_seconds - 1e-12)
+
+    def pending_at(self, t: float) -> int:
+        """Requests granted but not yet *started* at time ``t``."""
+        outstanding = self._outstanding_per_slot(t)
+        return int(np.maximum(outstanding - 1, 0.0).sum())
+
+    def depth_at(self, t: float) -> int:
+        """Requests queued or in service at time ``t``."""
+        return int(self._outstanding_per_slot(t).sum())
+
+    def request(self, t: float) -> ProfilingGrant:
+        """Ask for one profiling run starting no earlier than ``t``."""
+        if t < self._last_request_at:
+            raise ValueError(
+                f"profiling requests must not rewind: t={t} < {self._last_request_at}"
+            )
+        self._last_request_at = t
+        slot = int(np.argmin(self._slot_free))
+        would_wait = float(self._slot_free[slot]) > t
+        if (
+            self.max_pending is not None
+            and would_wait
+            and self.pending_at(t) >= self.max_pending
+        ):
+            self.rejected += 1
+            grant = ProfilingGrant(
+                requested_at=t, start_at=t, finish_at=t, accepted=False
+            )
+            self.grants.append(grant)
+            return grant
+        start = max(t, float(self._slot_free[slot]))
+        finish = start + self.service_seconds
+        self._slot_free[slot] = finish
+        self.busy_seconds += self.service_seconds
+        self.max_depth = max(self.max_depth, self.depth_at(t))
+        grant = ProfilingGrant(requested_at=t, start_at=start, finish_at=finish)
+        self.grants.append(grant)
+        return grant
+
+    @property
+    def accepted_grants(self) -> list[ProfilingGrant]:
+        return [g for g in self.grants if g.accepted]
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.grants)
+
+    @property
+    def mean_wait_seconds(self) -> float:
+        accepted = self.accepted_grants
+        if not accepted:
+            return 0.0
+        return float(np.mean([g.wait_seconds for g in accepted]))
+
+    @property
+    def max_wait_seconds(self) -> float:
+        accepted = self.accepted_grants
+        if not accepted:
+            return 0.0
+        return float(np.max([g.wait_seconds for g in accepted]))
+
+    def utilization(self, duration_seconds: float, start: float = 0.0) -> float:
+        """Fraction of slot-time in ``[start, start + duration)`` spent
+        profiling.
+
+        Service intervals are clipped to the window, so a backlog that
+        is scheduled past the end of the run does not inflate the
+        figure beyond 100%.
+        """
+        if duration_seconds <= 0:
+            raise ValueError(f"duration must be positive: {duration_seconds}")
+        end = start + duration_seconds
+        busy_within = sum(
+            max(0.0, min(g.finish_at, end) - max(g.start_at, start))
+            for g in self.accepted_grants
+        )
+        return busy_within / (self.slots * duration_seconds)
+
+
+class QueuedController:
+    """Route a controller's profiling runs through a shared queue.
+
+    DejaVu profiles once per adaptation (the ~10 s signature
+    collection).  Wrapping the controller lets the fleet charge those
+    runs to the shared :class:`ProfilingQueue` without changing the
+    controller contract: after each step, any new entries on the inner
+    controller's ``adaptation_events`` are enqueued at the step time.
+    Controllers without ``adaptation_events`` (Autopilot, RightScale,
+    Overprovision) never profile online and pass through untouched.
+
+    This charges exactly one queue request per adaptation; profiling
+    bursts that are not 1:1 with adaptations (an auto-relearn's
+    learning-day sweep, isolated-performance runs during interference
+    escalation) are not charged, so reported contention is a lower
+    bound under those configs (see ROADMAP "Profiling-queue feedback").
+    """
+
+    def __init__(self, inner: Controller, queue: ProfilingQueue) -> None:
+        self.inner = inner
+        self.queue = queue
+        self.grants: list[ProfilingGrant] = []
+
+    def _profiling_runs(self) -> int:
+        events = getattr(self.inner, "adaptation_events", None)
+        return len(events) if events is not None else 0
+
+    def on_step(self, ctx: StepContext) -> None:
+        before = self._profiling_runs()
+        self.inner.on_step(ctx)
+        for _ in range(self._profiling_runs() - before):
+            self.grants.append(self.queue.request(ctx.t))
+
+
+# ----------------------------------------------------------------------
+# Batched recording
+# ----------------------------------------------------------------------
+
+
+class _RowBuffer:
+    """A growable ``(n_steps, n_lanes)`` float buffer (doubling growth)."""
+
+    def __init__(self, n_lanes: int, capacity: int = 256) -> None:
+        self._data = np.empty((capacity, n_lanes), dtype=float)
+        self._len = 0
+
+    def append(self, row: np.ndarray) -> None:
+        if self._len == self._data.shape[0]:
+            grown = np.empty(
+                (2 * self._data.shape[0], self._data.shape[1]), dtype=float
+            )
+            grown[: self._len] = self._data[: self._len]
+            self._data = grown
+        self._data[self._len] = row
+        self._len += 1
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._data[: self._len]
+
+
+@dataclass
+class FleetResult:
+    """All recorded outputs of one fleet run.
+
+    Values live in ``(n_steps, n_lanes)`` matrices, one per series name;
+    per-lane :class:`SimulationResult` views and fleet-wide aggregate
+    series are derived on demand.
+    """
+
+    label: str
+    lane_labels: tuple[str, ...]
+    times: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=float))
+    matrices: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.lane_labels)
+
+    @property
+    def n_steps(self) -> int:
+        return int(self.times.size)
+
+    def series_names(self) -> tuple[str, ...]:
+        return tuple(self.matrices)
+
+    def matrix(self, name: str) -> np.ndarray:
+        """The raw ``(n_steps, n_lanes)`` value matrix for one series."""
+        if name not in self.matrices:
+            raise KeyError(f"no series {name!r}; have {sorted(self.matrices)}")
+        return self.matrices[name]
+
+    def lane_index(self, label: str) -> int:
+        try:
+            return self.lane_labels.index(label)
+        except ValueError:
+            raise KeyError(
+                f"no lane {label!r}; have {list(self.lane_labels)}"
+            ) from None
+
+    def lane_series(self, name: str, lane: int) -> TimeSeries:
+        """One lane's column of one series, as a :class:`TimeSeries`."""
+        if not 0 <= lane < self.n_lanes:
+            raise IndexError(f"lane {lane} out of range [0, {self.n_lanes})")
+        return TimeSeries.from_arrays(name, self.times, self.matrix(name)[:, lane])
+
+    def lane_result(self, lane: int) -> SimulationResult:
+        """Materialize one lane as a legacy :class:`SimulationResult`."""
+        if not 0 <= lane < self.n_lanes:
+            raise IndexError(f"lane {lane} out of range [0, {self.n_lanes})")
+        result = SimulationResult(label=self.lane_labels[lane])
+        for name in self.matrices:
+            result.series[name] = self.lane_series(name, lane)
+        return result
+
+    def total(self, name: str) -> TimeSeries:
+        """Fleet-wide sum of one series per step (e.g. total hourly cost)."""
+        return TimeSeries.from_arrays(
+            f"{name}.total", self.times, self.matrix(name).sum(axis=1)
+        )
+
+    def mean(self, name: str) -> TimeSeries:
+        """Fleet-wide mean of one series per step."""
+        return TimeSeries.from_arrays(
+            f"{name}.mean", self.times, self.matrix(name).mean(axis=1)
+        )
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+class FleetEngine:
+    """Steps N independent lanes on one shared clock.
+
+    Parameters
+    ----------
+    lanes:
+        The fleet; at least one lane.  All lanes must observe the same
+        series names (they share the batched value matrices).
+    step_seconds:
+        Shared step width, as in the single-service engine.
+    profiling_queue:
+        Optional shared profiling environment.  When given, every
+        lane's controller is wrapped in :class:`QueuedController` so
+        its online profiling runs contend for the queue's slots.
+    """
+
+    def __init__(
+        self,
+        lanes: list[FleetLane],
+        step_seconds: float = 60.0,
+        label: str = "fleet",
+        profiling_queue: ProfilingQueue | None = None,
+    ) -> None:
+        if not lanes:
+            raise ValueError("a fleet needs at least one lane")
+        if step_seconds <= 0:
+            raise ValueError(f"step must be positive, got {step_seconds}")
+        self._lanes = list(lanes)
+        self._step = float(step_seconds)
+        self._label = label
+        self.profiling_queue = profiling_queue
+        # The caller's FleetLane objects are left untouched; queue
+        # wrappers live in the engine's own controller list.
+        if profiling_queue is not None:
+            self.controllers: list[Controller] = [
+                QueuedController(lane.controller, profiling_queue)
+                for lane in self._lanes
+            ]
+        else:
+            self.controllers = [lane.controller for lane in self._lanes]
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self._lanes)
+
+    @staticmethod
+    def _schema_error(
+        lane: FleetLane, observation: dict[str, float], names: tuple[str, ...]
+    ) -> ValueError:
+        missing = sorted(set(names) - set(observation))
+        extra = sorted(set(observation) - set(names))
+        return ValueError(
+            f"lane {lane.label!r} observation does not match the fleet's "
+            f"series schema: missing {missing}, unexpected {extra}"
+        )
+
+    def run(self, duration_seconds: float, start: float = 0.0) -> FleetResult:
+        """Run all lanes to ``start + duration_seconds`` and return the result."""
+        if duration_seconds <= 0:
+            raise ValueError(f"duration must be positive, got {duration_seconds}")
+        clock = SimClock(start)
+        end = start + duration_seconds
+        n_lanes = len(self._lanes)
+        names: tuple[str, ...] | None = None
+        row: np.ndarray | None = None
+        buffers: dict[str, _RowBuffer] = {}
+        times: list[float] = []
+        while clock.now < end:
+            t, hour, day = clock.now, clock.hour, clock.day
+            for i, lane in enumerate(self._lanes):
+                ctx = StepContext(
+                    t=t, workload=lane.workload_fn(t), hour=hour, day=day
+                )
+                self.controllers[i].on_step(ctx)
+                observation = lane.observe_fn(ctx)
+                if names is None:
+                    # First observation fixes the series schema; one
+                    # preallocated (n_series, n_lanes) row is reused
+                    # every step.
+                    names = tuple(observation)
+                    row = np.empty((len(names), n_lanes), dtype=float)
+                    buffers = {name: _RowBuffer(n_lanes) for name in names}
+                # Schema check is by name, not key order: rows are
+                # filled by name lookup, so only a missing or extra
+                # series is an error.
+                if len(observation) != len(names):
+                    raise self._schema_error(lane, observation, names)
+                try:
+                    for j, name in enumerate(names):
+                        row[j, i] = observation[name]
+                except KeyError:
+                    raise self._schema_error(lane, observation, names) from None
+            if names:
+                for j, name in enumerate(names):
+                    buffers[name].append(row[j])
+            times.append(t)
+            clock.advance(self._step)
+        return FleetResult(
+            label=self._label,
+            lane_labels=tuple(lane.label for lane in self._lanes),
+            times=np.asarray(times, dtype=float),
+            matrices={name: buffers[name].array for name in buffers},
+        )

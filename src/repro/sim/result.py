@@ -34,6 +34,39 @@ class TimeSeries:
         self._times.append(float(t))
         self._values.append(float(value))
 
+    def extend(self, times: np.ndarray, values: np.ndarray) -> None:
+        """Append a whole batch of samples at once.
+
+        The batched counterpart of :meth:`record` used by the fleet
+        engine, which buffers one value per (step, lane) in numpy arrays
+        and materializes per-lane series in a single call instead of one
+        ``record`` round-trip per sample.
+        """
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.shape != values.shape or times.ndim != 1:
+            raise ValueError(
+                f"batch shapes differ for {self.name!r}: "
+                f"{times.shape} vs {values.shape}"
+            )
+        if times.size == 0:
+            return
+        if np.any(np.diff(times) < 0) or (
+            self._times and times[0] < self._times[-1]
+        ):
+            raise ValueError(f"out-of-order batch for {self.name!r}")
+        self._times.extend(times.tolist())
+        self._values.extend(values.tolist())
+
+    @classmethod
+    def from_arrays(
+        cls, name: str, times: np.ndarray, values: np.ndarray
+    ) -> "TimeSeries":
+        """Build a series from parallel time/value arrays in one shot."""
+        series = cls(name)
+        series.extend(times, values)
+        return series
+
     def __len__(self) -> int:
         return len(self._times)
 

@@ -24,6 +24,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_fleet_command(self):
+        args = build_parser().parse_args(
+            ["fleet", "--lanes", "16", "--hours", "12", "--slots", "2"]
+        )
+        assert args.command == "fleet"
+        assert args.lanes == 16
+        assert args.hours == 12.0
+        assert args.slots == 2
+        assert args.seed == 0
+
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.lanes == 8
+        assert args.hours == 24.0
+        assert args.step == 300.0
+
 
 class TestRegistry:
     def test_every_figure_covered(self):
@@ -56,3 +72,10 @@ class TestMain:
         assert main(["run", "overhead"]) == 0
         out = capsys.readouterr().out
         assert "latency" in out
+
+    def test_run_fleet(self, capsys):
+        assert main(["fleet", "--lanes", "2", "--hours", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2-service multiplexing study" in out
+        assert "hit rate" in out
+        assert "profiling queue" in out

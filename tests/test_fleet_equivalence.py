@@ -1,0 +1,125 @@
+"""Equivalence: a 1-lane fleet reproduces the legacy engine bit-for-bit.
+
+``SimulationEngine.run`` is now a thin wrapper over a one-lane
+:class:`FleetEngine`.  These tests pin the refactor down: for every
+controller family (DejaVu, Autopilot, RightScale, Overprovision) the
+wrapper and a directly-driven one-lane fleet must produce series that
+are bit-identical to a reference loop implementing the seed engine's
+semantics (per-step: workload -> controller -> observe -> record).
+
+Each run gets a freshly built setup so no provider/service/RNG state
+leaks between the compared executions; determinism comes from the
+seeded substrates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.autopilot import Autopilot
+from repro.baselines.overprovision import Overprovision
+from repro.baselines.rightscale import RightScale
+from repro.experiments.setup import build_scaleout_setup, observe_scaleout
+from repro.sim.clock import HOUR, SimClock
+from repro.sim.engine import SimulationEngine, StepContext
+from repro.sim.fleet import FleetEngine, FleetLane
+from repro.sim.result import SimulationResult
+
+DURATION = 3 * HOUR
+STEP = 600.0
+
+
+def reference_run(
+    workload_fn, controller, observe_fn, step_seconds, label, duration
+) -> SimulationResult:
+    """The seed repo's SimulationEngine.run loop, verbatim semantics."""
+    clock = SimClock(0.0)
+    result = SimulationResult(label=label)
+    end = 0.0 + duration
+    while clock.now < end:
+        workload = workload_fn(clock.now)
+        ctx = StepContext(
+            t=clock.now, workload=workload, hour=clock.hour, day=clock.day
+        )
+        controller.on_step(ctx)
+        for name, value in observe_fn(ctx).items():
+            result.record(name, clock.now, value)
+        clock.advance(step_seconds)
+    return result
+
+
+def build_policy(policy: str):
+    """A fresh (workload_fn, controller, observe_fn) triple per call."""
+    setup = build_scaleout_setup(seed=0)
+    learning_day = setup.trace.hourly_workloads(day=0)
+    if policy == "dejavu":
+        setup.manager.learn(learning_day)
+        controller = setup.manager
+    elif policy == "autopilot":
+        controller = Autopilot(setup.production, setup.tuner)
+        controller.learn_schedule(learning_day)
+    elif policy == "rightscale":
+        controller = RightScale(setup.production, seed=7)
+    elif policy == "overprovision":
+        controller = Overprovision(setup.production)
+    else:
+        raise ValueError(policy)
+    return setup.trace.workload_at, controller, observe_scaleout(setup)
+
+
+def assert_bit_identical(a: SimulationResult, b: SimulationResult) -> None:
+    assert set(a.series) == set(b.series)
+    assert a.series, "equivalence over an empty result proves nothing"
+    for name in a.series:
+        sa, sb = a.series[name], b.series[name]
+        np.testing.assert_array_equal(sa.times, sb.times, strict=True)
+        np.testing.assert_array_equal(sa.values, sb.values, strict=True)
+
+
+POLICIES = ("dejavu", "autopilot", "rightscale", "overprovision")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_wrapper_matches_reference(policy):
+    workload_fn, controller, observe_fn = build_policy(policy)
+    expected = reference_run(
+        workload_fn, controller, observe_fn, STEP, policy, DURATION
+    )
+
+    workload_fn, controller, observe_fn = build_policy(policy)
+    engine = SimulationEngine(
+        workload_fn, controller, observe_fn, step_seconds=STEP, label=policy
+    )
+    actual = engine.run(DURATION)
+
+    assert actual.label == policy
+    assert_bit_identical(expected, actual)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_one_lane_fleet_matches_reference(policy):
+    workload_fn, controller, observe_fn = build_policy(policy)
+    expected = reference_run(
+        workload_fn, controller, observe_fn, STEP, policy, DURATION
+    )
+
+    workload_fn, controller, observe_fn = build_policy(policy)
+    fleet = FleetEngine(
+        [FleetLane(workload_fn, controller, observe_fn, label=policy)],
+        step_seconds=STEP,
+    )
+    actual = fleet.run(DURATION).lane_result(0)
+
+    assert_bit_identical(expected, actual)
+
+
+def test_wrapper_still_validates_duration():
+    workload_fn, controller, observe_fn = build_policy("overprovision")
+    engine = SimulationEngine(workload_fn, controller, observe_fn)
+    with pytest.raises(ValueError, match="duration"):
+        engine.run(0.0)
+
+
+def test_wrapper_still_validates_step():
+    workload_fn, controller, observe_fn = build_policy("overprovision")
+    with pytest.raises(ValueError, match="step"):
+        SimulationEngine(workload_fn, controller, observe_fn, step_seconds=-1.0)

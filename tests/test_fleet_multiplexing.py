@@ -1,0 +1,136 @@
+"""Properties of the fleet-scale multiplexing study (Sec. 5)."""
+
+import pytest
+
+from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+
+#: One signature collection on the shared profiler (Monitor default).
+SIGNATURE_SECONDS = 10.0
+
+
+def run_small(n_lanes: int, **kwargs):
+    defaults = dict(hours=6.0, lane_seed_stride=0, seed=0)
+    defaults.update(kwargs)
+    return run_fleet_multiplexing_study(n_lanes=n_lanes, **defaults)
+
+
+class TestValidation:
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(ValueError, match="lane"):
+            run_fleet_multiplexing_study(n_lanes=0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            run_fleet_multiplexing_study(n_lanes=1, hours=0.0)
+
+
+class TestSharedRepository:
+    def test_hit_rate_monotone_as_lanes_grow(self):
+        # With identical lanes the shared repository serves every lane
+        # from the one learned model: multiplexing more services onto
+        # the repository must never degrade its hit rate.
+        rates = [run_small(n).hit_rate for n in (1, 2, 4)]
+        assert all(b >= a - 1e-12 for a, b in zip(rates, rates[1:]))
+        assert rates[0] > 0.9
+
+    def test_learning_amortized_fleet_wide(self):
+        # One learning phase and one set of tuner runs, regardless of
+        # fleet size — the multiplexing cost claim.
+        studies = [run_small(n) for n in (1, 4)]
+        assert [s.learning_runs for s in studies] == [1, 1]
+        assert studies[0].tuning_invocations == studies[1].tuning_invocations
+
+    def test_profiling_overhead_shrinks_with_fleet_size(self):
+        small, large = run_small(1), run_small(4)
+        assert large.amortized_profiling_fraction < (
+            small.amortized_profiling_fraction
+        )
+
+    def test_relearn_detaches_from_shared_repository(self):
+        # Re-clustering renumbers workload classes, so a manager that
+        # re-learns must fork onto a private cache instead of clearing
+        # (or re-keying) the fleet's shared one under the other lanes.
+        from repro.core.repository import AllocationRepository
+        from repro.experiments.setup import build_scaleout_setup
+
+        shared = AllocationRepository()
+        leader = build_scaleout_setup(repository=shared, seed=0)
+        follower = build_scaleout_setup(repository=shared, seed=0)
+        leader.manager.learn(leader.trace.hourly_workloads(day=0))
+        follower.manager.adopt_trained_state(leader.manager)
+        # Mutable model state is copied, not aliased.
+        assert follower.manager.standardizer is not leader.manager.standardizer
+        entries_before = len(shared)
+        assert entries_before > 0
+
+        follower.manager.relearn(
+            now=0.0, workloads=follower.trace.hourly_workloads(day=1)
+        )
+        assert follower.manager.repository is not shared
+        assert len(shared) == entries_before
+
+        leader.manager.relearn(
+            now=0.0, workloads=leader.trace.hourly_workloads(day=1)
+        )
+        assert leader.manager.repository is not shared
+        assert len(shared) == entries_before
+
+    def test_direct_learn_on_populated_shared_repository_detaches(self):
+        # Passing one repository to several constructors is the other
+        # sharing shape: a manager that learns on an already-populated
+        # shared cache must fork rather than clear it under the lane
+        # that populated it.
+        from repro.core.repository import AllocationRepository
+        from repro.experiments.setup import build_scaleout_setup
+
+        shared = AllocationRepository()
+        first = build_scaleout_setup(repository=shared, seed=0)
+        second = build_scaleout_setup(repository=shared, seed=1)
+        first.manager.learn(first.trace.hourly_workloads(day=0))
+        entries_before = len(shared)
+        assert entries_before > 0
+
+        second.manager.learn(second.trace.hourly_workloads(day=0))
+        assert second.manager.repository is not shared
+        assert len(shared) == entries_before
+        assert len(second.manager.repository) > 0
+
+
+class TestProfilingContention:
+    def test_queue_wait_bounded_by_fleet_size(self):
+        # All lanes adapt in the same hourly step; with one slot the
+        # FIFO bound is (n_lanes - 1) service times, and the queue must
+        # drain before the next hourly adaptation wave.
+        study = run_small(4)
+        assert study.max_queue_wait_seconds <= 3 * SIGNATURE_SECONDS
+        assert study.max_queue_depth <= 4
+        assert study.rejected_profiles == 0
+
+    def test_more_slots_reduce_waiting(self):
+        one = run_small(4, profiling_slots=1)
+        four = run_small(4, profiling_slots=4)
+        assert four.mean_queue_wait_seconds <= one.mean_queue_wait_seconds
+        assert four.mean_queue_wait_seconds == 0.0
+
+    def test_bounded_queue_rejects_when_overloaded(self):
+        study = run_small(6, max_pending=1)
+        assert study.rejected_profiles > 0
+
+
+class TestFleetSeries:
+    def test_result_shape_and_aggregates(self):
+        study = run_small(3, hours=2.0)
+        result = study.result
+        assert result.n_lanes == 3
+        assert result.n_steps == study.n_steps == int(2.0 * 3600 / 300.0)
+        total = result.total("hourly_cost")
+        lanes = [result.lane_series("hourly_cost", i) for i in range(3)]
+        for step in range(result.n_steps):
+            assert total.values[step] == pytest.approx(
+                sum(lane.values[step] for lane in lanes)
+            )
+
+    def test_identical_lanes_observe_identical_series(self):
+        study = run_small(2, hours=2.0)
+        matrix = study.result.matrix("latency_ms")
+        assert matrix[:, 0].tolist() == matrix[:, 1].tolist()

@@ -1,0 +1,286 @@
+"""Unit, edge-case, and property tests for the fleet simulation layer."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import StepContext
+from repro.sim.fleet import (
+    FleetEngine,
+    FleetLane,
+    FleetResult,
+    ProfilingQueue,
+    QueuedController,
+)
+from repro.workloads.request_mix import CASSANDRA_UPDATE_HEAVY, Workload
+
+
+def constant_workload(_t: float) -> Workload:
+    return Workload(volume=100.0, mix=CASSANDRA_UPDATE_HEAVY)
+
+
+class RecordingController:
+    def __init__(self):
+        self.contexts: list[StepContext] = []
+
+    def on_step(self, ctx: StepContext) -> None:
+        self.contexts.append(ctx)
+
+
+def make_lane(value: float, label: str = "lane") -> FleetLane:
+    return FleetLane(
+        workload_fn=constant_workload,
+        controller=RecordingController(),
+        observe_fn=lambda ctx: {"metric": value, "load": ctx.workload.volume},
+        label=label,
+    )
+
+
+class TestFleetEngineValidation:
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(ValueError, match="at least one lane"):
+            FleetEngine([])
+
+    def test_nonpositive_step_rejected(self):
+        with pytest.raises(ValueError, match="step"):
+            FleetEngine([make_lane(1.0)], step_seconds=0.0)
+
+    def test_zero_duration_rejected(self):
+        engine = FleetEngine([make_lane(1.0)])
+        with pytest.raises(ValueError, match="duration"):
+            engine.run(0.0)
+
+    def test_negative_duration_rejected(self):
+        engine = FleetEngine([make_lane(1.0)])
+        with pytest.raises(ValueError, match="duration"):
+            engine.run(-10.0)
+
+    def test_mismatched_observation_schema_rejected(self):
+        odd = FleetLane(
+            workload_fn=constant_workload,
+            controller=RecordingController(),
+            observe_fn=lambda ctx: {"something_else": 1.0},
+            label="odd",
+        )
+        engine = FleetEngine([make_lane(1.0), odd], step_seconds=10.0)
+        with pytest.raises(ValueError, match="odd"):
+            engine.run(10.0)
+
+
+class TestFleetEngineStepping:
+    def test_single_lane_fleet(self):
+        lane = make_lane(7.0, label="solo")
+        result = FleetEngine([lane], step_seconds=10.0).run(100.0)
+        assert result.n_lanes == 1
+        assert result.n_steps == 10
+        assert len(lane.controller.contexts) == 10
+        assert result.lane_labels == ("solo",)
+        np.testing.assert_array_equal(
+            result.matrix("metric"), np.full((10, 1), 7.0)
+        )
+
+    def test_500_lane_fleet(self):
+        lanes = [make_lane(float(i), label=f"svc-{i}") for i in range(500)]
+        result = FleetEngine(lanes, step_seconds=30.0).run(90.0)
+        assert result.n_lanes == 500
+        assert result.n_steps == 3
+        assert result.matrix("metric").shape == (3, 500)
+        np.testing.assert_array_equal(
+            result.matrix("metric")[0], np.arange(500, dtype=float)
+        )
+        # Every lane's controller stepped on the shared clock.
+        for lane in lanes:
+            assert [c.t for c in lane.controller.contexts] == [0.0, 30.0, 60.0]
+
+    def test_shared_clock_contexts(self):
+        lanes = [make_lane(1.0, label="a"), make_lane(2.0, label="b")]
+        FleetEngine(lanes, step_seconds=3600.0).run(
+            3 * 3600.0, start=24 * 3600.0
+        )
+        for lane in lanes:
+            assert [c.hour for c in lane.controller.contexts] == [24, 25, 26]
+            assert [c.day for c in lane.controller.contexts] == [1, 1, 1]
+
+    def test_buffer_growth_beyond_initial_capacity(self):
+        # _RowBuffer starts at 256 rows; 300 steps forces a regrowth.
+        result = FleetEngine([make_lane(3.0)], step_seconds=1.0).run(300.0)
+        assert result.n_steps == 300
+        assert float(result.matrix("metric").sum()) == 900.0
+
+
+class TestFleetResult:
+    def run_fleet(self) -> FleetResult:
+        lanes = [make_lane(float(i + 1), label=f"svc-{i}") for i in range(4)]
+        return FleetEngine(lanes, step_seconds=10.0).run(50.0)
+
+    def test_total_and_mean(self):
+        result = self.run_fleet()
+        total = result.total("metric")
+        mean = result.mean("metric")
+        assert total.name == "metric.total"
+        assert mean.name == "metric.mean"
+        assert total.values.tolist() == [10.0] * 5
+        assert mean.values.tolist() == [2.5] * 5
+
+    def test_lane_result_roundtrip(self):
+        result = self.run_fleet()
+        lane = result.lane_result(2)
+        assert lane.label == "svc-2"
+        assert set(lane.series) == {"metric", "load"}
+        assert lane.series["metric"].values.tolist() == [3.0] * 5
+        assert lane.series["metric"].times.tolist() == result.times.tolist()
+
+    def test_lane_index_lookup(self):
+        result = self.run_fleet()
+        assert result.lane_index("svc-3") == 3
+        with pytest.raises(KeyError):
+            result.lane_index("missing")
+
+    def test_unknown_series_rejected(self):
+        result = self.run_fleet()
+        with pytest.raises(KeyError):
+            result.matrix("nope")
+
+    def test_lane_out_of_range_rejected(self):
+        result = self.run_fleet()
+        with pytest.raises(IndexError):
+            result.lane_result(4)
+        with pytest.raises(IndexError):
+            result.lane_series("metric", -1)
+
+
+class TestProfilingQueue:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProfilingQueue(slots=0)
+        with pytest.raises(ValueError):
+            ProfilingQueue(service_seconds=0.0)
+        with pytest.raises(ValueError):
+            ProfilingQueue(max_pending=-1)
+
+    def test_uncontended_request_starts_immediately(self):
+        queue = ProfilingQueue(slots=2, service_seconds=10.0)
+        grant = queue.request(5.0)
+        assert grant.accepted
+        assert grant.wait_seconds == 0.0
+        assert grant.finish_at == 15.0
+
+    def test_contention_wait_bound(self):
+        # K simultaneous requests on S slots: FIFO stacking bounds the
+        # worst wait at (ceil(K/S) - 1) * service_seconds.
+        queue = ProfilingQueue(slots=2, service_seconds=10.0)
+        grants = [queue.request(0.0) for _ in range(7)]
+        waits = [g.wait_seconds for g in grants]
+        assert max(waits) == (int(np.ceil(7 / 2)) - 1) * 10.0
+        assert min(waits) == 0.0
+        # Work is conserved: every request occupies exactly one service.
+        assert queue.busy_seconds == 7 * 10.0
+        assert queue.max_depth == 7
+
+    def test_depth_decays_as_queue_drains(self):
+        queue = ProfilingQueue(slots=2, service_seconds=10.0)
+        for _ in range(7):
+            queue.request(0.0)
+        assert queue.depth_at(0.0) == 7
+        assert queue.depth_at(15.0) == 5
+        assert queue.pending_at(15.0) == 3
+        assert queue.depth_at(100.0) == 0
+
+    def test_bounded_queue_rejects_overflow(self):
+        # max_pending bounds the *waiters*: one request in service plus
+        # at most two queued; everything beyond that is rejected.
+        queue = ProfilingQueue(slots=1, service_seconds=10.0, max_pending=2)
+        grants = [queue.request(0.0) for _ in range(6)]
+        accepted = [g for g in grants if g.accepted]
+        assert len(accepted) == 3
+        assert queue.rejected == 3
+        rejected = [g for g in grants if not g.accepted]
+        assert all(g.wait_seconds == 0.0 for g in rejected)
+
+    def test_zero_pending_bound_allows_only_immediate_starts(self):
+        queue = ProfilingQueue(slots=1, service_seconds=10.0, max_pending=0)
+        first = queue.request(0.0)
+        second = queue.request(0.0)
+        third = queue.request(10.0)  # slot free again
+        assert first.accepted and third.accepted
+        assert not second.accepted
+        assert third.wait_seconds == 0.0
+
+    def test_time_cannot_rewind(self):
+        queue = ProfilingQueue()
+        queue.request(10.0)
+        with pytest.raises(ValueError, match="rewind"):
+            queue.request(5.0)
+
+    def test_utilization(self):
+        queue = ProfilingQueue(slots=2, service_seconds=10.0)
+        for _ in range(4):
+            queue.request(0.0)
+        assert queue.utilization(100.0) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            queue.utilization(0.0)
+
+    def test_utilization_clipped_to_window(self):
+        # A backlog scheduled past the end of the run cannot push the
+        # reported utilization beyond 100%.
+        queue = ProfilingQueue(slots=1, service_seconds=600.0)
+        for _ in range(3):
+            queue.request(0.0)  # scheduled 0-600, 600-1200, 1200-1800
+        assert queue.utilization(1000.0) == pytest.approx(1.0)
+        assert queue.utilization(2000.0) == pytest.approx(0.9)
+
+
+class TestQueuedController:
+    def test_plain_controller_never_profiles(self):
+        queue = ProfilingQueue()
+        wrapped = QueuedController(RecordingController(), queue)
+        ctx = StepContext(
+            t=0.0, workload=constant_workload(0.0), hour=0, day=0
+        )
+        wrapped.on_step(ctx)
+        assert queue.total_requests == 0
+        assert wrapped.inner.contexts == [ctx]
+
+    def test_profiling_controller_charged_per_adaptation(self):
+        class FakeDejaVu:
+            def __init__(self):
+                self.adaptation_events = []
+
+            def on_step(self, ctx):
+                self.adaptation_events.append(ctx.t)
+
+        queue = ProfilingQueue(slots=1, service_seconds=10.0)
+        wrapped = QueuedController(FakeDejaVu(), queue)
+        for t in (0.0, 60.0):
+            wrapped.on_step(
+                StepContext(
+                    t=t, workload=constant_workload(t), hour=0, day=0
+                )
+            )
+        assert queue.total_requests == 2
+        assert [g.requested_at for g in wrapped.grants] == [0.0, 60.0]
+
+    def test_fleet_engine_wraps_controllers_without_mutating_lanes(self):
+        queue = ProfilingQueue()
+        lane = make_lane(1.0)
+        original = lane.controller
+        engine = FleetEngine([lane], step_seconds=10.0, profiling_queue=queue)
+        assert isinstance(engine.controllers[0], QueuedController)
+        assert engine.controllers[0].inner is original
+        assert lane.controller is original  # caller's lane untouched
+
+    def test_observation_key_order_does_not_matter(self):
+        forward = FleetLane(
+            workload_fn=constant_workload,
+            controller=RecordingController(),
+            observe_fn=lambda ctx: {"a": 1.0, "b": 2.0},
+            label="forward",
+        )
+        backward = FleetLane(
+            workload_fn=constant_workload,
+            controller=RecordingController(),
+            observe_fn=lambda ctx: {"b": 20.0, "a": 10.0},
+            label="backward",
+        )
+        result = FleetEngine([forward, backward], step_seconds=10.0).run(10.0)
+        assert result.matrix("a")[0].tolist() == [1.0, 10.0]
+        assert result.matrix("b")[0].tolist() == [2.0, 20.0]
