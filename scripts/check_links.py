@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repository's markdown docs.
+
+Scans ``README.md`` and every ``*.md`` under ``docs/`` for markdown
+links and images, and verifies that each relative target exists in the
+working tree.  External links (http/https/mailto) and pure in-page
+anchors (``#...``) are skipped; a relative target's ``#fragment`` is
+stripped before the existence check.
+
+Stdlib only — runs anywhere the repo checks out:
+
+    python scripts/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+#: Targets with spaces-then-quotes carry a title: (target "title").
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files() -> list[Path]:
+    files = []
+    readme = REPO_ROOT / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((REPO_ROOT / "docs").rglob("*.md")))
+    return files
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced and inline code spans so example snippets such as
+    ``dict[str](...)`` notation cannot masquerade as links."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    for target in LINK_RE.findall(strip_code(path.read_text(encoding="utf-8"))):
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        try:
+            resolved.relative_to(REPO_ROOT)
+        except ValueError:
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}: link escapes the "
+                f"repository: {target}"
+            )
+            continue
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}: broken link: {target}"
+            )
+    return problems
+
+
+def main() -> int:
+    files = markdown_files()
+    if not files:
+        print("no markdown files found — nothing to check", file=sys.stderr)
+        return 1
+    problems = [problem for path in files for problem in check_file(path)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in files)
+    if problems:
+        print(f"\n{len(problems)} broken link(s) across {checked}", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

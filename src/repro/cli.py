@@ -4,12 +4,19 @@
     python -m repro.cli run fig6
     python -m repro.cli run all --seed 3
     python -m repro.cli fleet --lanes 200 --hours 24
+    python -m repro.cli fleet --lanes 8 --mix mixed --hosts 4
 
 Each experiment name maps to the table/figure it regenerates; ``run``
 prints the headline numbers the paper's text quotes (the benchmark
 suite under ``benchmarks/`` prints the full series).  ``fleet`` runs
 the fleet-scale multiplexing study: N co-hosted services sharing one
-signature repository and one bounded profiling queue (Sec. 5).
+signature repository per service family and one bounded profiling
+queue (Sec. 5).  ``--mix`` picks the composition — ``scaleout``
+(Cassandra-style), ``scaleup`` (SPECweb-style) or ``mixed``
+(alternating, with per-lane observation schemas) — and ``--hosts``
+places the lanes onto that many shared simulated hosts so co-located
+services steal capacity from each other and interference-band
+escalation fires across lanes (Sec. 3.6 at fleet scale).
 """
 
 from __future__ import annotations
@@ -172,9 +179,12 @@ def _fleet_rows(args) -> list[str]:
         step_seconds=args.step,
         profiling_slots=args.slots,
         seed=args.seed,
+        mix=args.mix,
+        n_hosts=args.hosts if args.hosts > 0 else None,
+        host_capacity_units=args.host_capacity,
     )
-    return [
-        f"{study.n_lanes} services x {study.n_steps} steps "
+    rows = [
+        f"{study.n_lanes} services ({study.mix}) x {study.n_steps} steps "
         f"({study.step_seconds:.0f} s each) on one shared clock",
         f"learning phases paid: {study.learning_runs} "
         f"({study.tuning_invocations} tuner runs, amortized fleet-wide)",
@@ -189,6 +199,30 @@ def _fleet_rows(args) -> list[str]:
         f"{study.amortized_profiling_fraction:.2%} of that",
         f"SLO violations across the fleet: {study.violation_fraction:.1%}",
     ]
+    if study.n_hosts:
+        rows.append(
+            f"shared hosts ({study.n_hosts} x "
+            f"{args.host_capacity:.0f} units): overloaded "
+            f"{study.host_overload_fraction:.1%} of host-steps, mean theft "
+            f"{study.mean_host_theft:.1%} (peak {study.peak_host_theft:.1%}), "
+            f"{study.interference_escalations} interference-band "
+            f"escalation(s)"
+        )
+    return rows
+
+
+def _nonnegative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
+
+
+def _positive_float(value: str) -> float:
+    parsed = float(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {parsed}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -210,6 +244,26 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--step", type=float, default=300.0)
     fleet.add_argument("--slots", type=int, default=1)
     fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--mix",
+        choices=["scaleout", "scaleup", "mixed"],
+        default="scaleout",
+        help="lane composition: homogeneous Cassandra scale-out, "
+        "homogeneous SPECweb scale-up, or alternating both",
+    )
+    fleet.add_argument(
+        "--hosts",
+        type=_nonnegative_int,
+        default=0,
+        help="place lanes round-robin onto this many shared hosts "
+        "(0 = dedicated hardware, no cross-lane interference)",
+    )
+    fleet.add_argument(
+        "--host-capacity",
+        type=_positive_float,
+        default=12.0,
+        help="capacity units of each shared host",
+    )
     return parser
 
 

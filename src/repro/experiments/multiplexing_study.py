@@ -14,6 +14,16 @@ quantifies both:
   reproduces that argument at fleet scale: N service lanes share a
   repository and contend for a bounded profiling queue, and the study
   reports the amortized overhead alongside hit rate and queueing cost.
+
+The fleet study is **heterogeneous and host-coupled**: ``mix`` selects
+all-Cassandra scale-out lanes, all-SPECweb scale-up lanes, or an
+alternation of the two (each family pays its own learning day and
+shares its own repository, but every lane rides the same profiling
+queue and clock — the paper's "different services, one DejaVu" shape),
+and ``n_hosts`` places the lanes onto shared simulated hosts so
+co-located services steal capacity from each other and DejaVu's
+interference-band escalation fires across lanes (Sec. 3.6 at fleet
+scale) instead of only from scripted per-lane injection.
 """
 
 from __future__ import annotations
@@ -23,11 +33,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.repository import AllocationRepository
+from repro.services.slo import LatencySLO
 from repro.sim.clock import HOUR
 from repro.sim.fleet import FleetEngine, FleetLane, FleetResult, ProfilingQueue
+from repro.sim.hosts import HostMap
 from repro.telemetry.counters import HARDWARE_REGISTERS, HPCSampler
 from repro.telemetry.events import TABLE1_EVENTS
 from repro.workloads.request_mix import CASSANDRA_UPDATE_HEAVY, Workload
+
+#: Lane compositions the fleet study understands.
+FLEET_MIXES = ("scaleout", "scaleup", "mixed")
 
 
 @dataclass(frozen=True)
@@ -101,14 +116,19 @@ class FleetMultiplexingStudy:
     n_lanes: int
     n_steps: int
     step_seconds: float
+    mix: str
+    """Lane composition: ``scaleout``, ``scaleup`` or ``mixed``."""
+
     learning_runs: int
-    """Learning phases paid by the whole fleet (1 when amortized)."""
+    """Learning phases paid by the whole fleet (one per service family
+    when amortized)."""
 
     tuning_invocations: int
     """Tuner runs paid during learning — independent of fleet size."""
 
     hit_rate: float
-    """Shared-repository hit rate across every lane's lookups."""
+    """Shared-repository hit rate across every lane's lookups (combined
+    over the per-family repositories in a mixed fleet)."""
 
     mean_queue_wait_seconds: float
     max_queue_wait_seconds: float
@@ -126,9 +146,43 @@ class FleetMultiplexingStudy:
     fleet grows."""
 
     violation_fraction: float
-    """Fraction of (step, lane) samples violating the latency SLO."""
+    """Fraction of (step, lane) samples violating the lane's own SLO
+    (latency bound for scale-out lanes, QoS floor for scale-up)."""
+
+    n_hosts: int
+    """Shared hosts the lanes were placed on (0 = dedicated hardware)."""
+
+    host_overload_fraction: float
+    """Fraction of (step, host) samples where co-located demand
+    exceeded host capacity."""
+
+    mean_host_theft: float
+    """Mean capacity fraction stolen from a placed lane per step."""
+
+    peak_host_theft: float
+    interference_escalations: int
+    """Band > 0 repository entries tuned online — each one is a lane
+    that blamed co-located tenants for an SLO gap and escalated."""
 
     result: FleetResult
+
+
+def lane_kinds(n_lanes: int, mix: str) -> tuple[str, ...]:
+    """The service family of each lane under a fleet composition.
+
+    ``mixed`` alternates scale-out (even lanes) and scale-up (odd
+    lanes).  Under the round-robin host placement an *odd* host count
+    co-locates the two families with each other; an even count packs
+    each host with one family (both are interesting regimes).
+    """
+    if mix not in FLEET_MIXES:
+        raise ValueError(f"unknown mix {mix!r}; use one of {FLEET_MIXES}")
+    if mix == "mixed":
+        return tuple(
+            "scaleout" if lane % 2 == 0 else "scaleup"
+            for lane in range(n_lanes)
+        )
+    return (mix,) * n_lanes
 
 
 def run_fleet_multiplexing_study(
@@ -140,17 +194,31 @@ def run_fleet_multiplexing_study(
     lane_seed_stride: int = 1,
     trace_name: str = "messenger",
     seed: int = 0,
+    mix: str = "scaleout",
+    n_hosts: int | None = None,
+    host_capacity_units: float = 12.0,
 ) -> FleetMultiplexingStudy:
     """Run ``n_lanes`` co-hosted services against one shared DejaVu.
 
-    Lane 0's manager pays the learning day; every other lane adopts the
-    trained model and the shared repository, so the fleet pays one
-    learning phase regardless of size.  All lanes ride one
-    :class:`ProfilingQueue` with ``profiling_slots`` clone VMs, so each
-    online signature collection contends for the shared profiler.
-    ``lane_seed_stride`` controls workload diversity: stride 0 gives
-    every lane the identical trace (useful for determinism properties),
-    stride 1 gives each lane its own phase wander and jitter.
+    The first lane of each service family pays that family's learning
+    day; every other lane of the family adopts the trained model and
+    the family's shared repository, so the fleet pays one learning
+    phase per family regardless of size.  All lanes — across families —
+    ride one :class:`ProfilingQueue` with ``profiling_slots`` clone
+    VMs, so each online signature collection contends for the shared
+    profiler.  ``lane_seed_stride`` controls workload diversity:
+    stride 0 gives every lane the identical trace (useful for
+    determinism properties), stride 1 gives each lane its own phase
+    wander and jitter.
+
+    ``mix`` picks the composition (``scaleout``, ``scaleup`` or
+    ``mixed`` — alternating Cassandra-style and SPECweb-style lanes
+    with different observation schemas).  ``n_hosts`` places the lanes
+    round-robin onto that many shared :class:`~repro.sim.hosts.SimHost`
+    machines of ``host_capacity_units`` each; co-located lanes then
+    steal capacity from each other at demand peaks, and managers that
+    catch a neighbour red-handed escalate to a higher interference
+    band (Sec. 3.6).  ``None`` keeps every lane on dedicated hardware.
 
     The default 5-minute step keeps adaptation hourly (the managers'
     check interval) while sampling performance between adaptations, so
@@ -161,29 +229,57 @@ def run_fleet_multiplexing_study(
     # Imported here: repro.experiments.setup imports the manager layer,
     # which this module must not pull in at import time for the
     # register-multiplexing study alone.
-    from repro.experiments.setup import build_scaleout_setup, observe_scaleout
+    from repro.experiments.setup import (
+        build_scaleout_setup,
+        build_scaleup_setup,
+        observe_scaleout,
+        observe_scaleup,
+    )
 
     if n_lanes < 1:
         raise ValueError(f"need at least one lane: {n_lanes}")
     if hours <= 0:
         raise ValueError(f"need a positive duration: {hours}")
-    shared_repository = AllocationRepository()
-    setups = [
-        build_scaleout_setup(
+    if n_hosts is not None and n_hosts < 1:
+        raise ValueError(f"need at least one host: {n_hosts}")
+    kinds = lane_kinds(n_lanes, mix)
+    host_map = (
+        HostMap.spread(n_lanes, n_hosts, host_capacity_units)
+        if n_hosts is not None
+        else None
+    )
+
+    repositories: dict[str, AllocationRepository] = {}
+    setups = []
+    observers = []
+    for lane, kind in enumerate(kinds):
+        repository = repositories.setdefault(kind, AllocationRepository())
+        common = dict(
             trace_name=trace_name,
-            repository=shared_repository,
+            repository=repository,
+            injector=host_map.feed(lane) if host_map is not None else None,
             trace_seed=seed + lane * lane_seed_stride,
             # Monitors derive two sampler seeds from this (seed and
             # seed + 1), so lanes stride by 2 to keep every lane's
             # telemetry noise stream independent of its neighbours'.
             seed=seed + 2 * lane * lane_seed_stride,
         )
-        for lane in range(n_lanes)
-    ]
-    leader = setups[0].manager
-    leader.learn(setups[0].trace.hourly_workloads(day=0))
-    for setup in setups[1:]:
-        setup.manager.adopt_trained_state(leader)
+        if kind == "scaleout":
+            setup = build_scaleout_setup(**common)
+            observers.append(observe_scaleout(setup))
+        else:
+            setup = build_scaleup_setup(**common)
+            observers.append(observe_scaleup(setup))
+        setups.append(setup)
+
+    leaders: dict[str, object] = {}
+    for kind, setup in zip(kinds, setups):
+        leader = leaders.get(kind)
+        if leader is None:
+            setup.manager.learn(setup.trace.hourly_workloads(day=0))
+            leaders[kind] = setup.manager
+        else:
+            setup.manager.adopt_trained_state(leader)
 
     queue = ProfilingQueue(
         slots=profiling_slots,
@@ -194,7 +290,7 @@ def run_fleet_multiplexing_study(
         FleetLane(
             workload_fn=setup.trace.workload_at,
             controller=setup.manager,
-            observe_fn=observe_scaleout(setup),
+            observe_fn=observers[lane],
             label=f"svc-{lane}",
         )
         for lane, setup in enumerate(setups)
@@ -204,12 +300,36 @@ def run_fleet_multiplexing_study(
         step_seconds=step_seconds,
         label=f"fleet-{n_lanes}",
         profiling_queue=queue,
+        host_map=host_map,
     )
     duration = hours * HOUR
     result = engine.run(duration)
 
-    latency = result.matrix("latency_ms")
-    bound_ms = setups[0].service.slo.bound_ms
+    # Each lane is judged against its own SLO: the latency bound for
+    # scale-out lanes, the QoS floor for scale-up lanes.
+    violations = 0
+    for lane, setup in enumerate(setups):
+        slo = setup.service.slo
+        if isinstance(slo, LatencySLO):
+            values = result.lane_series("latency_ms", lane).values
+            violations += int(np.sum(values > slo.bound_ms))
+        else:
+            values = result.lane_series("qos_percent", lane).values
+            violations += int(np.sum(values < slo.floor_percent))
+
+    # Escalation-tuned entries live at band > 0 (only band 0 is
+    # pretuned); count them across every distinct repository, including
+    # private forks created by a re-learning manager.
+    distinct = {id(s.manager.repository): s.manager.repository for s in setups}
+    escalations = sum(
+        1
+        for repo in distinct.values()
+        for entry in repo.entries()
+        if entry.interference_band > 0
+    )
+
+    hits = sum(repo.stats.hits for repo in repositories.values())
+    misses = sum(repo.stats.misses for repo in repositories.values())
     fleet_hourly_cost = result.total("hourly_cost").mean()
     profiling_hourly_cost = (
         profiling_slots * setups[0].profiler.clone_allocation.hourly_cost
@@ -218,9 +338,13 @@ def run_fleet_multiplexing_study(
         n_lanes=n_lanes,
         n_steps=result.n_steps,
         step_seconds=step_seconds,
-        learning_runs=1 + sum(s.manager.relearn_count for s in setups),
-        tuning_invocations=leader.learning_report.tuning_invocations,
-        hit_rate=shared_repository.stats.hit_rate,
+        mix=mix,
+        learning_runs=len(leaders) + sum(s.manager.relearn_count for s in setups),
+        tuning_invocations=sum(
+            leader.learning_report.tuning_invocations
+            for leader in leaders.values()
+        ),
+        hit_rate=hits / (hits + misses) if hits + misses else 0.0,
         mean_queue_wait_seconds=queue.mean_wait_seconds,
         max_queue_wait_seconds=queue.max_wait_seconds,
         max_queue_depth=queue.max_depth,
@@ -228,6 +352,13 @@ def run_fleet_multiplexing_study(
         profiler_utilization=queue.utilization(duration),
         fleet_hourly_cost=fleet_hourly_cost,
         amortized_profiling_fraction=profiling_hourly_cost / fleet_hourly_cost,
-        violation_fraction=float(np.mean(latency > bound_ms)),
+        violation_fraction=violations / (result.n_steps * n_lanes),
+        n_hosts=host_map.n_hosts if host_map is not None else 0,
+        host_overload_fraction=(
+            host_map.overload_fraction if host_map is not None else 0.0
+        ),
+        mean_host_theft=host_map.mean_theft if host_map is not None else 0.0,
+        peak_host_theft=host_map.peak_theft if host_map is not None else 0.0,
+        interference_escalations=escalations,
         result=result,
     )

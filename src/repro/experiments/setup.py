@@ -123,6 +123,7 @@ def build_scaleout_setup(
     peak_demand: float = DEFAULT_PEAK_DEMAND,
     latency_margin: float = DEFAULT_LATENCY_MARGIN,
     interference_schedule: InterferenceSchedule | None = None,
+    injector=None,
     config: DejaVuConfig | None = None,
     service: Service | None = None,
     classifier_factory=None,
@@ -135,17 +136,23 @@ def build_scaleout_setup(
     ``seed`` feeds the telemetry samplers; ``trace_seed`` (None keeps
     the canonical calibrated trace) re-draws the synthetic trace's
     phase wander and jitter — fleet studies use it to give each lane a
-    genuinely different workload week.
+    genuinely different workload week.  ``injector`` accepts any object
+    with the injector contract (``interference_at(t)``) — host-coupled
+    fleets pass a :class:`~repro.sim.hosts.HostInterferenceFeed` here
+    so co-located lanes' pressure reaches this lane's production
+    environment; it is mutually exclusive with ``interference_schedule``
+    (the scripted Fig. 11 regime).
     """
+    if interference_schedule is not None and injector is not None:
+        raise ValueError(
+            "pass either an interference schedule or an injector, not both"
+        )
     if service is None:
         service = CassandraService()
     trace = make_trace(trace_name, CASSANDRA_UPDATE_HEAVY, peak_demand, seed=trace_seed)
     provider = CloudProvider(max_instances=10)
-    injector = (
-        InterferenceInjector(interference_schedule)
-        if interference_schedule is not None
-        else None
-    )
+    if injector is None and interference_schedule is not None:
+        injector = InterferenceInjector(interference_schedule)
     production = ProductionEnvironment(service, provider, injector)
     profiler = ProfilingEnvironment(service, _build_monitor(seed))
     tuner = LinearSearchTuner(
@@ -196,6 +203,9 @@ def build_scaleup_setup(
     peak_demand: float | None = None,
     fixed_count: int = 5,
     config: DejaVuConfig | None = None,
+    injector=None,
+    repository=None,
+    trace_seed: int | None = None,
     seed: int = 0,
 ) -> ScaleUpSetup:
     """Assemble the SPECweb scale-up case study (Sec. 4.2, Figs. 9-10).
@@ -204,23 +214,33 @@ def build_scaleup_setup(
     the front-end, and the same number at the back-end" — we model the
     provisioned tier (the one being switched between large and
     extra-large) with ``fixed_count`` instances.
+
+    ``repository``, ``trace_seed`` and ``injector`` mirror the
+    scale-out builder: heterogeneous fleet studies share one
+    repository across the scale-up lanes, re-draw each lane's trace,
+    and couple lanes through shared hosts via an injector-compatible
+    :class:`~repro.sim.hosts.HostInterferenceFeed`.
     """
     if peak_demand is None:
         if trace_name not in SCALE_UP_PEAK_DEMAND:
             raise ValueError(f"no default scale-up demand for {trace_name!r}")
         peak_demand = SCALE_UP_PEAK_DEMAND[trace_name]
     service = SpecWebService()
-    trace = make_trace(trace_name, SPECWEB_SUPPORT, peak_demand)
+    trace = make_trace(trace_name, SPECWEB_SUPPORT, peak_demand, seed=trace_seed)
     provider = CloudProvider(max_instances=fixed_count)
-    production = ProductionEnvironment(service, provider)
+    production = ProductionEnvironment(service, provider, injector)
     profiler = ProfilingEnvironment(service, _build_monitor(seed))
     tuner = LinearSearchTuner(service, scale_up_candidates(fixed_count))
+    manager_kwargs = {}
+    if repository is not None:
+        manager_kwargs["repository"] = repository
     manager = DejaVuManager(
         profiler=profiler,
         production=production,
         tuner=tuner,
         config=config,
         full_capacity_type=EXTRA_LARGE,
+        **manager_kwargs,
     )
     return ScaleUpSetup(
         trace=trace,

@@ -18,6 +18,7 @@ from repro.sim.fleet import (
     ProfilingQueue,
     QueuedController,
 )
+from repro.sim.hosts import HostInterferenceFeed, HostMap, SimHost
 from repro.sim.result import SimulationResult, TimeSeries
 
 __all__ = [
@@ -30,6 +31,9 @@ __all__ = [
     "FleetEngine",
     "FleetLane",
     "FleetResult",
+    "HostInterferenceFeed",
+    "HostMap",
+    "SimHost",
     "ProfilingGrant",
     "ProfilingQueue",
     "QueuedController",

@@ -7,7 +7,7 @@ single-service :class:`~repro.sim.engine.SimulationEngine` cannot
 exercise that argument, so this module generalizes it to a **fleet**: N
 independent lanes stepped on one shared clock.
 
-Three pieces:
+Four pieces:
 
 * :class:`FleetLane` — one (workload, controller, observation) triple,
   exactly the contract the single-service engine had.
@@ -17,11 +17,21 @@ Three pieces:
   per-request waiting time, peak depth, and utilization — the price of
   multiplexing one profiler across hundreds of services.
 * :class:`FleetEngine` / :class:`FleetResult` — the stepped loop and its
-  batched recording.  Observations are gathered into one
-  ``(n_series, n_lanes)`` row per step and appended to growable numpy
-  buffers, instead of the per-sample ``dict`` → ``TimeSeries.record``
-  round-trip the legacy engine performed.  Per-lane series materialize
-  lazily (and bit-identically) from buffer columns.
+  batched recording.  Fleets are **heterogeneous**: each lane's first
+  observation fixes *that lane's* series schema, and lanes sharing a
+  schema (for example all the Cassandra-style scale-out lanes, or all
+  the SPECweb-style scale-up lanes) batch into one growable
+  ``(n_steps, n_lanes_in_group)`` numpy block per series.  Per-lane
+  series materialize lazily (and, for homogeneous fleets,
+  bit-identically to the legacy engine) from buffer columns;
+  :meth:`FleetResult.lane_block` is the unified
+  ``lane index → (schema, rows)`` accessor.
+* an optional :class:`~repro.sim.hosts.HostMap` — shared simulated
+  hosts coupling co-located lanes.  Each step the engine feeds every
+  lane's offered demand to the map, which converts per-host
+  overcommitment into per-lane capacity theft through the existing
+  interference substrate, so interference-band escalation fires across
+  services instead of only from scripted per-lane injection.
 
 The legacy :meth:`SimulationEngine.run` is a thin wrapper over a 1-lane
 fleet, so every existing experiment exercises this code path.
@@ -36,6 +46,7 @@ import numpy as np
 
 from repro.sim.clock import SimClock
 from repro.sim.engine import Controller, StepContext
+from repro.sim.hosts import HostMap
 from repro.sim.result import SimulationResult, TimeSeries
 from repro.workloads.request_mix import Workload
 
@@ -258,12 +269,40 @@ class _RowBuffer:
         return self._data[: self._len]
 
 
+class _SchemaGroup:
+    """One batch of lanes sharing an observation schema.
+
+    ``names`` keeps the key order of the first lane that exhibited the
+    schema; membership is by name *set*, so lanes may emit the same
+    series in any order.  Each group owns one reusable
+    ``(n_series, n_group_lanes)`` row and one buffer per series.
+    """
+
+    __slots__ = ("names", "lanes", "row", "buffers")
+
+    def __init__(self, names: tuple[str, ...]) -> None:
+        self.names = names
+        self.lanes: list[int] = []
+        self.row: np.ndarray | None = None
+        self.buffers: dict[str, _RowBuffer] = {}
+
+    def allocate(self) -> None:
+        """Create the row and buffers once membership is final."""
+        self.row = np.empty((len(self.names), len(self.lanes)), dtype=float)
+        self.buffers = {name: _RowBuffer(len(self.lanes)) for name in self.names}
+
+
 @dataclass
 class FleetResult:
     """All recorded outputs of one fleet run.
 
-    Values live in ``(n_steps, n_lanes)`` matrices, one per series name;
-    per-lane :class:`SimulationResult` views and fleet-wide aggregate
+    Values live in one ``(n_steps, n_recording_lanes)`` matrix per
+    series name.  In a homogeneous fleet every lane records every
+    series, so each matrix spans all lanes in lane order — identical to
+    the original single-schema layout.  In a heterogeneous fleet each
+    lane records only its own schema's series; a matrix's columns then
+    follow :meth:`lanes_recording`.  Per-lane :class:`SimulationResult`
+    views, per-lane ``(schema, rows)`` blocks and fleet-wide aggregate
     series are derived on demand.
     """
 
@@ -271,6 +310,20 @@ class FleetResult:
     lane_labels: tuple[str, ...]
     times: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=float))
     matrices: dict[str, np.ndarray] = field(default_factory=dict)
+    schemas: tuple[tuple[str, ...], ...] = ()
+    lane_schemas: tuple[int, ...] = ()
+    series_lanes: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Constructing with matrices only (the pre-heterogeneity shape)
+        # means one schema shared by every lane.
+        if not self.schemas and self.matrices:
+            self.schemas = (tuple(self.matrices),)
+        if not self.lane_schemas and self.schemas:
+            self.lane_schemas = (0,) * self.n_lanes
+        if not self.series_lanes and self.matrices:
+            everyone = tuple(range(self.n_lanes))
+            self.series_lanes = {name: everyone for name in self.matrices}
 
     @property
     def n_lanes(self) -> int:
@@ -280,14 +333,29 @@ class FleetResult:
     def n_steps(self) -> int:
         return int(self.times.size)
 
+    @property
+    def n_schemas(self) -> int:
+        return len(self.schemas)
+
     def series_names(self) -> tuple[str, ...]:
         return tuple(self.matrices)
 
     def matrix(self, name: str) -> np.ndarray:
-        """The raw ``(n_steps, n_lanes)`` value matrix for one series."""
+        """The raw ``(n_steps, n_recording_lanes)`` matrix of one series.
+
+        Columns follow :meth:`lanes_recording`; in a homogeneous fleet
+        that is simply all lanes in lane order.
+        """
         if name not in self.matrices:
             raise KeyError(f"no series {name!r}; have {sorted(self.matrices)}")
         return self.matrices[name]
+
+    def lanes_recording(self, name: str) -> tuple[int, ...]:
+        """Global lane indices whose schema includes ``name``, in
+        column order of :meth:`matrix`."""
+        if name not in self.series_lanes:
+            raise KeyError(f"no series {name!r}; have {sorted(self.series_lanes)}")
+        return self.series_lanes[name]
 
     def lane_index(self, label: str) -> int:
         try:
@@ -297,29 +365,66 @@ class FleetResult:
                 f"no lane {label!r}; have {list(self.lane_labels)}"
             ) from None
 
-    def lane_series(self, name: str, lane: int) -> TimeSeries:
-        """One lane's column of one series, as a :class:`TimeSeries`."""
+    def schema_of(self, lane: int) -> tuple[str, ...]:
+        """The series names lane ``lane`` records."""
+        self._check_lane(lane)
+        return self.schemas[self.lane_schemas[lane]]
+
+    def _check_lane(self, lane: int) -> None:
         if not 0 <= lane < self.n_lanes:
             raise IndexError(f"lane {lane} out of range [0, {self.n_lanes})")
-        return TimeSeries.from_arrays(name, self.times, self.matrix(name)[:, lane])
+
+    def _column_of(self, name: str, lane: int) -> int:
+        recording = self.lanes_recording(name)
+        try:
+            return recording.index(lane)
+        except ValueError:
+            raise KeyError(
+                f"lane {lane} ({self.lane_labels[lane]!r}) does not record "
+                f"{name!r}; its schema is {list(self.schema_of(lane))}"
+            ) from None
+
+    def lane_series(self, name: str, lane: int) -> TimeSeries:
+        """One lane's column of one series, as a :class:`TimeSeries`."""
+        self._check_lane(lane)
+        column = self._column_of(name, lane)
+        return TimeSeries.from_arrays(
+            name, self.times, self.matrix(name)[:, column]
+        )
+
+    def lane_block(self, lane: int) -> tuple[tuple[str, ...], np.ndarray]:
+        """The unified ``lane index → (schema, rows)`` accessor.
+
+        Returns the lane's schema and its recorded values as one
+        ``(n_steps, n_series)`` array with columns in schema order —
+        the natural shape for feeding one lane's history to analysis
+        code regardless of which schema group it batched into.
+        """
+        schema = self.schema_of(lane)
+        if not schema:
+            return schema, np.empty((self.n_steps, 0), dtype=float)
+        columns = [
+            self.matrix(name)[:, self._column_of(name, lane)] for name in schema
+        ]
+        return schema, np.column_stack(columns)
 
     def lane_result(self, lane: int) -> SimulationResult:
         """Materialize one lane as a legacy :class:`SimulationResult`."""
-        if not 0 <= lane < self.n_lanes:
-            raise IndexError(f"lane {lane} out of range [0, {self.n_lanes})")
+        self._check_lane(lane)
         result = SimulationResult(label=self.lane_labels[lane])
-        for name in self.matrices:
+        for name in self.schema_of(lane):
             result.series[name] = self.lane_series(name, lane)
         return result
 
     def total(self, name: str) -> TimeSeries:
-        """Fleet-wide sum of one series per step (e.g. total hourly cost)."""
+        """Per-step sum of one series over the lanes recording it
+        (e.g. total hourly cost)."""
         return TimeSeries.from_arrays(
             f"{name}.total", self.times, self.matrix(name).sum(axis=1)
         )
 
     def mean(self, name: str) -> TimeSeries:
-        """Fleet-wide mean of one series per step."""
+        """Per-step mean of one series over the lanes recording it."""
         return TimeSeries.from_arrays(
             f"{name}.mean", self.times, self.matrix(name).mean(axis=1)
         )
@@ -336,14 +441,23 @@ class FleetEngine:
     Parameters
     ----------
     lanes:
-        The fleet; at least one lane.  All lanes must observe the same
-        series names (they share the batched value matrices).
+        The fleet; at least one lane.  Lanes may observe different
+        series schemas (mixed scale-out/scale-up fleets); lanes sharing
+        a schema batch into one numpy block.  A lane's schema is fixed
+        by its first observation and may not drift mid-run.
     step_seconds:
         Shared step width, as in the single-service engine.
     profiling_queue:
         Optional shared profiling environment.  When given, every
         lane's controller is wrapped in :class:`QueuedController` so
         its online profiling runs contend for the queue's slots.
+    host_map:
+        Optional shared-host placement.  When given, the engine reports
+        every lane's offered demand to the map at the start of each
+        step; co-located lanes on an overcommitted host experience
+        capacity theft through their
+        :class:`~repro.sim.hosts.HostInterferenceFeed`, which the
+        experiment wires into each lane's production environment.
     """
 
     def __init__(
@@ -352,15 +466,22 @@ class FleetEngine:
         step_seconds: float = 60.0,
         label: str = "fleet",
         profiling_queue: ProfilingQueue | None = None,
+        host_map: HostMap | None = None,
     ) -> None:
         if not lanes:
             raise ValueError("a fleet needs at least one lane")
         if step_seconds <= 0:
             raise ValueError(f"step must be positive, got {step_seconds}")
+        if host_map is not None and host_map.n_lanes != len(lanes):
+            raise ValueError(
+                f"host map places {host_map.n_lanes} lanes but the fleet "
+                f"has {len(lanes)}"
+            )
         self._lanes = list(lanes)
         self._step = float(step_seconds)
         self._label = label
         self.profiling_queue = profiling_queue
+        self.host_map = host_map
         # The caller's FleetLane objects are left untouched; queue
         # wrappers live in the engine's own controller list.
         if profiling_queue is not None:
@@ -382,9 +503,84 @@ class FleetEngine:
         missing = sorted(set(names) - set(observation))
         extra = sorted(set(observation) - set(names))
         return ValueError(
-            f"lane {lane.label!r} observation does not match the fleet's "
-            f"series schema: missing {missing}, unexpected {extra}"
+            f"lane {lane.label!r} observation does not match the schema its "
+            f"first observation fixed: missing {missing}, unexpected {extra}"
         )
+
+    def _build_groups(
+        self, first_observations: list[dict[str, float]]
+    ) -> tuple[list[_SchemaGroup], list[tuple[int, int]]]:
+        """Fix every lane's schema from its first observation.
+
+        Lanes whose observations carry the same name *set* share a
+        group (key order follows the group's first lane); each lane is
+        assigned a (group, column) slot for the rest of the run.
+        """
+        groups: list[_SchemaGroup] = []
+        by_key: dict[frozenset[str], int] = {}
+        slots: list[tuple[int, int]] = []
+        for i, observation in enumerate(first_observations):
+            key = frozenset(observation)
+            index = by_key.get(key)
+            if index is None:
+                index = len(groups)
+                by_key[key] = index
+                groups.append(_SchemaGroup(tuple(observation)))
+            group = groups[index]
+            slots.append((index, len(group.lanes)))
+            group.lanes.append(i)
+        for group in groups:
+            group.allocate()
+        return groups, slots
+
+    def _fill_row(
+        self,
+        group: _SchemaGroup,
+        column: int,
+        lane: FleetLane,
+        observation: dict[str, float],
+    ) -> None:
+        if len(observation) != len(group.names):
+            raise self._schema_error(lane, observation, group.names)
+        try:
+            for j, name in enumerate(group.names):
+                group.row[j, column] = observation[name]
+        except KeyError:
+            raise self._schema_error(lane, observation, group.names) from None
+
+    @staticmethod
+    def _assemble_matrices(
+        groups: list[_SchemaGroup],
+    ) -> tuple[dict[str, np.ndarray], dict[str, tuple[int, ...]]]:
+        """Merge per-group blocks into per-series matrices.
+
+        A series recorded by a single group keeps its buffer array
+        as-is (zero copy; group lanes are already in ascending order).
+        A series shared by several schemas — latency in a mixed
+        scale-out/scale-up fleet, say — is column-merged so its matrix
+        columns follow global lane order.
+        """
+        owners: dict[str, list[_SchemaGroup]] = {}
+        for group in groups:
+            for name in group.names:
+                owners.setdefault(name, []).append(group)
+        matrices: dict[str, np.ndarray] = {}
+        series_lanes: dict[str, tuple[int, ...]] = {}
+        for name, owning in owners.items():
+            if len(owning) == 1:
+                group = owning[0]
+                matrices[name] = group.buffers[name].array
+                series_lanes[name] = tuple(group.lanes)
+                continue
+            columns = [
+                (lane, group.buffers[name].array[:, col])
+                for group in owning
+                for col, lane in enumerate(group.lanes)
+            ]
+            columns.sort(key=lambda pair: pair[0])
+            series_lanes[name] = tuple(lane for lane, _ in columns)
+            matrices[name] = np.column_stack([values for _, values in columns])
+        return matrices, series_lanes
 
     def run(self, duration_seconds: float, start: float = 0.0) -> FleetResult:
         """Run all lanes to ``start + duration_seconds`` and return the result."""
@@ -392,44 +588,46 @@ class FleetEngine:
             raise ValueError(f"duration must be positive, got {duration_seconds}")
         clock = SimClock(start)
         end = start + duration_seconds
-        n_lanes = len(self._lanes)
-        names: tuple[str, ...] | None = None
-        row: np.ndarray | None = None
-        buffers: dict[str, _RowBuffer] = {}
+        groups: list[_SchemaGroup] = []
+        slots: list[tuple[int, int]] = []
         times: list[float] = []
         while clock.now < end:
             t, hour, day = clock.now, clock.hour, clock.day
+            workloads = [lane.workload_fn(t) for lane in self._lanes]
+            if self.host_map is not None:
+                # Host pressure is recomputed before controllers act, so
+                # adaptations this step already see the co-tenant theft.
+                self.host_map.apply_step(t, workloads)
+            first_step = not times
+            first_observations: list[dict[str, float]] = []
             for i, lane in enumerate(self._lanes):
                 ctx = StepContext(
-                    t=t, workload=lane.workload_fn(t), hour=hour, day=day
+                    t=t, workload=workloads[i], hour=hour, day=day
                 )
                 self.controllers[i].on_step(ctx)
                 observation = lane.observe_fn(ctx)
-                if names is None:
-                    # First observation fixes the series schema; one
-                    # preallocated (n_series, n_lanes) row is reused
-                    # every step.
-                    names = tuple(observation)
-                    row = np.empty((len(names), n_lanes), dtype=float)
-                    buffers = {name: _RowBuffer(n_lanes) for name in names}
-                # Schema check is by name, not key order: rows are
-                # filled by name lookup, so only a missing or extra
-                # series is an error.
-                if len(observation) != len(names):
-                    raise self._schema_error(lane, observation, names)
-                try:
-                    for j, name in enumerate(names):
-                        row[j, i] = observation[name]
-                except KeyError:
-                    raise self._schema_error(lane, observation, names) from None
-            if names:
-                for j, name in enumerate(names):
-                    buffers[name].append(row[j])
+                if first_step:
+                    first_observations.append(observation)
+                else:
+                    index, column = slots[i]
+                    self._fill_row(groups[index], column, lane, observation)
+            if first_step:
+                groups, slots = self._build_groups(first_observations)
+                for i, observation in enumerate(first_observations):
+                    index, column = slots[i]
+                    self._fill_row(groups[index], column, self._lanes[i], observation)
+            for group in groups:
+                for j, name in enumerate(group.names):
+                    group.buffers[name].append(group.row[j])
             times.append(t)
             clock.advance(self._step)
+        matrices, series_lanes = self._assemble_matrices(groups)
         return FleetResult(
             label=self._label,
             lane_labels=tuple(lane.label for lane in self._lanes),
             times=np.asarray(times, dtype=float),
-            matrices={name: buffers[name].array for name in buffers},
+            matrices=matrices,
+            schemas=tuple(group.names for group in groups),
+            lane_schemas=tuple(index for index, _column in slots),
+            series_lanes=series_lanes,
         )

@@ -1,0 +1,286 @@
+"""Shared simulated hosts: co-located lanes steal capacity from each other.
+
+The paper's production platform co-locates VMs of *different* services
+on shared physical hosts; the interference DejaVu detects (Sec. 3.6) is
+other tenants' demand squeezing a service's share of the machine.  The
+fleet engine originally modeled that only as per-lane *injected*
+interference (:mod:`repro.interference.injector`) — a scripted schedule
+with no coupling between lanes.  This module closes the loop:
+
+* :class:`SimHost` — one shared machine with a fixed capacity.
+* :class:`HostMap` — the placement of fleet lanes onto hosts.  Each
+  step the engine reports every lane's offered demand; for each host the
+  map compares the co-located total against capacity and converts the
+  shortfall into a per-lane capacity-theft fraction.
+* :class:`HostInterferenceFeed` — one lane's view of that theft,
+  implementing the injector contract
+  (:meth:`~HostInterferenceFeed.interference_at`) so it plugs straight
+  into :class:`~repro.core.profiler.ProductionEnvironment` and the
+  existing estimator/band machinery
+  (:mod:`repro.core.interference`) sees it as ordinary co-tenant
+  interference.
+
+Theft model
+-----------
+For a host of capacity ``C`` whose placed lanes offer demands ``d_i``
+(total ``D``), an overcommitted host (``D > C``) squeezes every tenant
+proportionally; the *interference* a lane experiences is only the part
+of the squeeze its neighbours cause:
+
+    theft_i = (D - C) / D * (D - d_i) / D
+
+so a lane alone on an overloaded host sees zero interference (that is
+self-saturation, not co-tenancy), and a lane whose neighbours dominate
+the host sees nearly the full overload fraction.  DejaVu never reads
+these numbers — it only observes the production/isolation performance
+gap, exactly as with injected interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.workloads.request_mix import Workload
+
+
+@dataclass(frozen=True)
+class SimHost:
+    """One shared physical machine.
+
+    ``capacity_units`` is in the same units as
+    :attr:`~repro.workloads.request_mix.Workload.demand_units` and
+    instance-type capacities, so host pressure and VM allocations live
+    on one scale.
+    """
+
+    capacity_units: float
+    label: str = "host"
+
+    def __post_init__(self) -> None:
+        if self.capacity_units <= 0:
+            raise ValueError(
+                f"host capacity must be positive: {self.capacity_units}"
+            )
+
+
+class HostInterferenceFeed:
+    """One lane's live view of its host-induced capacity theft.
+
+    Implements the injector contract (``interference_at(t)``) expected
+    by :class:`~repro.core.profiler.ProductionEnvironment`, so a fleet
+    lane's production environment can be constructed with a feed in
+    place of a scripted :class:`~repro.interference.injector.InterferenceInjector`.
+    The owning :class:`HostMap` updates the value once per engine step.
+    """
+
+    def __init__(self) -> None:
+        self._theft = 0.0
+
+    @property
+    def theft(self) -> float:
+        return self._theft
+
+    def interference_at(self, t: float) -> float:
+        """Effective capacity fraction stolen by co-located tenants."""
+        return self._theft
+
+    def _set(self, value: float) -> None:
+        self._theft = float(value)
+
+
+class HostMap:
+    """Placement of fleet lanes onto shared hosts, plus the coupling.
+
+    Parameters
+    ----------
+    hosts:
+        The shared machines.
+    placement:
+        ``placement[lane]`` is the host index the lane's VMs run on, or
+        ``None`` for a lane on dedicated hardware (never coupled).
+    demand_fn:
+        Maps a lane's offered :class:`Workload` to its demand on the
+        host, in capacity units.  Defaults to
+        :attr:`Workload.demand_units`.
+    max_theft:
+        Upper clip on any lane's theft fraction; keeps the service
+        models' effective capacity strictly positive.
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[SimHost],
+        placement: Sequence[int | None],
+        demand_fn: Callable[[Workload], float] | None = None,
+        max_theft: float = 0.9,
+    ) -> None:
+        if not hosts:
+            raise ValueError("a host map needs at least one host")
+        if not 0.0 < max_theft < 1.0:
+            raise ValueError(f"max theft must be in (0, 1): {max_theft}")
+        self.hosts = tuple(hosts)
+        self.placement = tuple(placement)
+        for lane, host in enumerate(self.placement):
+            if host is not None and not 0 <= host < len(self.hosts):
+                raise ValueError(
+                    f"lane {lane} placed on unknown host {host} "
+                    f"(have {len(self.hosts)})"
+                )
+        self._demand_fn = (
+            demand_fn if demand_fn is not None else lambda w: w.demand_units
+        )
+        self.max_theft = float(max_theft)
+        self._feeds = tuple(HostInterferenceFeed() for _ in self.placement)
+        self._host_lanes: tuple[tuple[int, ...], ...] = tuple(
+            tuple(
+                lane
+                for lane, placed in enumerate(self.placement)
+                if placed == host
+            )
+            for host in range(len(self.hosts))
+        )
+        self._placed_lanes = [
+            lane for lane, host in enumerate(self.placement) if host is not None
+        ]
+        # Coupling statistics, accumulated by apply_step.
+        self.steps = 0
+        self.overloaded_host_steps = 0
+        self.last_thefts = np.zeros(len(self.placement), dtype=float)
+        self._theft_sum = 0.0
+        self.peak_theft = 0.0
+
+    # -- construction helpers ------------------------------------------
+
+    @classmethod
+    def spread(
+        cls,
+        n_lanes: int,
+        n_hosts: int,
+        capacity_units: float,
+        **kwargs,
+    ) -> "HostMap":
+        """Round-robin ``n_lanes`` over ``n_hosts`` equal hosts."""
+        if n_lanes < 1:
+            raise ValueError(f"need at least one lane: {n_lanes}")
+        if n_hosts < 1:
+            raise ValueError(f"need at least one host: {n_hosts}")
+        hosts = [
+            SimHost(capacity_units=capacity_units, label=f"host-{h}")
+            for h in range(n_hosts)
+        ]
+        placement = [lane % n_hosts for lane in range(n_lanes)]
+        return cls(hosts, placement, **kwargs)
+
+    @classmethod
+    def pack(
+        cls,
+        n_lanes: int,
+        lanes_per_host: int,
+        capacity_units: float,
+        **kwargs,
+    ) -> "HostMap":
+        """Fill hosts block-wise, ``lanes_per_host`` lanes at a time."""
+        if n_lanes < 1:
+            raise ValueError(f"need at least one lane: {n_lanes}")
+        if lanes_per_host < 1:
+            raise ValueError(f"need at least one lane per host: {lanes_per_host}")
+        n_hosts = -(-n_lanes // lanes_per_host)
+        hosts = [
+            SimHost(capacity_units=capacity_units, label=f"host-{h}")
+            for h in range(n_hosts)
+        ]
+        placement = [lane // lanes_per_host for lane in range(n_lanes)]
+        return cls(hosts, placement, **kwargs)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.placement)
+
+    def host_of(self, lane: int) -> int | None:
+        """The host index a lane is placed on (None = dedicated)."""
+        if not 0 <= lane < self.n_lanes:
+            raise IndexError(f"lane {lane} out of range [0, {self.n_lanes})")
+        return self.placement[lane]
+
+    def lanes_on(self, host: int) -> tuple[int, ...]:
+        """All lane indices placed on one host."""
+        if not 0 <= host < self.n_hosts:
+            raise IndexError(f"host {host} out of range [0, {self.n_hosts})")
+        return self._host_lanes[host]
+
+    def neighbours_of(self, lane: int) -> tuple[int, ...]:
+        """Lanes co-located with ``lane`` (excluding itself)."""
+        host = self.host_of(lane)
+        if host is None:
+            return ()
+        return tuple(i for i in self._host_lanes[host] if i != lane)
+
+    def feed(self, lane: int) -> HostInterferenceFeed:
+        """The injector-compatible interference feed for one lane."""
+        if not 0 <= lane < self.n_lanes:
+            raise IndexError(f"lane {lane} out of range [0, {self.n_lanes})")
+        return self._feeds[lane]
+
+    # -- the coupling --------------------------------------------------
+
+    def apply_step(self, t: float, workloads: Sequence[Workload]) -> np.ndarray:
+        """Recompute every lane's theft from this step's offered demand.
+
+        Called by the fleet engine once per step, *before* controllers
+        act, so adaptations in the same step already see the pressure.
+        Returns the per-lane theft fractions (also pushed into the
+        lanes' feeds and accumulated into the map's statistics).
+        """
+        if len(workloads) != self.n_lanes:
+            raise ValueError(
+                f"expected {self.n_lanes} workloads, got {len(workloads)}"
+            )
+        demands = np.array(
+            [self._demand_fn(workload) for workload in workloads], dtype=float
+        )
+        if np.any(demands < 0):
+            raise ValueError("lane demand cannot be negative")
+        thefts = np.zeros(self.n_lanes, dtype=float)
+        for host_index, lanes in enumerate(self._host_lanes):
+            if not lanes:
+                continue
+            ids = np.asarray(lanes)
+            d = demands[ids]
+            total = float(d.sum())
+            capacity = self.hosts[host_index].capacity_units
+            if total <= capacity or total <= 0.0:
+                continue
+            self.overloaded_host_steps += 1
+            overload = (total - capacity) / total
+            thefts[ids] = np.minimum(
+                overload * (total - d) / total, self.max_theft
+            )
+        for feed, theft in zip(self._feeds, thefts):
+            feed._set(theft)
+        self.steps += 1
+        self.last_thefts = thefts
+        if self._placed_lanes:
+            self._theft_sum += float(thefts[self._placed_lanes].sum())
+        self.peak_theft = max(self.peak_theft, float(thefts.max(initial=0.0)))
+        return thefts
+
+    @property
+    def overload_fraction(self) -> float:
+        """Fraction of (step, host) samples where demand exceeded capacity."""
+        total = self.steps * self.n_hosts
+        return self.overloaded_host_steps / total if total else 0.0
+
+    @property
+    def mean_theft(self) -> float:
+        """Mean theft over all (step, placed lane) samples."""
+        total = self.steps * len(self._placed_lanes)
+        return self._theft_sum / total if total else 0.0

@@ -39,6 +39,29 @@ class TestParser:
         assert args.lanes == 8
         assert args.hours == 24.0
         assert args.step == 300.0
+        assert args.mix == "scaleout"
+        assert args.hosts == 0
+        assert args.host_capacity == 12.0
+
+    def test_fleet_hetero_flags(self):
+        args = build_parser().parse_args(
+            ["fleet", "--mix", "mixed", "--hosts", "4", "--host-capacity", "9.5"]
+        )
+        assert args.mix == "mixed"
+        assert args.hosts == 4
+        assert args.host_capacity == 9.5
+
+    def test_fleet_unknown_mix_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--mix", "sideways"])
+
+    def test_fleet_negative_hosts_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--hosts", "-3"])
+
+    def test_fleet_nonpositive_host_capacity_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--host-capacity", "0"])
 
 
 class TestRegistry:
@@ -79,3 +102,19 @@ class TestMain:
         assert "2-service multiplexing study" in out
         assert "hit rate" in out
         assert "profiling queue" in out
+        assert "shared hosts" not in out  # dedicated hardware by default
+
+    def test_run_fleet_mixed_on_shared_hosts(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet", "--lanes", "2", "--hours", "2",
+                    "--mix", "mixed", "--hosts", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "(mixed)" in out
+        assert "shared hosts (1 x 12 units)" in out
+        assert "escalation" in out

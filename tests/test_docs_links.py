@@ -1,0 +1,27 @@
+"""The docs must not rot: the CI link checker also gates tier-1."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_readme_and_docs_exist():
+    assert (REPO_ROOT / "README.md").is_file()
+    assert (REPO_ROOT / "docs" / "architecture.md").is_file()
+    assert (REPO_ROOT / "docs" / "paper_mapping.md").is_file()
+
+
+def test_relative_links_resolve():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_links.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_readme_documents_the_tier1_gate():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "PYTHONPATH=src python -m pytest -x -q" in readme

@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+from repro.experiments.multiplexing_study import (
+    lane_kinds,
+    run_fleet_multiplexing_study,
+)
 
 #: One signature collection on the shared profiler (Monitor default).
 SIGNATURE_SECONDS = 10.0
@@ -22,6 +25,21 @@ class TestValidation:
     def test_zero_duration_rejected(self):
         with pytest.raises(ValueError, match="duration"):
             run_fleet_multiplexing_study(n_lanes=1, hours=0.0)
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError, match="mix"):
+            run_fleet_multiplexing_study(n_lanes=2, mix="sideways")
+
+    def test_zero_hosts_rejected(self):
+        with pytest.raises(ValueError, match="host"):
+            run_fleet_multiplexing_study(n_lanes=2, n_hosts=0)
+
+    def test_lane_kinds_compositions(self):
+        assert lane_kinds(3, "scaleout") == ("scaleout",) * 3
+        assert lane_kinds(2, "scaleup") == ("scaleup",) * 2
+        assert lane_kinds(4, "mixed") == (
+            "scaleout", "scaleup", "scaleout", "scaleup",
+        )
 
 
 class TestSharedRepository:
@@ -134,3 +152,102 @@ class TestFleetSeries:
         study = run_small(2, hours=2.0)
         matrix = study.result.matrix("latency_ms")
         assert matrix[:, 0].tolist() == matrix[:, 1].tolist()
+
+
+class TestHeterogeneousFleet:
+    """Mixed scale-out + scale-up lanes in one engine run (Sec. 4 + 5)."""
+
+    def run_mixed(self, **kwargs):
+        return run_small(4, mix="mixed", **kwargs)
+
+    def test_two_observation_schemas(self):
+        result = self.run_mixed(hours=2.0).result
+        assert result.n_schemas == 2
+        out_schema = result.schema_of(0)
+        up_schema = result.schema_of(1)
+        assert "instances" in out_schema and "instance_is_xl" not in out_schema
+        assert "instance_is_xl" in up_schema and "instances" not in up_schema
+        assert result.lane_schemas == (0, 1, 0, 1)
+
+    def test_lane_blocks_round_trip(self):
+        result = self.run_mixed(hours=2.0).result
+        for lane in range(result.n_lanes):
+            schema, rows = result.lane_block(lane)
+            assert rows.shape == (result.n_steps, len(schema))
+            for j, name in enumerate(schema):
+                assert (
+                    rows[:, j].tolist()
+                    == result.lane_series(name, lane).values.tolist()
+                )
+
+    def test_shared_series_span_all_lanes(self):
+        result = self.run_mixed(hours=2.0).result
+        for name in ("latency_ms", "hourly_cost", "load", "qos_percent"):
+            assert result.lanes_recording(name) == (0, 1, 2, 3)
+        assert result.lanes_recording("instances") == (0, 2)
+        assert result.lanes_recording("instance_is_xl") == (1, 3)
+
+    def test_one_learning_phase_per_family(self):
+        study = self.run_mixed(hours=2.0)
+        assert study.mix == "mixed"
+        assert study.learning_runs == 2
+        homogeneous = run_small(4, hours=2.0)
+        assert homogeneous.learning_runs == 1
+
+    def test_fleet_cost_sums_both_families(self):
+        study = self.run_mixed(hours=2.0)
+        result = study.result
+        per_lane = [
+            result.lane_series("hourly_cost", lane).values.mean()
+            for lane in range(4)
+        ]
+        assert study.fleet_hourly_cost == pytest.approx(sum(per_lane))
+
+    def test_violations_judged_against_each_lanes_own_slo(self):
+        study = self.run_mixed(hours=2.0)
+        assert 0.0 <= study.violation_fraction <= 1.0
+
+
+class TestHostCoupling:
+    """Co-located lanes steal capacity; escalation crosses services."""
+
+    # Two lanes on one 5-unit host: each family's trace demands
+    # ~3.5-4 units at the day's plateau, so the co-located pair
+    # overcommits the host while either lane alone would not.
+    SQUEEZE = dict(n_lanes=2, mix="mixed", hours=12.0, host_capacity_units=5.0)
+
+    def test_neighbour_pressure_escalates_interference_band(self):
+        study = run_small(n_hosts=1, **self.SQUEEZE)
+        assert study.n_hosts == 1
+        assert study.host_overload_fraction > 0.0
+        assert study.peak_host_theft > 0.0
+        # At least one manager blamed its co-located neighbour and
+        # tuned a band > 0 allocation (Sec. 3.6 across services).
+        assert study.interference_escalations > 0
+
+    def test_no_neighbour_no_escalation(self):
+        # Same lanes, same demands, same host capacity — but one lane
+        # per host.  Self-saturation must not read as interference, so
+        # no band escalation fires: the escalations above are caused by
+        # the neighbour, not by load alone.
+        study = run_small(n_hosts=2, **self.SQUEEZE)
+        assert study.peak_host_theft == 0.0
+        assert study.mean_host_theft == 0.0
+        assert study.interference_escalations == 0
+
+    def test_dedicated_hardware_default_is_uncoupled(self):
+        study = run_small(2, hours=2.0)
+        assert study.n_hosts == 0
+        assert study.host_overload_fraction == 0.0
+        assert study.interference_escalations == 0
+
+    def test_generous_hosts_behave_like_dedicated_hardware(self):
+        coupled = run_small(
+            2, hours=2.0, n_hosts=1, host_capacity_units=1000.0
+        )
+        dedicated = run_small(2, hours=2.0)
+        assert coupled.peak_host_theft == 0.0
+        assert (
+            coupled.result.matrix("latency_ms").tolist()
+            == dedicated.result.matrix("latency_ms").tolist()
+        )

@@ -54,16 +54,47 @@ class TestFleetEngineValidation:
         with pytest.raises(ValueError, match="duration"):
             engine.run(-10.0)
 
-    def test_mismatched_observation_schema_rejected(self):
+    def test_schema_drift_within_a_lane_rejected(self):
+        # Differing schemas *between* lanes are legal (heterogeneous
+        # fleets); what a lane may not do is change its own schema
+        # after the first observation fixed it.
+        def drifting(ctx):
+            if ctx.t == 0.0:
+                return {"metric": 1.0}
+            return {"something_else": 1.0}
+
         odd = FleetLane(
             workload_fn=constant_workload,
             controller=RecordingController(),
-            observe_fn=lambda ctx: {"something_else": 1.0},
+            observe_fn=drifting,
             label="odd",
         )
         engine = FleetEngine([make_lane(1.0), odd], step_seconds=10.0)
         with pytest.raises(ValueError, match="odd"):
-            engine.run(10.0)
+            engine.run(30.0)
+
+    def test_extra_series_within_a_lane_rejected(self):
+        def widening(ctx):
+            base = {"metric": 1.0}
+            if ctx.t > 0.0:
+                base["surprise"] = 2.0
+            return base
+
+        odd = FleetLane(
+            workload_fn=constant_workload,
+            controller=RecordingController(),
+            observe_fn=widening,
+            label="widening",
+        )
+        with pytest.raises(ValueError, match="surprise"):
+            FleetEngine([odd], step_seconds=10.0).run(30.0)
+
+    def test_host_map_lane_count_mismatch_rejected(self):
+        from repro.sim.hosts import HostMap
+
+        host_map = HostMap.spread(n_lanes=3, n_hosts=1, capacity_units=5.0)
+        with pytest.raises(ValueError, match="host map"):
+            FleetEngine([make_lane(1.0)], host_map=host_map)
 
 
 class TestFleetEngineStepping:
@@ -146,6 +177,108 @@ class TestFleetResult:
             result.lane_result(4)
         with pytest.raises(IndexError):
             result.lane_series("metric", -1)
+
+
+def make_schema_lane(
+    observation: dict[str, float], label: str = "lane"
+) -> FleetLane:
+    return FleetLane(
+        workload_fn=constant_workload,
+        controller=RecordingController(),
+        observe_fn=lambda ctx: dict(observation),
+        label=label,
+    )
+
+
+class TestHeterogeneousFleet:
+    """Mixed observation schemas batch into separate blocks."""
+
+    def run_mixed(self) -> FleetResult:
+        # Two schemas sharing one series name ("shared"), interleaved
+        # so group membership is not contiguous in lane order.
+        lanes = [
+            make_schema_lane({"shared": 1.0, "out_only": 10.0}, label="out-0"),
+            make_schema_lane({"shared": 2.0, "up_only": 20.0}, label="up-0"),
+            make_schema_lane({"shared": 3.0, "out_only": 30.0}, label="out-1"),
+            make_schema_lane({"shared": 4.0, "up_only": 40.0}, label="up-1"),
+        ]
+        return FleetEngine(lanes, step_seconds=10.0).run(30.0)
+
+    def test_two_schema_groups(self):
+        result = self.run_mixed()
+        assert result.n_schemas == 2
+        assert result.schemas == (
+            ("shared", "out_only"),
+            ("shared", "up_only"),
+        )
+        assert result.lane_schemas == (0, 1, 0, 1)
+        assert result.schema_of(0) == ("shared", "out_only")
+        assert result.schema_of(3) == ("shared", "up_only")
+
+    def test_partial_series_matrix_covers_recording_lanes_only(self):
+        result = self.run_mixed()
+        assert result.matrix("out_only").shape == (3, 2)
+        assert result.lanes_recording("out_only") == (0, 2)
+        assert result.matrix("out_only")[0].tolist() == [10.0, 30.0]
+        assert result.lanes_recording("up_only") == (1, 3)
+        assert result.matrix("up_only")[0].tolist() == [20.0, 40.0]
+
+    def test_shared_series_merged_in_global_lane_order(self):
+        result = self.run_mixed()
+        assert result.lanes_recording("shared") == (0, 1, 2, 3)
+        assert result.matrix("shared").shape == (3, 4)
+        assert result.matrix("shared")[0].tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_lane_block_accessor(self):
+        result = self.run_mixed()
+        schema, rows = result.lane_block(3)
+        assert schema == ("shared", "up_only")
+        assert rows.shape == (3, 2)
+        np.testing.assert_array_equal(
+            rows, np.tile([4.0, 40.0], (3, 1))
+        )
+
+    def test_lane_result_roundtrip_per_schema(self):
+        result = self.run_mixed()
+        out = result.lane_result(2)
+        up = result.lane_result(1)
+        assert set(out.series) == {"shared", "out_only"}
+        assert set(up.series) == {"shared", "up_only"}
+        assert out.series["out_only"].values.tolist() == [30.0] * 3
+        assert up.series["up_only"].values.tolist() == [20.0] * 3
+
+    def test_lane_series_of_foreign_schema_rejected(self):
+        result = self.run_mixed()
+        with pytest.raises(KeyError, match="does not record"):
+            result.lane_series("up_only", 0)
+        with pytest.raises(KeyError, match="does not record"):
+            result.lane_series("out_only", 1)
+
+    def test_totals_aggregate_over_recording_lanes(self):
+        result = self.run_mixed()
+        assert result.total("shared").values.tolist() == [10.0] * 3
+        assert result.total("out_only").values.tolist() == [40.0] * 3
+        assert result.mean("up_only").values.tolist() == [30.0] * 3
+
+    def test_key_order_within_a_group_still_free(self):
+        forward = make_schema_lane({"a": 1.0, "b": 2.0}, label="forward")
+        backward = FleetLane(
+            workload_fn=constant_workload,
+            controller=RecordingController(),
+            observe_fn=lambda ctx: {"b": 20.0, "a": 10.0},
+            label="backward",
+        )
+        result = FleetEngine([forward, backward], step_seconds=10.0).run(10.0)
+        assert result.n_schemas == 1
+        assert result.matrix("a")[0].tolist() == [1.0, 10.0]
+
+    def test_homogeneous_result_keeps_legacy_layout(self):
+        lanes = [make_lane(float(i), label=f"svc-{i}") for i in range(3)]
+        result = FleetEngine(lanes, step_seconds=10.0).run(20.0)
+        assert result.n_schemas == 1
+        assert result.lane_schemas == (0, 0, 0)
+        assert result.matrix("metric").shape == (2, 3)
+        assert result.lanes_recording("metric") == (0, 1, 2)
 
 
 class TestProfilingQueue:

@@ -1,0 +1,190 @@
+"""Unit and property tests for the shared-host coupling layer."""
+
+import numpy as np
+import pytest
+
+from repro.sim.hosts import HostInterferenceFeed, HostMap, SimHost
+from repro.workloads.request_mix import CASSANDRA_UPDATE_HEAVY, Workload
+
+
+def demand(units: float) -> Workload:
+    """A workload offering exactly ``units`` capacity units of demand."""
+    mix = CASSANDRA_UPDATE_HEAVY
+    return Workload(volume=units / mix.demand_per_client, mix=mix)
+
+
+class TestValidation:
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SimHost(capacity_units=0.0)
+
+    def test_at_least_one_host(self):
+        with pytest.raises(ValueError, match="host"):
+            HostMap([], [])
+
+    def test_placement_bounds_checked(self):
+        with pytest.raises(ValueError, match="unknown host"):
+            HostMap([SimHost(10.0)], [0, 1])
+
+    def test_max_theft_range(self):
+        with pytest.raises(ValueError, match="max theft"):
+            HostMap([SimHost(10.0)], [0], max_theft=1.0)
+
+    def test_workload_count_checked(self):
+        host_map = HostMap.spread(n_lanes=2, n_hosts=1, capacity_units=10.0)
+        with pytest.raises(ValueError, match="workloads"):
+            host_map.apply_step(0.0, [demand(1.0)])
+
+
+class TestPlacements:
+    def test_spread_round_robin(self):
+        host_map = HostMap.spread(n_lanes=5, n_hosts=2, capacity_units=10.0)
+        assert host_map.n_hosts == 2
+        assert host_map.placement == (0, 1, 0, 1, 0)
+        assert host_map.lanes_on(0) == (0, 2, 4)
+        assert host_map.neighbours_of(2) == (0, 4)
+
+    def test_pack_block_wise(self):
+        host_map = HostMap.pack(n_lanes=5, lanes_per_host=2, capacity_units=10.0)
+        assert host_map.n_hosts == 3
+        assert host_map.placement == (0, 0, 1, 1, 2)
+        assert host_map.lanes_on(2) == (4,)
+
+    def test_unplaced_lane_has_no_neighbours(self):
+        host_map = HostMap([SimHost(10.0)], [0, None])
+        assert host_map.host_of(1) is None
+        assert host_map.neighbours_of(1) == ()
+
+
+class TestCoupling:
+    def test_underloaded_host_steals_nothing(self):
+        host_map = HostMap.spread(n_lanes=2, n_hosts=1, capacity_units=10.0)
+        thefts = host_map.apply_step(0.0, [demand(4.0), demand(5.0)])
+        assert thefts.tolist() == [0.0, 0.0]
+        assert host_map.overload_fraction == 0.0
+        assert host_map.feed(0).interference_at(0.0) == 0.0
+
+    def test_overloaded_host_squeezes_both_tenants(self):
+        # Two equal lanes, total 14 on a 10-unit host: overload 2/7,
+        # each lane's theft is overload times its neighbour's share.
+        host_map = HostMap.spread(n_lanes=2, n_hosts=1, capacity_units=10.0)
+        thefts = host_map.apply_step(0.0, [demand(7.0), demand(7.0)])
+        expected = (4.0 / 14.0) * (7.0 / 14.0)
+        assert thefts[0] == pytest.approx(expected)
+        assert thefts[1] == pytest.approx(expected)
+        assert host_map.feed(1).interference_at(123.0) == pytest.approx(expected)
+        assert host_map.overload_fraction == 1.0
+        assert host_map.peak_theft == pytest.approx(expected)
+
+    def test_lone_lane_overload_is_not_interference(self):
+        # Self-saturation on a dedicated host must read as zero theft:
+        # DejaVu's interference index blames co-located tenants only.
+        host_map = HostMap.spread(n_lanes=1, n_hosts=1, capacity_units=5.0)
+        thefts = host_map.apply_step(0.0, [demand(50.0)])
+        assert thefts.tolist() == [0.0]
+        assert host_map.overload_fraction == 1.0  # overloaded, but alone
+
+    def test_big_neighbour_steals_more_than_small_one(self):
+        host_map = HostMap.spread(n_lanes=2, n_hosts=1, capacity_units=10.0)
+        thefts = host_map.apply_step(0.0, [demand(2.0), demand(12.0)])
+        # The small lane suffers from the big neighbour, not vice versa.
+        assert thefts[0] > thefts[1] > 0.0
+
+    def test_hosts_are_independent(self):
+        host_map = HostMap.spread(n_lanes=4, n_hosts=2, capacity_units=10.0)
+        # Host 0 holds lanes (0, 2) and is overloaded; host 1 (1, 3) idles.
+        thefts = host_map.apply_step(
+            0.0, [demand(8.0), demand(1.0), demand(8.0), demand(1.0)]
+        )
+        assert thefts[0] > 0.0 and thefts[2] > 0.0
+        assert thefts[1] == 0.0 and thefts[3] == 0.0
+        assert host_map.overload_fraction == 0.5
+
+    def test_theft_clipped_at_max(self):
+        host_map = HostMap.spread(
+            n_lanes=2, n_hosts=1, capacity_units=1.0, max_theft=0.5
+        )
+        # The small lane's neighbour dominates the host: unclipped theft
+        # would approach 1.0.
+        thefts = host_map.apply_step(0.0, [demand(1.0), demand(1000.0)])
+        assert thefts[0] == pytest.approx(0.5)
+
+    def test_theft_resets_when_pressure_passes(self):
+        host_map = HostMap.spread(n_lanes=2, n_hosts=1, capacity_units=10.0)
+        host_map.apply_step(0.0, [demand(7.0), demand(7.0)])
+        assert host_map.feed(0).theft > 0.0
+        host_map.apply_step(60.0, [demand(1.0), demand(1.0)])
+        assert host_map.feed(0).theft == 0.0
+        assert host_map.overload_fraction == pytest.approx(0.5)
+
+    def test_mean_theft_accumulates_over_steps(self):
+        host_map = HostMap.spread(n_lanes=2, n_hosts=1, capacity_units=10.0)
+        host_map.apply_step(0.0, [demand(7.0), demand(7.0)])
+        host_map.apply_step(60.0, [demand(1.0), demand(1.0)])
+        per_step = (4.0 / 14.0) * (7.0 / 14.0)
+        assert host_map.mean_theft == pytest.approx(per_step / 2.0)
+
+    def test_custom_demand_fn(self):
+        # Cap each lane's host footprint at 3 units regardless of offer.
+        host_map = HostMap.spread(
+            n_lanes=2,
+            n_hosts=1,
+            capacity_units=10.0,
+            demand_fn=lambda w: min(w.demand_units, 3.0),
+        )
+        thefts = host_map.apply_step(0.0, [demand(50.0), demand(50.0)])
+        assert thefts.tolist() == [0.0, 0.0]
+
+    def test_negative_demand_rejected(self):
+        host_map = HostMap.spread(
+            n_lanes=1, n_hosts=1, capacity_units=10.0, demand_fn=lambda w: -1.0
+        )
+        with pytest.raises(ValueError, match="negative"):
+            host_map.apply_step(0.0, [demand(1.0)])
+
+
+class TestFeed:
+    def test_feed_is_injector_compatible(self):
+        from repro.cloud.provider import CloudProvider
+        from repro.core.profiler import ProductionEnvironment
+        from repro.services.cassandra import CassandraService
+
+        feed = HostInterferenceFeed()
+        production = ProductionEnvironment(
+            CassandraService(), CloudProvider(max_instances=2), feed
+        )
+        assert production.interference_at(0.0) == 0.0
+        feed._set(0.2)
+        assert production.interference_at(0.0) == 0.2
+
+
+class TestEngineIntegration:
+    def test_engine_updates_host_map_each_step(self):
+        from repro.sim.fleet import FleetEngine, FleetLane
+
+        host_map = HostMap.spread(n_lanes=2, n_hosts=1, capacity_units=10.0)
+        seen: list[float] = []
+
+        def observe(ctx):
+            # The feed must already reflect this step's demand when the
+            # lane observes (controllers see it too).
+            seen.append(host_map.feed(0).theft)
+            return {"theft": host_map.feed(0).theft}
+
+        class Idle:
+            def on_step(self, ctx):
+                pass
+
+        lanes = [
+            FleetLane(lambda t: demand(7.0), Idle(), observe, label="a"),
+            FleetLane(
+                lambda t: demand(7.0), Idle(), lambda ctx: {"x": 0.0}, label="b"
+            ),
+        ]
+        result = FleetEngine(lanes, step_seconds=10.0, host_map=host_map).run(
+            30.0
+        )
+        assert host_map.steps == 3
+        expected = (4.0 / 14.0) * (7.0 / 14.0)
+        assert np.allclose(result.matrix("theft")[:, 0], expected)
+        assert all(value == pytest.approx(expected) for value in seen)
