@@ -182,10 +182,14 @@ def _fleet_rows(args) -> list[str]:
         mix=args.mix,
         n_hosts=args.hosts if args.hosts > 0 else None,
         host_capacity_units=args.host_capacity,
+        batched=args.batch,
     )
+    path = "batched" if study.batched else "scalar"
     rows = [
         f"{study.n_lanes} services ({study.mix}) x {study.n_steps} steps "
         f"({study.step_seconds:.0f} s each) on one shared clock",
+        f"{path} control plane: {study.lane_steps_per_second:,.0f} "
+        f"lane-steps/s ({study.engine_seconds:.2f} s in the engine)",
         f"learning phases paid: {study.learning_runs} "
         f"({study.tuning_invocations} tuner runs, amortized fleet-wide)",
         f"shared-repository hit rate: {study.hit_rate:.1%}",
@@ -199,6 +203,11 @@ def _fleet_rows(args) -> list[str]:
         f"{study.amortized_profiling_fraction:.2%} of that",
         f"SLO violations across the fleet: {study.violation_fraction:.1%}",
     ]
+    if study.deferred_adaptations:
+        rows.append(
+            f"adaptations deferred by queue back-pressure: "
+            f"{study.deferred_adaptations}"
+        )
     if study.n_hosts:
         rows.append(
             f"shared hosts ({study.n_hosts} x "
@@ -263,6 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_float,
         default=12.0,
         help="capacity units of each shared host",
+    )
+    fleet.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the batched fleet control plane (--no-batch keeps the "
+        "scalar per-lane step path reachable for A/B runs)",
     )
     return parser
 

@@ -80,6 +80,7 @@ class CloudProvider:
         self._current = Allocation(count=0)
         self._last_billed_at = 0.0
         self._last_change_at: float | None = None
+        self._capacity_plan: tuple[float, tuple[tuple[float, float], ...], float, float] | None = None
 
     @property
     def current_allocation(self) -> Allocation:
@@ -128,6 +129,7 @@ class CloudProvider:
                     vm.start(now, pre_created=True)
         self._current = allocation
         self._last_change_at = now
+        self._capacity_plan = None
 
     def tick(self, now: float) -> None:
         """Advance VM lifecycles and billing to time ``now``."""
@@ -150,6 +152,47 @@ class CloudProvider:
             if vm.is_serving
         )
 
+    def _plan(self) -> tuple[float, tuple[tuple[float, float], ...], float, float]:
+        """Cached capacity plan: (already-running units, pending starts,
+        total pending units, last pending ready time).
+
+        VM lifecycles only change through :meth:`apply` (which drops the
+        cache) and :meth:`tick` (which merely promotes VMs whose
+        ``ready_at`` has passed — a transition the plan's time
+        comparison already accounts for), so the plan stays valid
+        between allocation changes and makes capacity queries O(pending)
+        instead of a walk over every pooled VM.
+        """
+        if self._capacity_plan is None:
+            base = 0.0
+            total_pending = 0.0
+            pending: list[tuple[float, float]] = []
+            for pool in self._pools.values():
+                for vm in pool:
+                    if vm.state is VMState.RUNNING:
+                        base += vm.itype.capacity_units
+                    elif vm.state in (VMState.BOOTING, VMState.WARMING):
+                        pending.append((vm.ready_at, vm.itype.capacity_units))
+                        total_pending += vm.itype.capacity_units
+            last_ready = max((ready for ready, _u in pending), default=0.0)
+            self._capacity_plan = (base, tuple(pending), total_pending, last_ready)
+        return self._capacity_plan
+
+    def capacity_at(self, t: float) -> float:
+        """Serving capacity at ``t``, with no side effects.
+
+        Equals what :meth:`serving_capacity` would report at ``t`` —
+        RUNNING VMs plus pre-created VMs whose warm-up has elapsed —
+        but neither settles billing nor mutates VM state, and runs in
+        O(1) off the cached plan once every pending warm-up has elapsed.
+        The batched fleet observation path calls this once per
+        lane-step.
+        """
+        base, pending, total_pending, last_ready = self._plan()
+        if not pending or t >= last_ready:
+            return base + total_pending
+        return base + sum(units for ready_at, units in pending if t >= ready_at)
+
     def projected_capacity(self, at_time: float) -> float:
         """Capacity that will be serving at ``at_time``, without side effects.
 
@@ -157,15 +200,7 @@ class CloudProvider:
         mutates VM state — controllers use it to ask "once warm-up
         finishes, what will production look like?" mid-step.
         """
-        total = 0.0
-        for pool in self._pools.values():
-            for vm in pool:
-                if vm.state is VMState.RUNNING or (
-                    vm.state in (VMState.BOOTING, VMState.WARMING)
-                    and at_time >= vm.ready_at
-                ):
-                    total += vm.itype.capacity_units
-        return total
+        return self.capacity_at(at_time)
 
     def serving_count(self, now: float) -> int:
         """Number of VMs serving at ``now``."""

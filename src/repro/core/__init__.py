@@ -18,6 +18,7 @@ The pipeline (Sec. 3, Fig. 3):
 8. :mod:`repro.core.manager` — ties it all together as a controller.
 """
 
+from repro.core.batch import BatchClassification, BatchClassifier
 from repro.core.clustering import ClusteringModel, KMeans, auto_cluster
 from repro.core.cost_aware_tuner import KingfisherTuner, TransitionCost
 from repro.core.feature_selection import CfsSubsetSelector
@@ -30,6 +31,8 @@ from repro.core.signature import SignatureSchema, Standardizer, WorkloadSignatur
 from repro.core.tuner import LinearSearchTuner, TuningOutcome
 
 __all__ = [
+    "BatchClassification",
+    "BatchClassifier",
     "ClusteringModel",
     "KMeans",
     "auto_cluster",

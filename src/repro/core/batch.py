@@ -1,0 +1,172 @@
+"""Vectorized cross-lane classification: the batched control plane.
+
+The paper's economy is that one trained signature repository serves
+many VMs (Sec. 5) — yet a fleet whose lanes share a trained model still
+paid one Python ``standardize → classify → novelty-check`` round-trip
+*per lane* per adaptation wave.  This module restructures that loop so
+the shared state is consulted once per batch: a
+:class:`BatchClassifier` snapshots one trained model (schema,
+standardizer, classifier, clustering, novelty geometry) and classifies
+an ``(n_lanes, n_features)`` signature matrix in one pass.
+
+Exactness contract
+------------------
+Every row of :meth:`BatchClassifier.classify_matrix` is **bit-identical**
+to what :meth:`repro.core.manager.DejaVuManager.classify` computes for
+that signature, because each stage reuses the scalar path's arithmetic:
+
+* standardization is the same elementwise ``(x - mean) / scale``;
+* classification goes through the classifier's ``predict_batch``
+  (each implementation documents its per-row bit-equivalence) or the
+  row-by-row :func:`repro.core.classifiers.predict_rows` fallback;
+* novelty *thresholds* depend only on the trained model, so they are
+  precomputed per class with the scalar expressions; novelty
+  *distances* go through
+  :meth:`~repro.core.clustering.ClusteringModel.distance_to_centroid`
+  row by row, because its 1-D BLAS norm is not bit-reproducible by a
+  broadcast ``axis=`` norm.
+
+The batched repository side lives on
+:meth:`repro.core.repository.AllocationRepository.lookup_batch`, which
+resolves one adaptation wave's entries keyed by class label while
+charging hit/miss statistics exactly as the equivalent scalar lookups
+would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classifiers import Classifier, predict_matrix
+from repro.core.clustering import ClusteringModel
+from repro.core.signature import SignatureSchema, Standardizer
+
+
+def novelty_threshold(
+    clustering: ClusteringModel,
+    novelty_radii: np.ndarray,
+    label: int,
+    radius_factor: float,
+) -> float:
+    """One class's novelty distance threshold.
+
+    The in-class radius scaled by the configured factor, floored at
+    half the distance to the nearest other centroid so degenerate
+    single-member clusters (radius 0) still accept their neighbourhood.
+    Shared by the scalar classify path
+    (:meth:`repro.core.manager.DejaVuManager.classify`) and the batched
+    one, so the two cannot drift apart.
+    """
+    radius = float(novelty_radii[label])
+    centroid_dists = np.linalg.norm(
+        clustering.centroids - clustering.centroids[label],
+        axis=1,
+    )
+    other = centroid_dists[centroid_dists > 0]
+    floor = 0.5 * float(other.min()) if other.size else 1.0
+    return max(radius * radius_factor, floor)
+
+
+@dataclass(frozen=True)
+class BatchClassification:
+    """One adaptation wave's classifications, row-aligned to the input."""
+
+    labels: np.ndarray
+    """Assigned workload class per signature (int)."""
+
+    certainties: np.ndarray
+    """Certainty after the novelty check, per signature."""
+
+    signatures_z: np.ndarray
+    """The standardized signature matrix the decisions were made on."""
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.labels.size)
+
+
+class BatchClassifier:
+    """Vectorized classify path over one trained DejaVu model.
+
+    Parameters mirror the trained state a
+    :class:`~repro.core.manager.DejaVuManager` holds after ``learn()``;
+    managers expose a cached instance via ``batch_classifier()``.  The
+    novelty parameters are part of the model snapshot: two managers may
+    share a ``BatchClassifier`` only if their classifier/clustering
+    objects *and* novelty configuration agree (the fleet engine's
+    grouping key enforces this).
+    """
+
+    def __init__(
+        self,
+        schema: SignatureSchema,
+        standardizer: Standardizer,
+        classifier: Classifier,
+        clustering: ClusteringModel,
+        novelty_radii: np.ndarray,
+        novelty_radius_factor: float,
+        novelty_certainty: float,
+    ) -> None:
+        if not standardizer.is_fit:
+            raise ValueError("batch classifier needs a fitted standardizer")
+        novelty_radii = np.asarray(novelty_radii, dtype=float)
+        if novelty_radii.shape != (clustering.n_classes,):
+            raise ValueError(
+                f"{novelty_radii.shape[0] if novelty_radii.ndim else 0} "
+                f"novelty radii for {clustering.n_classes} classes"
+            )
+        self.schema = schema
+        self.standardizer = standardizer
+        self.classifier = classifier
+        self.clustering = clustering
+        self.novelty_certainty = float(novelty_certainty)
+        # Per-class novelty thresholds depend only on the trained model;
+        # precompute them once with the shared scalar expression.
+        self.novelty_thresholds = np.array(
+            [
+                novelty_threshold(
+                    clustering, novelty_radii, label, novelty_radius_factor
+                )
+                for label in range(clustering.n_classes)
+            ]
+        )
+
+    @property
+    def n_classes(self) -> int:
+        return self.clustering.n_classes
+
+    def classify_matrix(self, X_raw: np.ndarray) -> BatchClassification:
+        """Standardize, classify and novelty-check a signature matrix.
+
+        ``X_raw`` rows are raw signature vectors in schema order — one
+        per lane of an adaptation wave.
+        """
+        X_raw = np.asarray(X_raw, dtype=float)
+        if X_raw.ndim != 2 or X_raw.shape[1] != self.schema.n_metrics:
+            raise ValueError(
+                f"signature matrix shape {X_raw.shape} does not match the "
+                f"{self.schema.n_metrics}-metric schema"
+            )
+        Xz = self.standardizer.transform(X_raw)
+        prediction = predict_matrix(self.classifier, Xz)
+        labels = prediction.labels
+        # Row-wise distances: distance_to_centroid's 1-D norm is BLAS
+        # and not bit-reproducible via a broadcast axis= norm.
+        distances = np.array(
+            [
+                self.clustering.distance_to_centroid(Xz[i], int(labels[i]))
+                for i in range(labels.size)
+            ]
+        )
+        certainties = np.where(
+            distances > self.novelty_thresholds[labels],
+            np.minimum(prediction.confidences, self.novelty_certainty),
+            prediction.confidences,
+        )
+        return BatchClassification(
+            labels=labels,
+            certainties=certainties,
+            signatures_z=Xz,
+        )

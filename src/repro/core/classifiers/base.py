@@ -28,6 +28,39 @@ class Prediction:
             raise ValueError(f"confidence out of [0,1]: {self.confidence}")
 
 
+@dataclass(frozen=True)
+class BatchPrediction:
+    """Classifications of a whole signature matrix at once.
+
+    The batched fleet control plane classifies every lane of a group in
+    one call; ``labels[i]`` / ``confidences[i]`` must be bit-identical
+    to what :meth:`Classifier.predict` would return for row ``i``.
+    """
+
+    labels: np.ndarray
+    confidences: np.ndarray
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels, dtype=int)
+        confidences = np.asarray(self.confidences, dtype=float)
+        if labels.shape != confidences.shape or labels.ndim != 1:
+            raise ValueError(
+                f"labels {labels.shape} and confidences "
+                f"{confidences.shape} must be matching 1-D arrays"
+            )
+        object.__setattr__(self, "labels", labels)
+        object.__setattr__(self, "confidences", confidences)
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.labels.size)
+
+    def __getitem__(self, i: int) -> Prediction:
+        return Prediction(
+            label=int(self.labels[i]), confidence=float(self.confidences[i])
+        )
+
+
 @runtime_checkable
 class Classifier(Protocol):
     """Anything that can learn workload classes and label signatures."""
@@ -39,6 +72,30 @@ class Classifier(Protocol):
     def predict(self, x: np.ndarray) -> Prediction:
         """Classify one signature vector."""
         ...
+
+
+def predict_rows(classifier: Classifier, X: np.ndarray) -> BatchPrediction:
+    """Row-by-row fallback for classifiers without a ``predict_batch``.
+
+    Guarantees the batched path stays available (and exactly equivalent)
+    for any custom :class:`Classifier` implementation.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    predictions = [classifier.predict(x) for x in X]
+    return BatchPrediction(
+        labels=np.array([p.label for p in predictions], dtype=int),
+        confidences=np.array([p.confidence for p in predictions]),
+    )
+
+
+def predict_matrix(classifier: Classifier, X: np.ndarray) -> BatchPrediction:
+    """Classify a matrix with ``predict_batch`` when available."""
+    batch = getattr(classifier, "predict_batch", None)
+    if batch is not None:
+        return batch(X)
+    return predict_rows(classifier, X)
 
 
 def validate_training_set(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

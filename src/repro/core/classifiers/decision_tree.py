@@ -13,7 +13,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.classifiers.base import Prediction, validate_training_set
+from repro.core.classifiers.base import (
+    BatchPrediction,
+    Prediction,
+    validate_training_set,
+)
 
 
 def entropy(counts: np.ndarray) -> float:
@@ -151,6 +155,40 @@ class C45DecisionTree:
         probs = smoothed / smoothed.sum()
         label = int(np.argmax(probs))
         return Prediction(label=label, confidence=float(probs[label]))
+
+    def predict_batch(self, X: np.ndarray) -> BatchPrediction:
+        """Route a whole signature matrix through the tree at once.
+
+        Rows are partitioned level by level with boolean masks — the
+        same ``x[feature] <= threshold`` comparisons :meth:`predict`
+        makes, so each row's (label, confidence) is bit-identical to a
+        scalar call.
+        """
+        if self._root is None:
+            raise RuntimeError("tree used before fit")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        n = X.shape[0]
+        labels = np.empty(n, dtype=int)
+        confidences = np.empty(n, dtype=float)
+        stack: list[tuple[_Node, np.ndarray]] = [(self._root, np.arange(n))]
+        while stack:
+            node, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            if node.is_leaf:
+                smoothed = node.class_counts + 1.0
+                probs = smoothed / smoothed.sum()
+                label = int(np.argmax(probs))
+                labels[rows] = label
+                confidences[rows] = float(probs[label])
+                continue
+            assert node.left is not None and node.right is not None
+            goes_left = X[rows, node.feature] <= node.threshold
+            stack.append((node.left, rows[goes_left]))
+            stack.append((node.right, rows[~goes_left]))
+        return BatchPrediction(labels=labels, confidences=confidences)
 
     def depth(self) -> int:
         """Fitted tree depth (root-only tree has depth 0)."""

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.cloud.instance_types import InstanceType
 from repro.cloud.provider import Allocation
+from repro.core.batch import BatchClassifier, novelty_threshold
 from repro.core.classifiers import C45DecisionTree, Classifier
 from repro.core.clustering import ClusteringModel, auto_cluster
 from repro.core.feature_selection import CfsSubsetSelector
@@ -34,6 +35,10 @@ from repro.core.tuner import LinearSearchTuner
 from repro.sim.clock import HOUR
 from repro.sim.engine import StepContext
 from repro.workloads.request_mix import Workload
+
+#: Sentinel distinguishing "no prefetched repository entry" from a
+#: prefetched lookup that legitimately resolved to None.
+_UNRESOLVED = object()
 
 
 @dataclass(frozen=True)
@@ -107,7 +112,12 @@ class DejaVuConfig:
 
 @dataclass(frozen=True)
 class AdaptationEvent:
-    """One reaction to a (potential) workload change."""
+    """One reaction to a (potential) workload change.
+
+    ``duration_seconds`` is the decision latency: the signature
+    collection itself plus any time the request spent queued on a
+    contended shared profiler.
+    """
 
     t: float
     duration_seconds: float
@@ -115,6 +125,24 @@ class AdaptationEvent:
     workload_class: int | None
     certainty: float
     allocation: Allocation
+
+
+@dataclass(frozen=True)
+class _PendingDeployment:
+    """A decision made on a queue-delayed signature, not yet deployed.
+
+    When the shared profiler is contended, the signature that drove an
+    adaptation only finishes collecting ``wait`` seconds after the
+    check fired — so the resulting allocation deploys late by the
+    queue's residency time, and the previous allocation keeps serving
+    until then (ROADMAP: "stale signatures delay adaptation").
+    """
+
+    apply_at: float
+    allocation: Allocation
+    workload: Workload
+    workload_class: int | None
+    run_interference_check: bool
 
 
 @dataclass
@@ -195,6 +223,14 @@ class DejaVuManager:
         self._deployed_band: int | None = None
         self._deployed_class: int | None = None
 
+        self.profiling_queue = None
+        self.deferred_adaptations = 0
+        self.superseded_deployments = 0
+        self.pending_deployment: _PendingDeployment | None = None
+        self._pending_wait = 0.0
+        self._batch_classifier: BatchClassifier | None = None
+        self._schema_columns: np.ndarray | None = None
+
     # ------------------------------------------------------------------
     # Learning phase (Sec. 3.3-3.4)
     # ------------------------------------------------------------------
@@ -228,6 +264,10 @@ class DejaVuManager:
         self._class_workloads.clear()
         self.relearn_requested = False
         self._consecutive_misses = 0
+        # Re-learning produces a new model: any cached batched-path
+        # state built on the old clustering is invalid.
+        self._batch_classifier = None
+        self._schema_columns = None
         rows, labels = [], []
         for index, workload in enumerate(workloads):
             for _ in range(self.config.trials_per_workload):
@@ -335,6 +375,8 @@ class DejaVuManager:
         self._novelty_radii = np.array(leader._novelty_radii, copy=True)
         self._class_workloads = dict(leader._class_workloads)
         self.learning_report = leader.learning_report
+        self._batch_classifier = None
+        self._schema_columns = None
         self._repository_fleet_shared = True
         leader._repository_fleet_shared = True
 
@@ -346,13 +388,76 @@ class DejaVuManager:
     def is_trained(self) -> bool:
         return self.classifier is not None
 
+    def attach_profiling_queue(self, queue) -> None:
+        """Route this manager's profiling through a shared queue.
+
+        Every signature collection — per-adaptation, post-relearn
+        re-classification, interference-escalation probes, and the
+        auto-relearn learning sweep — is then charged against the
+        queue's slots.  Queue feedback is real, not accounting-only: a
+        rejected request defers the adaptation to the next step, and a
+        waited-for request delays the deployment by the queue residency
+        (see :class:`_PendingDeployment`).
+        """
+        self.profiling_queue = queue
+
+    def _charge_profiling(self, t: float, *, bounded: bool = True) -> float | None:
+        """Charge one profiling run; returns the queue wait, or None if
+        the bounded queue rejected the request."""
+        if self.profiling_queue is None:
+            return 0.0
+        grant = self.profiling_queue.request(t, bounded=bounded)
+        if not grant.accepted:
+            return None
+        return grant.wait_seconds
+
+    def _flush_pending_deployment(self, t: float) -> None:
+        """Deploy a queue-delayed decision once its signature is in."""
+        pending = self.pending_deployment
+        if pending is None or t + 1e-9 < pending.apply_at:
+            return
+        self.pending_deployment = None
+        self.production.apply(pending.allocation, pending.apply_at)
+        hit = pending.workload_class is not None
+        self._deployed_class = pending.workload_class
+        self._deployed_band = 0 if hit else None
+        if pending.run_interference_check and hit:
+            # The post-deploy SLO check runs from the step that noticed
+            # the deployment; escalation probes are charged at this
+            # step's time (queue time is monotone).
+            check_ctx = StepContext(
+                t=t,
+                workload=pending.workload,
+                hour=int(t // 3600.0),
+                day=int(t // 86400.0),
+            )
+            self._interference_check(
+                check_ctx, pending.workload_class, pending.allocation
+            )
+
+    def poll_pending_deployment(self, t: float) -> None:
+        """Deploy any due queue-delayed decision; cheap no-op otherwise.
+
+        The batched fleet engine calls this on steps where it bypasses
+        :meth:`on_step` (it runs the periodic check itself), so delayed
+        deployments still land on time.
+        """
+        if self.pending_deployment is not None:
+            self._flush_pending_deployment(t)
+
     def on_step(self, ctx: StepContext) -> None:
         """Engine hook: adapt periodically, and on SLO violations when
-        ``adapt_on_violation`` is set."""
+        ``adapt_on_violation`` is set.
+
+        An adaptation whose profiling request was rejected by a bounded
+        shared queue returns no event; the check is then retried on the
+        next step instead of waiting a full interval.
+        """
+        self._flush_pending_deployment(ctx.t)
         if ctx.t + 1e-9 >= self._next_check:
-            self.adapt(ctx)
-            self._next_check = ctx.t + self.config.check_interval_seconds
-            self._last_adapt = ctx.t
+            if self.adapt(ctx) is not None:
+                self._next_check = ctx.t + self.config.check_interval_seconds
+                self._last_adapt = ctx.t
             return
         if not (self.config.adapt_on_violation and self.is_trained):
             return
@@ -361,9 +466,9 @@ class DejaVuManager:
             return
         sample = self.production.performance_at(ctx.workload, ctx.t)
         if not self.production.service.slo_met(sample):
-            self.adapt(ctx)
-            self._next_check = ctx.t + self.config.check_interval_seconds
-            self._last_adapt = ctx.t
+            if self.adapt(ctx) is not None:
+                self._next_check = ctx.t + self.config.check_interval_seconds
+                self._last_adapt = ctx.t
 
     def classify(self, workload: Workload) -> tuple[int, float, np.ndarray]:
         """Collect a signature and classify it.
@@ -380,17 +485,12 @@ class DejaVuManager:
         x = self.schema.vector_from(metrics)
         xz = self.standardizer.transform(x[None, :])[0]
         prediction = self.classifier.predict(xz)
-        radius = float(self._novelty_radii[prediction.label])
-        # Guard against degenerate single-member clusters (radius 0):
-        # use half the distance to the nearest other centroid as floor.
-        centroid_dists = np.linalg.norm(
-            self.clustering.centroids
-            - self.clustering.centroids[prediction.label],
-            axis=1,
+        threshold = novelty_threshold(
+            self.clustering,
+            self._novelty_radii,
+            prediction.label,
+            self.config.novelty_radius_factor,
         )
-        other = centroid_dists[centroid_dists > 0]
-        floor = 0.5 * float(other.min()) if other.size else 1.0
-        threshold = max(radius * self.config.novelty_radius_factor, floor)
         distance = self.clustering.distance_to_centroid(xz, prediction.label)
         if distance > threshold:
             certainty = min(prediction.confidence, self.config.novelty_certainty)
@@ -418,9 +518,25 @@ class DejaVuManager:
             raise ValueError(
                 "re-learning needs recent workloads; none were observed"
             )
+        self._charge_relearn_sweep(now, len(workloads))
         report = self.learn(workloads, now=now)
         self.relearn_count += 1
         return report
+
+    def _charge_relearn_sweep(self, now: float, n_workloads: int) -> None:
+        """Charge a re-learn's profiling burst to the shared queue.
+
+        The sweep re-profiles every retained workload
+        ``trials_per_workload`` times — a burst that previously bypassed
+        the :class:`~repro.sim.fleet.ProfilingQueue` entirely, making
+        reported contention a lower bound.  The burst is a scheduled
+        sweep, not an online arrival, so it stacks FIFO past any
+        ``max_pending`` bound instead of being rejected.
+        """
+        if self.profiling_queue is None:
+            return
+        for _ in range(n_workloads * self.config.trials_per_workload):
+            self.profiling_queue.request(now, bounded=False)
 
     def _maybe_auto_relearn(self, ctx: StepContext) -> bool:
         """Run an automatic re-learn when flagged and enough history."""
@@ -431,14 +547,46 @@ class DejaVuManager:
         self.relearn(now=ctx.t)
         return True
 
-    def adapt(self, ctx: StepContext) -> AdaptationEvent:
-        """One adaptation: profile, classify, redeploy (Sec. 3.5)."""
+    def adapt(self, ctx: StepContext) -> AdaptationEvent | None:
+        """One adaptation: profile, classify, redeploy (Sec. 3.5).
+
+        With a shared profiling queue attached, the signature collection
+        is charged first: a rejected request defers the whole adaptation
+        (returns None), and a waited-for request delays the deployment
+        by the wait (the decision is made on a stale signature).
+        """
         self.workload_history.append((ctx.t, ctx.workload))
+        wait = self._charge_profiling(ctx.t)
+        if wait is None:
+            self.deferred_adaptations += 1
+            return None
         label, certainty, _xz = self.classify(ctx.workload)
+        return self._finish_adapt(ctx, label, certainty, wait=wait)
+
+    def _finish_adapt(
+        self,
+        ctx: StepContext,
+        label: int,
+        certainty: float,
+        wait: float,
+        prefetched=_UNRESOLVED,
+    ) -> AdaptationEvent:
+        """Everything after classification: lookup, deploy, escalate.
+
+        Shared by the scalar path (:meth:`adapt`) and the batched fleet
+        path (:meth:`complete_batched_adapt`).  ``prefetched`` carries a
+        batched repository lookup's result for this lane — the batched
+        path has already charged the hit/miss statistics via
+        :meth:`~repro.core.repository.AllocationRepository.lookup_batch`.
+        """
         hit = certainty >= self.config.certainty_threshold
         if hit:
             self._consecutive_misses = 0
-            entry = self.repository.lookup(label, 0)
+            entry = (
+                prefetched
+                if prefetched is not _UNRESOLVED
+                else self.repository.lookup(label, 0)
+            )
             if entry is None:
                 # A class without a band-0 entry should not happen after
                 # learning, but fall back safely.
@@ -454,21 +602,47 @@ class DejaVuManager:
                 self.relearn_requested = True
                 if self._maybe_auto_relearn(ctx):
                     # The clustering changed; classify this workload
-                    # against the fresh model before deploying.
-                    label, certainty, _xz = self.classify(ctx.workload)
-                    if certainty >= self.config.certainty_threshold:
-                        entry = self.repository.lookup(label, 0)
-                        if entry is not None:
-                            hit = True
-                            allocation = entry.allocation
-        self.production.apply(allocation, ctx.t)
-        self._deployed_class = label if hit else None
-        self._deployed_band = 0 if hit else None
-        if hit and self.config.enable_interference_detection:
-            allocation = self._interference_check(ctx, label, allocation)
+                    # against the fresh model before deploying.  The
+                    # extra collection is charged like any other; if the
+                    # queue rejects it, deploy the full-capacity
+                    # fallback without re-classifying.
+                    extra = self._charge_profiling(ctx.t)
+                    if extra is not None:
+                        wait += extra
+                        label, certainty, _xz = self.classify(ctx.workload)
+                        if certainty >= self.config.certainty_threshold:
+                            entry = self.repository.lookup(label, 0)
+                            if entry is not None:
+                                hit = True
+                                allocation = entry.allocation
+        if wait > 0.0:
+            # The signature finishes collecting `wait` seconds from now:
+            # the decision deploys late, and the previous allocation
+            # keeps serving until then.  A queue wait longer than the
+            # check interval means the *previous* delayed decision never
+            # landed before this fresher one replaced it — count the
+            # supersession (its event stays on the books but its
+            # allocation never served).
+            if self.pending_deployment is not None:
+                self.superseded_deployments += 1
+            self.pending_deployment = _PendingDeployment(
+                apply_at=ctx.t + wait,
+                allocation=allocation,
+                workload=ctx.workload,
+                workload_class=label if hit else None,
+                run_interference_check=(
+                    hit and self.config.enable_interference_detection
+                ),
+            )
+        else:
+            self.production.apply(allocation, ctx.t)
+            self._deployed_class = label if hit else None
+            self._deployed_band = 0 if hit else None
+            if hit and self.config.enable_interference_detection:
+                allocation = self._interference_check(ctx, label, allocation)
         event = AdaptationEvent(
             t=ctx.t,
-            duration_seconds=self.profiler.signature_seconds,
+            duration_seconds=self.profiler.signature_seconds + wait,
             cache_hit=hit,
             workload_class=label if hit else None,
             certainty=certainty,
@@ -506,6 +680,12 @@ class DejaVuManager:
                 break
             # Workload changes are excluded as the cause: the class was
             # just identified in isolation.  Blame interference (Eq. 2).
+            # The isolated run is a real profiling pass on the clone:
+            # charge it to the shared queue.  A rejection means the
+            # profiler is saturated and blame cannot be attributed now —
+            # the escalation attempt is abandoned, not free.
+            if self._charge_profiling(ctx.t) is None:
+                break
             iso = self.profiler.isolated_performance(ctx.workload, allocation)
             estimate = self.estimator.estimate(
                 service.slo,
@@ -534,6 +714,115 @@ class DejaVuManager:
             allocation = entry.allocation
             self._deployed_band = band
         return allocation
+
+    # ------------------------------------------------------------------
+    # Batched fleet control plane (repro.core.batch + FleetEngine)
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_batched_adapt(self) -> bool:
+        """Whether the fleet engine may drive this manager's periodic
+        adaptations through the batched classify path.
+
+        ``adapt_on_violation`` managers stay on the scalar path: their
+        mid-interval SLO trigger samples production performance every
+        step, which the batched wave does not replicate.
+        """
+        return self.is_trained and not self.config.adapt_on_violation
+
+    def adaptation_due(self, t: float) -> bool:
+        """The periodic-check predicate :meth:`on_step` uses, side-effect
+        free so the fleet engine can plan a batched adaptation wave."""
+        return t + 1e-9 >= self._next_check
+
+    def batch_group_key(self) -> tuple | None:
+        """Identity of the trained state this manager classifies with.
+
+        Lanes whose managers return equal keys share one trained model
+        (one ``adopt_trained_state`` family) *and* one repository, so
+        the fleet engine may classify their signatures as one matrix
+        and resolve their lookups in one batch.  Re-learning replaces
+        the classifier/clustering objects, so a re-learned manager
+        falls out of its old group automatically.
+        """
+        if not self.is_trained:
+            return None
+        return (
+            id(self.classifier),
+            id(self.clustering),
+            id(self.repository),
+            self.config.novelty_radius_factor,
+            self.config.novelty_certainty,
+        )
+
+    def batch_classifier(self) -> BatchClassifier:
+        """The cached vectorized classify path over this trained model."""
+        if not self.is_trained:
+            raise RuntimeError("DejaVu used online before learning")
+        if self._batch_classifier is None:
+            self._batch_classifier = BatchClassifier(
+                schema=self.schema,
+                standardizer=self.standardizer,
+                classifier=self.classifier,
+                clustering=self.clustering,
+                novelty_radii=self._novelty_radii,
+                novelty_radius_factor=self.config.novelty_radius_factor,
+                novelty_certainty=self.config.novelty_certainty,
+            )
+        return self._batch_classifier
+
+    def _signature_columns(self) -> np.ndarray:
+        """Schema metric positions within the monitor's full vector."""
+        if self._schema_columns is None:
+            names = self.profiler.monitor.metric_names()
+            self._schema_columns = np.array(
+                [names.index(name) for name in self.schema.metric_names],
+                dtype=int,
+            )
+        return self._schema_columns
+
+    def prepare_batched_adapt(self, ctx: StepContext) -> np.ndarray | None:
+        """Phase 1 of a batched adaptation: gate and collect.
+
+        Mirrors :meth:`adapt` up to (but excluding) classification:
+        record the workload, charge the shared profiling queue, and
+        collect the raw signature vector — consuming the monitor's RNG
+        exactly as the scalar path's ``collect_metrics`` would.  Returns
+        None when a bounded queue rejected the request (the adaptation
+        is deferred; the engine retries next step).
+        """
+        if self.schema is None or self.classifier is None or self.clustering is None:
+            raise RuntimeError("DejaVu used online before learning")
+        self._flush_pending_deployment(ctx.t)
+        self.workload_history.append((ctx.t, ctx.workload))
+        wait = self._charge_profiling(ctx.t)
+        if wait is None:
+            self.deferred_adaptations += 1
+            self._pending_wait = 0.0
+            return None
+        self._pending_wait = wait
+        vector = self.profiler.monitor.collect_vector(ctx.workload)
+        return vector[self._signature_columns()]
+
+    def complete_batched_adapt(
+        self, ctx: StepContext, label: int, certainty: float, prefetched
+    ) -> AdaptationEvent:
+        """Phase 2: finish an adaptation whose classification (and
+        band-0 lookup, for hits) the engine computed in one batch.
+
+        Advances the periodic check exactly as :meth:`on_step` does
+        after a scalar adaptation.
+        """
+        event = self._finish_adapt(
+            ctx,
+            int(label),
+            float(certainty),
+            wait=self._pending_wait,
+            prefetched=prefetched,
+        )
+        self._next_check = ctx.t + self.config.check_interval_seconds
+        self._last_adapt = ctx.t
+        return event
 
     # ------------------------------------------------------------------
     # Introspection used by the analysis layer

@@ -28,6 +28,7 @@ scale) instead of only from scripted per-lane injection.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -119,6 +120,15 @@ class FleetMultiplexingStudy:
     mix: str
     """Lane composition: ``scaleout``, ``scaleup`` or ``mixed``."""
 
+    batched: bool
+    """Whether the engine ran the batched control plane (the default)
+    or the scalar per-lane step path (the A/B baseline)."""
+
+    engine_seconds: float
+    """Wall-clock seconds spent inside ``FleetEngine.run`` — the
+    denominator of the ``lane_steps_per_second`` headline, excluding
+    one-off setup/learning cost that is identical under both paths."""
+
     learning_runs: int
     """Learning phases paid by the whole fleet (one per service family
     when amortized)."""
@@ -164,7 +174,19 @@ class FleetMultiplexingStudy:
     """Band > 0 repository entries tuned online — each one is a lane
     that blamed co-located tenants for an SLO gap and escalated."""
 
+    deferred_adaptations: int
+    """Adaptations pushed to a later step because the bounded profiling
+    queue rejected the signature collection (queue feedback, not just
+    accounting)."""
+
     result: FleetResult
+
+    @property
+    def lane_steps_per_second(self) -> float:
+        """Engine throughput: lane-steps per wall-clock second."""
+        if self.engine_seconds <= 0:
+            return float("inf")
+        return self.n_lanes * self.n_steps / self.engine_seconds
 
 
 def lane_kinds(n_lanes: int, mix: str) -> tuple[str, ...]:
@@ -197,6 +219,7 @@ def run_fleet_multiplexing_study(
     mix: str = "scaleout",
     n_hosts: int | None = None,
     host_capacity_units: float = 12.0,
+    batched: bool = True,
 ) -> FleetMultiplexingStudy:
     """Run ``n_lanes`` co-hosted services against one shared DejaVu.
 
@@ -220,6 +243,14 @@ def run_fleet_multiplexing_study(
     catch a neighbour red-handed escalate to a higher interference
     band (Sec. 3.6).  ``None`` keeps every lane on dedicated hardware.
 
+    ``batched`` selects the engine's batched control plane (default):
+    each adaptation wave classifies all same-family lanes as one
+    signature matrix against the shared trained model, and observation
+    uses the dict-free fast path.  ``batched=False`` keeps the scalar
+    per-lane step loop reachable for A/B runs; both paths produce
+    bit-identical :class:`~repro.sim.fleet.FleetResult`\\ s (pinned in
+    ``tests/test_fleet_equivalence.py``).
+
     The default 5-minute step keeps adaptation hourly (the managers'
     check interval) while sampling performance between adaptations, so
     the VM warm-up transient right after a reallocation is weighted as
@@ -232,6 +263,8 @@ def run_fleet_multiplexing_study(
     from repro.experiments.setup import (
         build_scaleout_setup,
         build_scaleup_setup,
+        fleet_observer_scaleout,
+        fleet_observer_scaleup,
         observe_scaleout,
         observe_scaleup,
     )
@@ -252,6 +285,7 @@ def run_fleet_multiplexing_study(
     repositories: dict[str, AllocationRepository] = {}
     setups = []
     observers = []
+    family_setups: dict[str, list] = {}
     for lane, kind in enumerate(kinds):
         repository = repositories.setdefault(kind, AllocationRepository())
         common = dict(
@@ -271,6 +305,18 @@ def run_fleet_multiplexing_study(
             setup = build_scaleup_setup(**common)
             observers.append(observe_scaleup(setup))
         setups.append(setup)
+        family_setups.setdefault(kind, []).append(setup)
+
+    # One vectorized observer per service family: lanes sharing it are
+    # observed in a single fill_rows call per step in batched mode.
+    family_observer = {
+        kind: (
+            fleet_observer_scaleout(members)
+            if kind == "scaleout"
+            else fleet_observer_scaleup(members)
+        )
+        for kind, members in family_setups.items()
+    }
 
     leaders: dict[str, object] = {}
     for kind, setup in zip(kinds, setups):
@@ -292,6 +338,7 @@ def run_fleet_multiplexing_study(
             controller=setup.manager,
             observe_fn=observers[lane],
             label=f"svc-{lane}",
+            observe_batch=family_observer[kinds[lane]],
         )
         for lane, setup in enumerate(setups)
     ]
@@ -301,9 +348,12 @@ def run_fleet_multiplexing_study(
         label=f"fleet-{n_lanes}",
         profiling_queue=queue,
         host_map=host_map,
+        batched=batched,
     )
     duration = hours * HOUR
+    engine_start = time.perf_counter()
     result = engine.run(duration)
+    engine_seconds = time.perf_counter() - engine_start
 
     # Each lane is judged against its own SLO: the latency bound for
     # scale-out lanes, the QoS floor for scale-up lanes.
@@ -339,6 +389,8 @@ def run_fleet_multiplexing_study(
         n_steps=result.n_steps,
         step_seconds=step_seconds,
         mix=mix,
+        batched=batched,
+        engine_seconds=engine_seconds,
         learning_runs=len(leaders) + sum(s.manager.relearn_count for s in setups),
         tuning_invocations=sum(
             leader.learning_report.tuning_invocations
@@ -360,5 +412,6 @@ def run_fleet_multiplexing_study(
         mean_host_theft=host_map.mean_theft if host_map is not None else 0.0,
         peak_host_theft=host_map.peak_theft if host_map is not None else 0.0,
         interference_escalations=escalations,
+        deferred_adaptations=sum(s.manager.deferred_adaptations for s in setups),
         result=result,
     )

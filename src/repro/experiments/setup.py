@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cloud.instance_types import EXTRA_LARGE, LARGE
 from repro.cloud.provider import CloudProvider
 from repro.core.interference import InterferenceEstimator
@@ -287,6 +289,194 @@ def observe_scaleup(setup: ScaleUpSetup):
         }
 
     return observe
+
+
+class _FleetFamilyObserver:
+    """Vectorized observation over a family of same-class lanes.
+
+    The batched fleet engine hands this observer all of its lanes'
+    workloads once per step and a writable ``(n_series, n_lanes)``
+    block (usually a zero-copy view of the schema group's recording
+    row).  Capacity comes off each provider's cached plan
+    (:meth:`~repro.cloud.provider.CloudProvider.capacity_at`) instead of
+    walking and billing every pooled VM, and the performance math runs
+    through the service layer's vectorized hooks
+    (``utilization_rows`` / ``latency_rows`` / ``_qos_rows``), whose
+    elements are bit-identical to the scalar ``observe_*`` closures.
+    Billing settles on allocation changes plus one :meth:`finalize` at
+    the end of the run, which charges the same totals as the scalar
+    path's per-step settlement: the cost meter is linear in time.
+
+    All lanes must share one performance-model configuration (they are
+    built by the same setup builder); the constructor enforces it
+    because the vector math is evaluated with the first lane's model.
+    """
+
+    def __init__(self, setups) -> None:
+        if not setups:
+            raise ValueError("a family observer needs at least one lane")
+        self._setups = list(setups)
+        self._providers = [s.provider for s in self._setups]
+        self._services = [s.service for s in self._setups]
+        self._model = self._services[0].model
+        for service in self._services:
+            if service.model != self._model:
+                raise ValueError(
+                    "family lanes must share one performance model; got "
+                    f"{service.model} != {self._model}"
+                )
+        self._injectors = [s.production.injector for s in self._setups]
+        self._any_injector = any(inj is not None for inj in self._injectors)
+        n = len(self._setups)
+        self._caps = np.empty(n)
+        self._demands = np.empty(n)
+        self._interference = np.zeros(n)
+        self._alloc_cache: list = [None] * n
+        self._alloc_series = np.zeros(n)
+        self._alloc_cost = np.zeros(n)
+
+    @property
+    def n_lanes(self) -> int:
+        """How many lanes this observer covers (engine-checked)."""
+        return len(self._setups)
+
+    @property
+    def providers(self) -> list:
+        """Covered providers, in lane-binding order.
+
+        The fleet engine cross-checks these against each carrying
+        lane's controller, so an observer built in a different order
+        than the fleet's lanes fails at bind time instead of silently
+        recording swapped series.
+        """
+        return list(self._providers)
+
+    def finalize(self, t: float) -> None:
+        """Settle every covered provider's billing up to ``t``.
+
+        The per-step fast path reads capacity without billing; the
+        engine calls this once at the end of a run so each lane's cost
+        meter matches what the scalar path's per-step settlement would
+        have charged (the meter is linear in time, so only the final
+        settlement point matters).
+        """
+        for provider in self._providers:
+            provider.tick(t)
+
+    def _series_value(self, allocation) -> float:
+        raise NotImplementedError
+
+    def _latency_rows(self, t: float, rho, indices) -> np.ndarray:
+        """Family latency from utilizations; ``indices`` restricts the
+        lanes when some have nothing serving."""
+        return self._model.latency_rows(rho)
+
+    def fill_rows(self, t: float, workloads, out) -> None:
+        n = len(self._providers)
+        caps = self._caps
+        demands = self._demands
+        for j in range(n):
+            caps[j] = self._providers[j].capacity_at(t)
+            workload = workloads[j]
+            demands[j] = workload.demand_units
+            out[4, j] = workload.volume
+        if self._any_injector:
+            interference = self._interference
+            for j, injector in enumerate(self._injectors):
+                if injector is not None:
+                    interference[j] = injector.interference_at(t)
+        for j, provider in enumerate(self._providers):
+            allocation = provider.current_allocation
+            if allocation is not self._alloc_cache[j]:
+                self._alloc_cache[j] = allocation
+                self._alloc_series[j] = self._series_value(allocation)
+                self._alloc_cost[j] = allocation.hourly_cost
+        out[2, :] = self._alloc_series
+        out[3, :] = self._alloc_cost
+        if caps.min() > 0.0:
+            rho = self._model.utilization_rows(
+                demands, caps, self._interference
+            )
+            out[0, :] = self._latency_rows(t, rho, None)
+            out[1, :] = self._services[0]._qos_rows(rho)
+            return
+        # Some lanes have nothing serving (e.g. their first deployment
+        # is still queue-delayed): those report the timeout-cap sample,
+        # the rest are computed on the served subset.
+        served = np.flatnonzero(caps > 0.0)
+        out[0, :] = self._model.max_latency_ms
+        out[1, :] = 50.0
+        if served.size:
+            rho = self._model.utilization_rows(
+                demands[served], caps[served], self._interference[served]
+            )
+            out[0, served] = self._latency_rows(t, rho, served)
+            out[1, served] = self._services[0]._qos_rows(rho)
+
+
+class ScaleoutFleetObserver(_FleetFamilyObserver):
+    """Vectorized counterpart of :func:`observe_scaleout` (Cassandra).
+
+    The per-lane re-partitioning transient stays scalar — each service
+    instance's ``repartition_penalty_ms`` uses ``math.exp``, which is
+    not bit-reproducible by ``np.exp`` — and is added to the vectorized
+    queueing latency exactly as
+    :meth:`~repro.services.cassandra.CassandraService._latency_ms` does.
+    """
+
+    names = ("latency_ms", "qos_percent", "instances", "hourly_cost", "load")
+
+    def __init__(self, setups) -> None:
+        super().__init__(setups)
+        self._penalties = np.zeros(len(self._services))
+
+    def _series_value(self, allocation) -> float:
+        return float(allocation.count)
+
+    def _latency_rows(self, t: float, rho, indices) -> np.ndarray:
+        base = self._model.latency_rows(rho)
+        services = self._services
+        if indices is None:
+            penalties = self._penalties
+            for j, service in enumerate(services):
+                penalties[j] = service.repartition_penalty_ms(t)
+        else:
+            penalties = np.array(
+                [services[j].repartition_penalty_ms(t) for j in indices]
+            )
+        return np.minimum(base + penalties, self._model.max_latency_ms)
+
+
+class ScaleupFleetObserver(_FleetFamilyObserver):
+    """Vectorized counterpart of :func:`observe_scaleup` (SPECweb)."""
+
+    names = ("latency_ms", "qos_percent", "instance_is_xl", "hourly_cost", "load")
+
+    def __init__(self, setups) -> None:
+        super().__init__(setups)
+        # The family QoS curve is graded once via the first service's
+        # vectorized hook, so every lane must share its parameters
+        # (guaranteed by build_scaleup_setup; checked because the knee
+        # and slope are per-instance state).
+        reference = (self._services[0]._knee, self._services[0]._slope)
+        for service in self._services:
+            if (service._knee, service._slope) != reference:
+                raise ValueError(
+                    "scale-up family lanes must share one QoS curve"
+                )
+
+    def _series_value(self, allocation) -> float:
+        return float(allocation.itype == EXTRA_LARGE)
+
+
+def fleet_observer_scaleout(setups) -> ScaleoutFleetObserver:
+    """One vectorized observer for a family of scale-out lanes."""
+    return ScaleoutFleetObserver(setups)
+
+
+def fleet_observer_scaleup(setups) -> ScaleupFleetObserver:
+    """One vectorized observer for a family of scale-up lanes."""
+    return ScaleupFleetObserver(setups)
 
 
 def max_scaleout_allocation():

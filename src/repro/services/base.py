@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.services.perf_model import QueueingModel
 from repro.services.slo import LatencySLO, QoSSLO
 from repro.workloads.request_mix import Workload
@@ -82,6 +84,27 @@ class Service:
             utilization=rho,
         )
 
+    def performance_values(
+        self,
+        workload: Workload,
+        capacity_units: float,
+        *,
+        interference: float = 0.0,
+        now: float | None = None,
+    ) -> tuple[float, float]:
+        """``(latency_ms, qos_percent)`` without building a sample.
+
+        Bit-identical to the corresponding :meth:`performance` fields —
+        same hooks, same call order — minus the
+        :class:`PerformanceSample` allocation; the batched fleet
+        observation path calls this once per lane-step.
+        """
+        latency = self._latency_ms(workload, capacity_units, interference, now)
+        rho = self.model.utilization(
+            workload.demand_units, capacity_units, interference
+        )
+        return latency, self._qos_percent(rho)
+
     def slo_met(self, sample: PerformanceSample) -> bool:
         return self.slo.is_met(sample.slo_metric(self.slo))
 
@@ -105,12 +128,26 @@ class Service:
             workload.demand_units, capacity_units, interference
         )
 
+    #: Default QoS curve parameters, shared by the scalar and
+    #: vectorized graders so the two cannot drift apart.
+    _QOS_KNEE = 0.72
+    _QOS_SLOPE = 55.0
+
     def _qos_percent(self, rho: float) -> float:
         """Default QoS curve: degrade linearly past a utilization knee.
 
         Calibrated so a well-provisioned service sits near 99.5% and a
         saturated one falls into the low 80s (Figs. 9(b)/10(b) y-range).
         """
-        knee, slope = 0.72, 55.0
-        qos = 99.5 - max(0.0, rho - knee) * slope
+        qos = 99.5 - max(0.0, rho - self._QOS_KNEE) * self._QOS_SLOPE
         return float(max(50.0, min(99.5, qos)))
+
+    def _qos_rows(self, rho: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`_qos_percent` (bit-identical per element).
+
+        Subclasses overriding the scalar curve must override this too;
+        the fleet observation path uses it to grade whole lane groups
+        at once.
+        """
+        qos = 99.5 - np.maximum(0.0, rho - self._QOS_KNEE) * self._QOS_SLOPE
+        return np.maximum(50.0, np.minimum(99.5, qos))

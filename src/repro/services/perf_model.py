@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class QueueingModel:
@@ -88,6 +90,39 @@ class QueueingModel:
             if rho > 1.0:
                 latency += self.overload_slope_ms * (rho - 1.0)
         return min(latency, self.max_latency_ms)
+
+    def utilization_rows(
+        self,
+        demand_units: np.ndarray,
+        capacity_units: np.ndarray,
+        interference: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`utilization` over many service instances.
+
+        Same elementwise formula, so each element is bit-identical to a
+        scalar call.  Callers are responsible for masking non-positive
+        capacities (the scalar method raises; the fleet observation
+        path substitutes the timeout-cap sample instead).
+        """
+        return demand_units / (capacity_units * (1.0 - interference))
+
+    def latency_rows(self, rho: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`latency_ms` from precomputed utilizations.
+
+        Evaluates both branches elementwise and selects, which yields
+        the exact floats of the scalar branch logic (the dead branch's
+        divide-by-zero at ``rho == 1`` is discarded by the select).
+        """
+        with np.errstate(divide="ignore"):
+            smooth = self.base_latency_ms / (1.0 - rho)
+        knee_latency = self.base_latency_ms / (1.0 - self.smoothing_rho)
+        knee_slope = self.base_latency_ms / (1.0 - self.smoothing_rho) ** 2
+        linear = knee_latency + knee_slope * (rho - self.smoothing_rho)
+        linear = np.where(
+            rho > 1.0, linear + self.overload_slope_ms * (rho - 1.0), linear
+        )
+        latency = np.where(rho < self.smoothing_rho, smooth, linear)
+        return np.minimum(latency, self.max_latency_ms)
 
     def capacity_for_latency(self, demand_units: float, latency_ms: float) -> float:
         """Minimum capacity that keeps latency at or below ``latency_ms``.

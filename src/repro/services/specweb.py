@@ -9,6 +9,8 @@ meet a minimum 0.99 Mbps rate", which we expose as a QoS percentage.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.services.base import Service
 from repro.services.perf_model import QueueingModel
 from repro.services.slo import QoSSLO
@@ -48,3 +50,7 @@ class SpecWebService(Service):
     def _qos_percent(self, rho: float) -> float:
         qos = 99.5 - max(0.0, rho - self._knee) * self._slope
         return float(max(50.0, min(99.5, qos)))
+
+    def _qos_rows(self, rho: "np.ndarray") -> "np.ndarray":
+        qos = 99.5 - np.maximum(0.0, rho - self._knee) * self._slope
+        return np.maximum(50.0, np.minimum(99.5, qos))

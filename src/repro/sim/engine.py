@@ -89,8 +89,12 @@ class SimulationEngine:
         """Run the simulation and return the recorded result.
 
         Implemented as a one-lane :class:`~repro.sim.fleet.FleetEngine`
-        run, so the single-service experiments exercise the same batched
-        stepping code path as fleet-scale studies.
+        run, so the single-service experiments exercise the same
+        stepping code path as fleet-scale studies.  The wrapper pins
+        ``batched=False``: its contract is bit-identical replay of the
+        seed engine's per-step loop, and the batched control plane's own
+        equivalence is pinned separately in
+        ``tests/test_fleet_equivalence.py``.
         """
         from repro.sim.fleet import FleetEngine, FleetLane
 
@@ -101,6 +105,6 @@ class SimulationEngine:
             label=self._label,
         )
         fleet = FleetEngine(
-            [lane], step_seconds=self._step, label=self._label
+            [lane], step_seconds=self._step, label=self._label, batched=False
         )
         return fleet.run(duration_seconds, start=start).lane_result(0)

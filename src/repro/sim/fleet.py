@@ -40,7 +40,7 @@ fleet, so every existing experiment exercises this code path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol
 
 import numpy as np
 
@@ -57,12 +57,39 @@ class FleetLane:
 
     The contract mirrors the single-service engine: a workload function,
     a controller, and an observation function recording named series.
+
+    ``observe_batch`` optionally provides the same observation as a
+    dict-free fast path for the batched engine mode: a
+    :class:`BatchObserver` covering this lane (and usually its whole
+    service family — lanes sharing one observer object are observed in
+    a single vectorized call per step).  It must produce bit-identical
+    values to ``observe_fn``; the scalar engine mode never calls it.
     """
 
     workload_fn: Callable[[float], Workload]
     controller: Controller
     observe_fn: Callable[[StepContext], dict[str, float]]
     label: str = "lane"
+    observe_batch: "BatchObserver | None" = None
+
+
+class BatchObserver(Protocol):
+    """Dict-free group observation for the batched engine mode.
+
+    One observer instance covers an ordered set of lanes (the lanes
+    constructed with it, in fleet lane order).  Each step the engine
+    calls :meth:`fill_rows` once with those lanes' workloads and a
+    writable ``(len(names), n_lanes)`` block — in the common case a
+    zero-copy view of the schema group's recording row.
+    """
+
+    names: tuple[str, ...]
+
+    def fill_rows(
+        self, t: float, workloads: list[Workload], out: np.ndarray
+    ) -> None:
+        """Write every covered lane's observation column into ``out``."""
+        ...
 
 
 # ----------------------------------------------------------------------
@@ -139,8 +166,14 @@ class ProfilingQueue:
         """Requests queued or in service at time ``t``."""
         return int(self._outstanding_per_slot(t).sum())
 
-    def request(self, t: float) -> ProfilingGrant:
-        """Ask for one profiling run starting no earlier than ``t``."""
+    def request(self, t: float, *, bounded: bool = True) -> ProfilingGrant:
+        """Ask for one profiling run starting no earlier than ``t``.
+
+        ``bounded=False`` bypasses the ``max_pending`` rejection check:
+        scheduled bursts (an auto-relearn's learning sweep) stack FIFO
+        behind the backlog instead of being turned away like online
+        arrivals.  They still occupy slots and count toward utilization.
+        """
         if t < self._last_request_at:
             raise ValueError(
                 f"profiling requests must not rewind: t={t} < {self._last_request_at}"
@@ -149,7 +182,8 @@ class ProfilingQueue:
         slot = int(np.argmin(self._slot_free))
         would_wait = float(self._slot_free[slot]) > t
         if (
-            self.max_pending is not None
+            bounded
+            and self.max_pending is not None
             and would_wait
             and self.pending_at(t) >= self.max_pending
         ):
@@ -209,21 +243,22 @@ class ProfilingQueue:
 
 
 class QueuedController:
-    """Route a controller's profiling runs through a shared queue.
+    """Route a queue-unaware controller's profiling through the queue.
 
-    DejaVu profiles once per adaptation (the ~10 s signature
-    collection).  Wrapping the controller lets the fleet charge those
-    runs to the shared :class:`ProfilingQueue` without changing the
-    controller contract: after each step, any new entries on the inner
-    controller's ``adaptation_events`` are enqueued at the step time.
-    Controllers without ``adaptation_events`` (Autopilot, RightScale,
+    Controllers that understand the shared profiler directly
+    (``attach_profiling_queue``, i.e. :class:`~repro.core.manager.DejaVuManager`)
+    are *not* wrapped: the engine attaches the queue and the manager
+    charges every collection itself — per-adaptation signatures,
+    post-relearn re-classifications, auto-relearn sweeps and
+    interference-escalation probes — with real feedback (rejection
+    defers the adaptation; waiting delays the deployment).
+
+    This wrapper remains for third-party controllers following only the
+    bare ``on_step`` contract: after each step, any new entries on the
+    inner controller's ``adaptation_events`` are enqueued at the step
+    time (accounting-only, one request per adaptation).  Controllers
+    without ``adaptation_events`` (Autopilot, RightScale,
     Overprovision) never profile online and pass through untouched.
-
-    This charges exactly one queue request per adaptation; profiling
-    bursts that are not 1:1 with adaptations (an auto-relearn's
-    learning-day sweep, isolated-performance runs during interference
-    escalation) are not charged, so reported contention is a lower
-    bound under those configs (see ROADMAP "Profiling-queue feedback").
     """
 
     def __init__(self, inner: Controller, queue: ProfilingQueue) -> None:
@@ -448,9 +483,10 @@ class FleetEngine:
     step_seconds:
         Shared step width, as in the single-service engine.
     profiling_queue:
-        Optional shared profiling environment.  When given, every
-        lane's controller is wrapped in :class:`QueuedController` so
-        its online profiling runs contend for the queue's slots.
+        Optional shared profiling environment.  Queue-aware controllers
+        (``attach_profiling_queue``) charge their own profiling with
+        real feedback; anything else is wrapped in
+        :class:`QueuedController` for accounting.
     host_map:
         Optional shared-host placement.  When given, the engine reports
         every lane's offered demand to the map at the start of each
@@ -458,6 +494,28 @@ class FleetEngine:
         capacity theft through their
         :class:`~repro.sim.hosts.HostInterferenceFeed`, which the
         experiment wires into each lane's production environment.
+    batched:
+        Run the batched control plane (the default).  Each step, lanes
+        whose (trained, queue-gated) DejaVu managers are due a periodic
+        adaptation are classified as one signature matrix per
+        shared-model group — one vectorized
+        ``standardize → classify → novelty`` pass plus one batched
+        band-0 repository lookup — and lanes carrying an
+        ``observe_batch`` fast path record without building dicts.
+        Results are bit-identical to ``batched=False`` (pinned by
+        ``tests/test_fleet_equivalence.py``); only the loop structure
+        changes: shared state is consulted once per batch instead of
+        once per lane.  Documented boundaries where the paths produce
+        different (equally valid) FIFO schedules on a *contended*
+        queue — any profiling that scalar mode interleaves with other
+        lanes' signature requests but batched mode orders around the
+        wave: interference-escalation probes, ``adapt_on_violation``
+        DejaVu lanes (scalar fallback, stepped after the wave),
+        auto-relearn sweeps and post-relearn re-classifications
+        (charged in the wave's finish phase), and profiling by
+        :class:`QueuedController`-wrapped third-party controllers.
+        With an uncontended queue (or none) all of these coincide and
+        the bit-identical guarantee holds unconditionally.
     """
 
     def __init__(
@@ -467,6 +525,7 @@ class FleetEngine:
         label: str = "fleet",
         profiling_queue: ProfilingQueue | None = None,
         host_map: HostMap | None = None,
+        batched: bool = True,
     ) -> None:
         if not lanes:
             raise ValueError("a fleet needs at least one lane")
@@ -482,15 +541,50 @@ class FleetEngine:
         self._label = label
         self.profiling_queue = profiling_queue
         self.host_map = host_map
+        self.batched = bool(batched)
         # The caller's FleetLane objects are left untouched; queue
-        # wrappers live in the engine's own controller list.
-        if profiling_queue is not None:
-            self.controllers: list[Controller] = [
-                QueuedController(lane.controller, profiling_queue)
-                for lane in self._lanes
-            ]
-        else:
-            self.controllers = [lane.controller for lane in self._lanes]
+        # wrappers live in the engine's own controller list.  Managers
+        # that understand the shared profiler are handed the queue
+        # directly so every profiling burst is charged with feedback.
+        self.controllers: list[Controller] = []
+        for lane in self._lanes:
+            controller = lane.controller
+            if profiling_queue is not None:
+                attach = getattr(controller, "attach_profiling_queue", None)
+                if attach is not None:
+                    attach(profiling_queue)
+                else:
+                    controller = QueuedController(controller, profiling_queue)
+            self.controllers.append(controller)
+        # Lanes whose controller implements the batched-adaptation
+        # contract (structurally a DejaVuManager); whether a given lane
+        # actually batches is re-checked each step (training status and
+        # adapt_on_violation can change).
+        self._batch_candidates: tuple[int, ...] = tuple(
+            i
+            for i, controller in enumerate(self.controllers)
+            if self.batched and hasattr(controller, "prepare_batched_adapt")
+        )
+        # Distinct batch observers in first-appearance order, each with
+        # the lane indices it covers.
+        self._observer_lanes: list[tuple[BatchObserver, list[int]]] = []
+        if self.batched:
+            seen: dict[int, int] = {}
+            for i, lane in enumerate(self._lanes):
+                observer = lane.observe_batch
+                if observer is None:
+                    continue
+                index = seen.get(id(observer))
+                if index is None:
+                    seen[id(observer)] = len(self._observer_lanes)
+                    self._observer_lanes.append((observer, [i]))
+                else:
+                    self._observer_lanes[index][1].append(i)
+        self._dict_lanes: tuple[int, ...] = tuple(
+            i
+            for i, lane in enumerate(self._lanes)
+            if not (self.batched and lane.observe_batch is not None)
+        )
 
     @property
     def n_lanes(self) -> int:
@@ -582,6 +676,183 @@ class FleetEngine:
             matrices[name] = np.column_stack([values for _, values in columns])
         return matrices, series_lanes
 
+    # -- batched control plane -----------------------------------------
+
+    def _batched_adapt_wave(
+        self, t: float, hour: int, day: int, workloads: list[Workload]
+    ):
+        """Run this step's due periodic adaptations as batched waves.
+
+        Phase order preserves per-lane scalar semantics exactly:
+        *prepare* (queue gate + signature collection, consuming each
+        lane's own monitor RNG) walks lanes in global lane order, then
+        each shared-model group classifies its stacked signature matrix
+        and resolves band-0 entries in one batched repository lookup,
+        then *finish* (deploy, escalate, record) walks lanes in global
+        lane order again.  Lanes are independent across those phases
+        except through the queue and the shared repository, both of
+        which see the same per-lane sequence the scalar path produces.
+
+        Returns the lane indices the wave took responsibility for this
+        step — due lanes (adapted, or deferred by queue rejection and
+        retried next step, exactly like a scalar rejected adaptation)
+        plus idle batchable lanes, whose only per-step duty (flushing a
+        queue-delayed deployment) is handled inline.  The engine skips
+        ``on_step`` for all of them.
+        """
+        handled = set()
+        due: list[tuple[int, StepContext]] = []
+        for i in self._batch_candidates:
+            controller = self.controllers[i]
+            if not controller.supports_batched_adapt:
+                continue
+            handled.add(i)
+            if controller.adaptation_due(t):
+                due.append(
+                    (
+                        i,
+                        StepContext(
+                            t=t, workload=workloads[i], hour=hour, day=day
+                        ),
+                    )
+                )
+            elif controller.pending_deployment is not None:
+                controller.poll_pending_deployment(t)
+        if not due:
+            return handled
+        prepared: list[tuple[int, StepContext, np.ndarray]] = []
+        for i, ctx in due:
+            row = self.controllers[i].prepare_batched_adapt(ctx)
+            if row is not None:
+                prepared.append((i, ctx, row))
+        if prepared:
+            by_key: dict = {}
+            for i, ctx, row in prepared:
+                key = self.controllers[i].batch_group_key()
+                by_key.setdefault(key, []).append((i, row))
+            finish: dict[int, tuple] = {}
+            for members in by_key.values():
+                self._classify_group(members, finish)
+            for i, ctx, _row in prepared:
+                label, certainty, entry = finish[i]
+                self.controllers[i].complete_batched_adapt(
+                    ctx, label, certainty, entry
+                )
+        return handled
+
+    def _classify_group(
+        self,
+        members: list[tuple[int, np.ndarray]],
+        finish: dict[int, tuple],
+    ) -> None:
+        """One shared-model group: classify the stacked signature matrix
+        and prefetch band-0 entries for the certain lanes."""
+        leader = self.controllers[members[0][0]]
+        batch = leader.batch_classifier()
+        X = np.vstack([row for _i, row in members])
+        result = batch.classify_matrix(X)
+        hits = [
+            j
+            for j, (i, _row) in enumerate(members)
+            if float(result.certainties[j])
+            >= self.controllers[i].config.certainty_threshold
+        ]
+        entries = leader.repository.lookup_batch(
+            [int(result.labels[j]) for j in hits], 0
+        )
+        entry_for = dict(zip(hits, entries))
+        for j, (i, _row) in enumerate(members):
+            finish[i] = (
+                int(result.labels[j]),
+                float(result.certainties[j]),
+                entry_for.get(j),
+            )
+
+    def _first_observations_for(
+        self, t: float, workloads: list[Workload]
+    ) -> dict[int, dict[str, float]]:
+        """First-step observations of every batch-observed lane, as
+        dicts so they run through the ordinary schema-fixing path."""
+        observations: dict[int, dict[str, float]] = {}
+        for observer, lane_indices in self._observer_lanes:
+            names = tuple(observer.names)
+            block = np.empty((len(names), len(lane_indices)), dtype=float)
+            observer.fill_rows(
+                t, [workloads[i] for i in lane_indices], block
+            )
+            for column, i in enumerate(lane_indices):
+                observations[i] = dict(zip(names, block[:, column].tolist()))
+        return observations
+
+    def _bind_observer_batches(
+        self, groups: list[_SchemaGroup], slots: list[tuple[int, int]]
+    ) -> list[tuple]:
+        """Resolve each batch observer onto its schema group's row.
+
+        An observer covering exactly one whole group, in group order and
+        with matching series order, writes straight into the group's
+        recording row (zero copy) — the homogeneous-family case.  Any
+        other shape goes through a scratch block scattered into the
+        group columns.
+        """
+        batches: list[tuple] = []
+        for observer, lane_indices in self._observer_lanes:
+            names = tuple(observer.names)
+            expected = getattr(observer, "n_lanes", None)
+            if expected is not None and expected != len(lane_indices):
+                raise ValueError(
+                    f"batch observer covers {expected} lanes but "
+                    f"{len(lane_indices)} fleet lanes carry it"
+                )
+            # Positional-pairing guard: when both sides expose their
+            # provider, the observer's j-th lane must be the j-th fleet
+            # lane carrying it — otherwise one lane's demand would be
+            # graded against another lane's capacity.
+            providers = getattr(observer, "providers", None)
+            if providers is not None:
+                for position, i in enumerate(lane_indices):
+                    production = getattr(
+                        self._lanes[i].controller, "production", None
+                    )
+                    provider = getattr(production, "provider", None)
+                    if provider is not None and provider is not providers[position]:
+                        raise ValueError(
+                            f"lane {self._lanes[i].label!r} is the batch "
+                            f"observer's lane #{position}, but its "
+                            "controller provisions a different provider; "
+                            "build the observer in fleet lane order"
+                        )
+            group_indices = {slots[i][0] for i in lane_indices}
+            if len(group_indices) != 1:
+                raise ValueError(
+                    "a batch observer must cover lanes of one schema "
+                    f"group; got groups {sorted(group_indices)}"
+                )
+            group = groups[group_indices.pop()]
+            if set(names) != set(group.names):
+                raise self._schema_error(
+                    self._lanes[lane_indices[0]],
+                    dict.fromkeys(names, 0.0),
+                    group.names,
+                )
+            columns = [slots[i][1] for i in lane_indices]
+            perm = (
+                None
+                if names == group.names
+                else np.array([names.index(n) for n in group.names])
+            )
+            whole_group = (
+                perm is None
+                and columns == list(range(len(group.lanes)))
+            )
+            if whole_group:
+                batches.append((observer, lane_indices, group.row, None))
+            else:
+                scratch = np.empty((len(names), len(columns)), dtype=float)
+                scatter = (group.row, np.asarray(columns, dtype=int), perm)
+                batches.append((observer, lane_indices, scratch, scatter))
+        return batches
+
     def run(self, duration_seconds: float, start: float = 0.0) -> FleetResult:
         """Run all lanes to ``start + duration_seconds`` and return the result."""
         if duration_seconds <= 0:
@@ -590,7 +861,9 @@ class FleetEngine:
         end = start + duration_seconds
         groups: list[_SchemaGroup] = []
         slots: list[tuple[int, int]] = []
+        observer_batches: list[tuple] = []
         times: list[float] = []
+        n_lanes = len(self._lanes)
         while clock.now < end:
             t, hour, day = clock.now, clock.hour, clock.day
             workloads = [lane.workload_fn(t) for lane in self._lanes]
@@ -598,29 +871,113 @@ class FleetEngine:
                 # Host pressure is recomputed before controllers act, so
                 # adaptations this step already see the co-tenant theft.
                 self.host_map.apply_step(t, workloads)
+            handled = (
+                self._batched_adapt_wave(t, hour, day, workloads)
+                if self._batch_candidates
+                else ()
+            )
             first_step = not times
-            first_observations: list[dict[str, float]] = []
-            for i, lane in enumerate(self._lanes):
-                ctx = StepContext(
-                    t=t, workload=workloads[i], hour=hour, day=day
-                )
-                self.controllers[i].on_step(ctx)
-                observation = lane.observe_fn(ctx)
-                if first_step:
-                    first_observations.append(observation)
-                else:
-                    index, column = slots[i]
-                    self._fill_row(groups[index], column, lane, observation)
             if first_step:
+                # Controllers act, then every lane's first observation
+                # fixes its schema; batch-observed lanes synthesize the
+                # dict from their observer so both paths agree on the
+                # schema (and on the values).
+                step_contexts: dict[int, StepContext] = {}
+                for i in range(n_lanes):
+                    if i not in handled:
+                        ctx = StepContext(
+                            t=t, workload=workloads[i], hour=hour, day=day
+                        )
+                        step_contexts[i] = ctx
+                        self.controllers[i].on_step(ctx)
+                observed = self._first_observations_for(t, workloads)
+                first_observations: list[dict[str, float]] = []
+                for i, lane in enumerate(self._lanes):
+                    observation = observed.get(i)
+                    ctx = step_contexts.get(i) or StepContext(
+                        t=t, workload=workloads[i], hour=hour, day=day
+                    )
+                    if observation is None:
+                        observation = lane.observe_fn(ctx)
+                    else:
+                        # Cross-check the batch observer against the
+                        # lane's own observe_fn once, at the first step:
+                        # a mispaired observer (lanes constructed in a
+                        # different order than the observer's) would
+                        # otherwise silently record another lane's
+                        # series.
+                        expected = lane.observe_fn(ctx)
+                        if observation != expected:
+                            diverging = sorted(
+                                name
+                                for name in expected
+                                if observation.get(name) != expected[name]
+                            )
+                            raise ValueError(
+                                f"lane {lane.label!r}: batch observer "
+                                f"disagrees with observe_fn on the first "
+                                f"step (series {diverging}); check the "
+                                f"lane order the observer was built with"
+                            )
+                    first_observations.append(observation)
                 groups, slots = self._build_groups(first_observations)
                 for i, observation in enumerate(first_observations):
                     index, column = slots[i]
                     self._fill_row(groups[index], column, self._lanes[i], observation)
+                observer_batches = self._bind_observer_batches(groups, slots)
+            elif self.batched:
+                # Phased stepping: all controllers, then all
+                # observations (lanes are independent within a step, so
+                # this equals the interleaved order lane by lane).
+                step_contexts = {}
+                for i in range(n_lanes):
+                    if i not in handled:
+                        ctx = StepContext(
+                            t=t, workload=workloads[i], hour=hour, day=day
+                        )
+                        step_contexts[i] = ctx
+                        self.controllers[i].on_step(ctx)
+                for observer, lane_indices, target, scatter in observer_batches:
+                    observer.fill_rows(
+                        t, [workloads[i] for i in lane_indices], target
+                    )
+                    if scatter is not None:
+                        row, columns, perm = scatter
+                        row[:, columns] = (
+                            target if perm is None else target[perm]
+                        )
+                for i in self._dict_lanes:
+                    ctx = step_contexts.get(i) or StepContext(
+                        t=t, workload=workloads[i], hour=hour, day=day
+                    )
+                    index, column = slots[i]
+                    self._fill_row(
+                        groups[index], column, self._lanes[i],
+                        self._lanes[i].observe_fn(ctx),
+                    )
+            else:
+                # Scalar mode: the seed engine's loop, verbatim —
+                # controller then observation, lane by lane.
+                for i, lane in enumerate(self._lanes):
+                    ctx = StepContext(
+                        t=t, workload=workloads[i], hour=hour, day=day
+                    )
+                    self.controllers[i].on_step(ctx)
+                    index, column = slots[i]
+                    self._fill_row(groups[index], column, lane, lane.observe_fn(ctx))
             for group in groups:
                 for j, name in enumerate(group.names):
                     group.buffers[name].append(group.row[j])
             times.append(t)
             clock.advance(self._step)
+        # Fast-path observers read capacity without settling billing;
+        # give each one a final settlement at the last step time so
+        # cost meters match the scalar path's per-step settlement.
+        if times:
+            for observer, _lanes in self._observer_lanes:
+                finalize = getattr(observer, "finalize", None)
+                if finalize is not None:
+                    finalize(times[-1])
         matrices, series_lanes = self._assemble_matrices(groups)
         return FleetResult(
             label=self._label,

@@ -72,6 +72,13 @@ class HPCSampler:
                 raise ValueError("must monitor at least one event")
             self._events = [event_by_name(name) for name in events]
         self._rng = np.random.default_rng(seed)
+        # Hot-path constants: one (n_events, n_dims) weight matrix plus
+        # baseline/noise vectors, so a sampling pass is a handful of
+        # vectorized operations instead of a per-event Python loop.
+        self._weights = np.array([e.weights for e in self._events], dtype=float)
+        self._baselines = np.array([e.baseline for e in self._events])
+        self._noise_sds = np.array([e.noise_sd for e in self._events])
+        self._memory_coupling = np.abs(self._weights[:, 1]) / 10.0
 
     @property
     def monitored(self) -> list[str]:
@@ -97,6 +104,37 @@ class HPCSampler:
         inflates memory-system events and adds variance — the reason the
         paper profiles on a clone rather than in place (Sec. 3.2.2).
         """
+        counts = self._sample_counts(workload, duration_seconds, interference)
+        return {
+            event.name: CounterReading(
+                event=event.name,
+                count=count,
+                duration_seconds=duration_seconds,
+            )
+            for event, count in zip(self._events, counts.tolist())
+        }
+
+    def sample_rates(
+        self,
+        workload: Workload,
+        duration_seconds: float,
+        *,
+        interference: float = 0.0,
+    ) -> np.ndarray:
+        """One sampling window as a time-normalized rate vector.
+
+        Identical to :meth:`sample` — same RNG consumption, same values
+        — but returned as one array in :attr:`monitored` order instead
+        of per-event :class:`CounterReading` objects.  This is the
+        batched control plane's signature-collection hot path.
+        """
+        counts = self._sample_counts(workload, duration_seconds, interference)
+        return counts / duration_seconds
+
+    def _sample_counts(
+        self, workload: Workload, duration_seconds: float, interference: float
+    ) -> np.ndarray:
+        """Vectorized counts for one window (one RNG draw per pass)."""
         if duration_seconds <= 0:
             raise ValueError(f"sampling window must be positive: {duration_seconds}")
         if not 0.0 <= interference < 1.0:
@@ -104,19 +142,15 @@ class HPCSampler:
         activity = np.asarray(workload.mix.activity_vector())
         intensity = workload.demand_units
         extra_sd = MULTIPLEX_NOISE_SD if self.multiplexed else 0.0
-        readings = {}
-        for event in self._events:
-            rate = event.rate(activity, intensity)
-            if interference > 0:
-                # Shared-cache/bus pollution: memory-coupled events read
-                # high under interference.
-                memory_coupling = abs(event.weights[1]) / 10.0
-                rate *= 1.0 + interference * (0.5 + memory_coupling)
-            noise = self._rng.normal(0.0, event.noise_sd + extra_sd)
-            count = max(0.0, rate * (1.0 + noise)) * duration_seconds
-            readings[event.name] = CounterReading(
-                event=event.name,
-                count=count,
-                duration_seconds=duration_seconds,
+        rates = (
+            self._baselines
+            + (self._weights * activity).sum(axis=1) * intensity
+        )
+        if interference > 0:
+            # Shared-cache/bus pollution: memory-coupled events read
+            # high under interference.
+            rates = rates * (
+                1.0 + interference * (0.5 + self._memory_coupling)
             )
-        return readings
+        noise = self._rng.normal(0.0, self._noise_sds + extra_sd)
+        return np.maximum(0.0, rates * (1.0 + noise)) * duration_seconds

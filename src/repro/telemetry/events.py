@@ -61,8 +61,15 @@ class HPCEvent:
             raise ValueError(f"noise sd cannot be negative: {self.noise_sd}")
 
     def rate(self, activity: np.ndarray, intensity: float) -> float:
-        """Noise-free event rate for a workload."""
-        coupled = float(np.dot(np.asarray(self.weights), activity))
+        """Noise-free event rate for a workload.
+
+        The coupling term is an elementwise multiply-and-sum rather than
+        a BLAS dot product so that one event's rate is bit-identical to
+        the corresponding row of the sampler's vectorized
+        ``(weights * activity).sum(axis=1)`` — the batched fleet path
+        and the scalar path must agree exactly.
+        """
+        coupled = float((np.asarray(self.weights) * activity).sum())
         return self.baseline + coupled * intensity
 
 

@@ -10,6 +10,8 @@ monitoring" constraint: no service knowledge required).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.telemetry.counters import HPCSampler
 from repro.telemetry.xentop import XentopSampler
 from repro.workloads.request_mix import Workload
@@ -70,3 +72,28 @@ class Monitor:
         metrics = {name: reading.rate for name, reading in readings.items()}
         metrics.update(self.xentop.sample(workload, interference=interference))
         return metrics
+
+    def collect_vector(
+        self,
+        workload: Workload,
+        *,
+        interference: float = 0.0,
+        window_seconds: float | None = None,
+    ) -> "np.ndarray":
+        """One monitoring pass as an array in :meth:`metric_names` order.
+
+        Consumes the samplers' RNG streams exactly as :meth:`collect`
+        does and produces the same values, but skips the per-metric
+        dictionary — the batched fleet control plane stacks these rows
+        straight into an ``(n_lanes, n_metrics)`` signature matrix.
+        """
+        window = self.window_seconds if window_seconds is None else window_seconds
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window}")
+        hpc_rates = self.hpc.sample_rates(
+            workload, window, interference=interference
+        )
+        xentop_values = self.xentop.sample_vector(
+            workload, interference=interference
+        )
+        return np.concatenate([hpc_rates, xentop_values])

@@ -38,26 +38,35 @@ class XentopSampler:
         self._capacity = capacity_units
         self._rng = np.random.default_rng(seed)
 
+    #: Relative reading-noise levels, in :data:`XENTOP_METRICS` order.
+    _NOISE_SDS = np.array([0.02, 0.02, 0.03, 0.03, 0.03])
+
     def sample(
         self, workload: Workload, *, interference: float = 0.0
     ) -> dict[str, float]:
         """One xentop snapshot (instantaneous utilizations)."""
+        values = self.sample_vector(workload, interference=interference)
+        return dict(zip(XENTOP_METRICS, values.tolist()))
+
+    def sample_vector(
+        self, workload: Workload, *, interference: float = 0.0
+    ) -> np.ndarray:
+        """One snapshot as an array in :data:`XENTOP_METRICS` order.
+
+        Same RNG consumption and values as :meth:`sample`; the batched
+        fleet path concatenates this straight into a signature vector.
+        """
         if not 0.0 <= interference < 1.0:
             raise ValueError(f"interference out of [0,1): {interference}")
         mix = workload.mix
         demand = workload.demand_units
         rho = demand / (self._capacity * (1.0 - interference))
-        noise = lambda sd: float(self._rng.normal(0.0, sd))  # noqa: E731
 
         cpu = min(100.0, 100.0 * rho * (0.6 + 0.4 * mix.cpu_intensity))
         mem = min(100.0, 25.0 + 60.0 * rho * mix.memory_intensity)
         rx = 80.0 * demand
         tx = rx * (6.0 + 6.0 * mix.read_fraction)
         io_ops = 900.0 * demand * (0.3 + 0.7 * mix.io_intensity)
-        return {
-            "xentop_cpu_percent": max(0.0, cpu * (1.0 + noise(0.02))),
-            "xentop_memory_percent": max(0.0, mem * (1.0 + noise(0.02))),
-            "xentop_net_rx_kbps": max(0.0, rx * (1.0 + noise(0.03))),
-            "xentop_net_tx_kbps": max(0.0, tx * (1.0 + noise(0.03))),
-            "xentop_vbd_io_ops": max(0.0, io_ops * (1.0 + noise(0.03))),
-        }
+        clean = np.array([cpu, mem, rx, tx, io_ops])
+        noise = self._rng.normal(0.0, self._NOISE_SDS)
+        return np.maximum(0.0, clean * (1.0 + noise))

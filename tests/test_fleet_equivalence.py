@@ -1,11 +1,22 @@
-"""Equivalence: a 1-lane fleet reproduces the legacy engine bit-for-bit.
+"""Equivalence: a 1-lane fleet reproduces the legacy engine bit-for-bit,
+and the batched control plane reproduces the scalar fleet path.
 
-``SimulationEngine.run`` is now a thin wrapper over a one-lane
+``SimulationEngine.run`` is a thin wrapper over a one-lane
 :class:`FleetEngine`.  These tests pin the refactor down: for every
 controller family (DejaVu, Autopilot, RightScale, Overprovision) the
 wrapper and a directly-driven one-lane fleet must produce series that
 are bit-identical to a reference loop implementing the seed engine's
 semantics (per-step: workload -> controller -> observe -> record).
+
+The batched-control-plane tests pin the other axis: a mixed 8-lane
+fleet carrying all four controller families produces **bit-identical
+FleetResult blocks and adaptation events** under ``batched=True`` and
+``batched=False`` — including under a contended profiling queue, whose
+per-lane request sequence both paths reproduce.  (The one documented
+divergence: when interference-escalation probes contend with *other
+lanes'* signature collections in the same wave, the two paths produce
+different — equally valid — FIFO schedules; the host-coupled studies
+exercise that regime, this test pins the exact-equivalence one.)
 
 Each run gets a freshly built setup so no provider/service/RNG state
 leaks between the compared executions; determinism comes from the
@@ -110,6 +121,159 @@ def test_one_lane_fleet_matches_reference(policy):
     actual = fleet.run(DURATION).lane_result(0)
 
     assert_bit_identical(expected, actual)
+
+
+# ----------------------------------------------------------------------
+# Batched control plane vs scalar fleet path (the tentpole's pin)
+# ----------------------------------------------------------------------
+
+
+def build_mixed_fleet(profiling_slots: int | None):
+    """An 8-lane mixed fleet exercising all four controller families.
+
+    Lane layout: DejaVu leaders for each service family, DejaVu
+    adoptees sharing their trained models (the batched groups), and the
+    three baselines.  Rebuilt from scratch per call so batched and
+    scalar runs start from identical state.
+    """
+    from repro.core.repository import AllocationRepository
+    from repro.experiments.setup import (
+        build_scaleup_setup,
+        fleet_observer_scaleout,
+        fleet_observer_scaleup,
+        observe_scaleup,
+    )
+    from repro.sim.fleet import ProfilingQueue
+
+    out_repo = AllocationRepository()
+    up_repo = AllocationRepository()
+    out_setups = [
+        build_scaleout_setup(
+            repository=out_repo, trace_seed=i, seed=2 * i
+        )
+        for i in range(5)
+    ]
+    up_setups = [
+        build_scaleup_setup(
+            repository=up_repo, trace_seed=10 + i, seed=20 + 2 * i
+        )
+        for i in range(3)
+    ]
+    out_setups[0].manager.learn(out_setups[0].trace.hourly_workloads(day=0))
+    up_setups[0].manager.learn(up_setups[0].trace.hourly_workloads(day=0))
+    for setup in out_setups[1:3]:
+        setup.manager.adopt_trained_state(out_setups[0].manager)
+    up_setups[1].manager.adopt_trained_state(up_setups[0].manager)
+
+    out_observer = fleet_observer_scaleout(out_setups)
+    up_observer = fleet_observer_scaleup(up_setups)
+
+    def out_lane(i, controller, label):
+        return FleetLane(
+            workload_fn=out_setups[i].trace.workload_at,
+            controller=controller,
+            observe_fn=observe_scaleout(out_setups[i]),
+            label=label,
+            observe_batch=out_observer,
+        )
+
+    def up_lane(i, controller, label):
+        return FleetLane(
+            workload_fn=up_setups[i].trace.workload_at,
+            controller=controller,
+            observe_fn=observe_scaleup(up_setups[i]),
+            label=label,
+            observe_batch=up_observer,
+        )
+
+    autopilot = Autopilot(out_setups[3].production, out_setups[3].tuner)
+    autopilot.learn_schedule(out_setups[3].trace.hourly_workloads(day=0))
+    lanes = [
+        out_lane(0, out_setups[0].manager, "dejavu-out-leader"),
+        up_lane(0, up_setups[0].manager, "dejavu-up-leader"),
+        out_lane(1, out_setups[1].manager, "dejavu-out-a"),
+        up_lane(1, up_setups[1].manager, "dejavu-up-a"),
+        out_lane(2, out_setups[2].manager, "dejavu-out-b"),
+        out_lane(3, autopilot, "autopilot"),
+        out_lane(4, RightScale(out_setups[4].production, seed=7), "rightscale"),
+        up_lane(2, Overprovision(up_setups[2].production), "overprovision"),
+    ]
+    queue = (
+        ProfilingQueue(slots=profiling_slots, service_seconds=10.0)
+        if profiling_slots is not None
+        else None
+    )
+    managers = [
+        out_setups[0].manager,
+        up_setups[0].manager,
+        out_setups[1].manager,
+        up_setups[1].manager,
+        out_setups[2].manager,
+    ]
+    providers = [s.provider for s in out_setups] + [s.provider for s in up_setups]
+    return lanes, queue, managers, providers
+
+
+@pytest.mark.parametrize(
+    "profiling_slots",
+    [None, 1, 5],
+    ids=["no-queue", "contended-queue", "uncontended-queue"],
+)
+def test_batched_path_matches_scalar_path(profiling_slots):
+    results = {}
+    events = {}
+    stats = {}
+    meters = {}
+    for batched in (True, False):
+        lanes, queue, managers, providers = build_mixed_fleet(profiling_slots)
+        engine = FleetEngine(
+            lanes,
+            step_seconds=STEP,
+            profiling_queue=queue,
+            batched=batched,
+        )
+        results[batched] = engine.run(6 * HOUR)
+        events[batched] = [list(m.adaptation_events) for m in managers]
+        stats[batched] = [
+            (m.repository.stats.hits, m.repository.stats.misses)
+            for m in managers
+        ]
+        meters[batched] = [
+            (p.meter.total_dollars, dict(p.meter.instance_seconds))
+            for p in providers
+        ]
+
+    batched_result, scalar_result = results[True], results[False]
+    assert batched_result.schemas == scalar_result.schemas
+    assert batched_result.lane_schemas == scalar_result.lane_schemas
+    assert batched_result.series_names() == scalar_result.series_names()
+    assert batched_result.n_steps > 0
+    for name in batched_result.series_names():
+        np.testing.assert_array_equal(
+            batched_result.matrix(name), scalar_result.matrix(name),
+            strict=True, err_msg=name,
+        )
+    # Every DejaVu lane made the exact same decisions.
+    assert events[True] == events[False]
+    assert any(events[True])  # adaptations actually happened
+    assert stats[True] == stats[False]
+    # Billing too: the fast observation path settles lazily but must
+    # charge every lane's meter what per-step settlement would have.
+    # Instance-seconds are exact; dollar totals are summed over
+    # different settlement segmentations, so they agree to rounding.
+    for (b_total, b_seconds), (s_total, s_seconds) in zip(
+        meters[True], meters[False]
+    ):
+        assert b_seconds == s_seconds
+        assert b_total == pytest.approx(s_total, rel=1e-12)
+    assert any(total > 0 for total, _seconds in meters[True])
+
+
+def test_batched_is_the_study_default():
+    from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+
+    study = run_fleet_multiplexing_study(n_lanes=2, hours=2.0)
+    assert study.batched
 
 
 def test_wrapper_still_validates_duration():

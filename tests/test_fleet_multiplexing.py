@@ -149,9 +149,21 @@ class TestFleetSeries:
             )
 
     def test_identical_lanes_observe_identical_series(self):
-        study = run_small(2, hours=2.0)
+        # One profiling slot per lane: nobody waits, so two identical
+        # lanes stay in lockstep.
+        study = run_small(2, hours=2.0, profiling_slots=2)
         matrix = study.result.matrix("latency_ms")
         assert matrix[:, 0].tolist() == matrix[:, 1].tolist()
+
+    def test_profiling_contention_desynchronizes_identical_lanes(self):
+        # With a single shared slot the second lane's signature waits
+        # ~10 s each wave, so its adaptations deploy late (queue
+        # feedback, Sec. 5) and its warm-up transients shift: the lanes
+        # are no longer bit-identical even though their workloads are.
+        study = run_small(2, hours=2.0, profiling_slots=1)
+        matrix = study.result.matrix("latency_ms")
+        assert matrix[:, 0].tolist() != matrix[:, 1].tolist()
+        assert study.max_queue_wait_seconds > 0.0
 
 
 class TestHeterogeneousFleet:
