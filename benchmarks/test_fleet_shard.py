@@ -1,0 +1,202 @@
+"""Sharded fleet sweeps: multiprocess wall-clock and vectorized prepare.
+
+Two perf claims ride this file:
+
+* **Sharding scales out.**  A 400-lane sweep cut into 4 shards runs in
+  worker processes; at 4 workers the wall-clock beats the same 4-shard
+  sweep on 1 worker by >= 2.5x on a >= 4-core machine (the assertion is
+  skipped below 4 cores — there is no parallelism to buy), and the
+  merged ``FleetResult`` is bit-identical regardless of worker count:
+  shards are deterministic functions of their global lane ranges.
+
+* **Counter-mode telemetry vectorizes the last scalar loop.**  The PR 3
+  control plane batched classify and observe but still collected each
+  lane's signature through a scalar per-lane ``collect_vector`` call
+  (preserved as ``rng_mode="legacy"``).  Counter-mode streams collect
+  every due lane's signature as one ``Monitor.collect_matrix`` pass;
+  at 200 lanes that lifts ``lane_steps_per_second`` by >= 1.3x.
+
+Wall-clock gates are best-of-two per configuration: single-run ratios
+on shared machines are too noisy to block on (same policy as the
+200-lane 3x gate in ``test_fleet_scale.py`` — a local/driver check,
+with only the smoke equality gating CI).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_figure
+from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+
+SWEEP_LANES = 400
+SWEEP_SHARDS = 4
+SWEEP_HOURS = 24.0
+
+PREPARE_LANES = 200
+PREPARE_HOURS = 24.0
+
+SMOKE_LANES = 50
+SMOKE_SHARDS = 2
+SMOKE_HOURS = 12.0
+
+
+def assert_results_identical(a, b) -> None:
+    assert a.result.series_names() == b.result.series_names()
+    assert a.result.lane_labels == b.result.lane_labels
+    for name in a.result.series_names():
+        np.testing.assert_array_equal(
+            a.result.matrix(name), b.result.matrix(name),
+            strict=True, err_msg=name,
+        )
+    assert a.lane_events == b.lane_events
+    assert a.hit_rate == b.hit_rate
+    assert a.violation_fraction == b.violation_fraction
+
+
+def test_fleet_sweep_400_lanes_4_workers(benchmark):
+    kwargs = dict(
+        n_lanes=SWEEP_LANES,
+        hours=SWEEP_HOURS,
+        shards=SWEEP_SHARDS,
+        # Uncontended queue: under contention per-shard profilers
+        # legitimately wait less than one fleet-wide queue, and this
+        # benchmark gates exact worker-count invariance.
+        profiling_slots=SWEEP_LANES,
+    )
+    serial = run_fleet_multiplexing_study(workers=1, **kwargs)
+    serial_wall = serial.engine_seconds
+    parallel = benchmark.pedantic(
+        run_fleet_multiplexing_study,
+        kwargs={"workers": SWEEP_SHARDS, **kwargs},
+        rounds=1,
+        iterations=1,
+    )
+    # Best-of-two for the wall-clock ratio.
+    serial_wall = min(
+        serial_wall,
+        run_fleet_multiplexing_study(workers=1, **kwargs).engine_seconds,
+    )
+    parallel_wall = min(
+        parallel.engine_seconds,
+        run_fleet_multiplexing_study(
+            workers=SWEEP_SHARDS, **kwargs
+        ).engine_seconds,
+    )
+    speedup = serial_wall / parallel_wall
+    cores = os.cpu_count() or 1
+
+    print_figure(
+        "Sharded sweep: 400 lanes, 4 shards, 1 vs 4 worker processes",
+        [
+            f"1 worker: {serial_wall:.2f} s wall; "
+            f"{SWEEP_SHARDS} workers: {parallel_wall:.2f} s wall "
+            f"-> speedup {speedup:.2f}x on {cores} core(s)",
+            f"merged result: {parallel.result.n_lanes} lanes x "
+            f"{parallel.result.n_steps} steps, "
+            f"{len(parallel.result.series_names())} series, "
+            f"bit-identical across worker counts",
+            f"learning phases paid (global families): "
+            f"{parallel.learning_runs}; hit rate {parallel.hit_rate:.1%}",
+        ],
+    )
+    benchmark.extra_info["serial_wall_seconds"] = serial_wall
+    benchmark.extra_info["parallel_wall_seconds"] = parallel_wall
+    benchmark.extra_info["shard_speedup"] = speedup
+    benchmark.extra_info["cores"] = cores
+
+    # Worker-count invariance is the correctness gate and holds on any
+    # machine: same shards, same lanes, same bits.
+    assert_results_identical(serial, parallel)
+    assert parallel.shards == SWEEP_SHARDS
+    assert parallel.n_lanes == SWEEP_LANES
+    if cores >= SWEEP_SHARDS:
+        assert speedup >= 2.5
+    else:
+        pytest.skip(
+            f"only {cores} core(s): {speedup:.2f}x measured; the 2.5x "
+            "wall-clock gate needs >= 4 cores of real parallelism"
+        )
+
+
+def test_fleet_prepare_counter_vs_legacy_200(benchmark):
+    kwargs = dict(n_lanes=PREPARE_LANES, hours=PREPARE_HOURS)
+    legacy = run_fleet_multiplexing_study(rng_mode="legacy", **kwargs)
+    counter = benchmark.pedantic(
+        run_fleet_multiplexing_study,
+        kwargs={"rng_mode": "counter", **kwargs},
+        rounds=1,
+        iterations=1,
+    )
+    # Best-of-two per mode: the ratio gate compares engine seconds.
+    legacy_seconds = min(
+        legacy.engine_seconds,
+        run_fleet_multiplexing_study(
+            rng_mode="legacy", **kwargs
+        ).engine_seconds,
+    )
+    counter_seconds = min(
+        counter.engine_seconds,
+        run_fleet_multiplexing_study(
+            rng_mode="counter", **kwargs
+        ).engine_seconds,
+    )
+    steps = PREPARE_LANES * counter.n_steps
+    legacy_lsps = steps / legacy_seconds
+    counter_lsps = steps / counter_seconds
+    speedup = counter_lsps / legacy_lsps
+
+    print_figure(
+        "Fleet-vectorized prepare: counter vs legacy streams, 200 lanes",
+        [
+            f"counter (vectorized collect_matrix): "
+            f"{counter_lsps:,.0f} lane-steps/s ({counter_seconds:.2f} s)",
+            f"legacy (per-lane collect_vector, the PR 3 prepare): "
+            f"{legacy_lsps:,.0f} lane-steps/s ({legacy_seconds:.2f} s) "
+            f"-> speedup {speedup:.2f}x",
+            f"decision parity: hit rate {counter.hit_rate:.1%} vs "
+            f"{legacy.hit_rate:.1%}, violations "
+            f"{counter.violation_fraction:.1%} vs "
+            f"{legacy.violation_fraction:.1%}",
+        ],
+    )
+    benchmark.extra_info["lane_steps_per_second"] = counter_lsps
+    benchmark.extra_info["legacy_lane_steps_per_second"] = legacy_lsps
+    benchmark.extra_info["counter_prepare_speedup"] = speedup
+
+    assert counter.rng_mode == "counter" and legacy.rng_mode == "legacy"
+    assert speedup >= 1.3
+    # Counter mode changes the noise realization, not the economics:
+    # the fleet still reuses the shared repository and meets SLOs.
+    assert counter.hit_rate > 0.9
+    assert counter.violation_fraction < 0.10
+
+
+def test_fleet_shard_smoke_50(benchmark):
+    """CI smoke: 2 shards x 2 workers must merge to the single-process
+    result, bit for bit."""
+    kwargs = dict(
+        n_lanes=SMOKE_LANES,
+        hours=SMOKE_HOURS,
+        profiling_slots=SMOKE_LANES,
+    )
+    single = run_fleet_multiplexing_study(**kwargs)
+    sharded = benchmark.pedantic(
+        run_fleet_multiplexing_study,
+        kwargs={"shards": SMOKE_SHARDS, "workers": 2, **kwargs},
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(
+        "Shard-merge smoke: 50 lanes, 2 shards x 2 workers vs 1 process",
+        [
+            f"single process {single.engine_seconds:.2f} s vs sharded "
+            f"{sharded.engine_seconds:.2f} s wall (spawn + merge "
+            "overhead included); results bit-identical",
+        ],
+    )
+    benchmark.extra_info["single_wall_seconds"] = single.engine_seconds
+    benchmark.extra_info["sharded_wall_seconds"] = sharded.engine_seconds
+    assert sharded.shards == SMOKE_SHARDS and sharded.workers == 2
+    assert_results_identical(single, sharded)

@@ -1,0 +1,94 @@
+"""Sizing the shared profiling environment: slots vs SLO cost.
+
+The PR 3 queue-feedback work left one question open (ROADMAP): how many
+clone VMs should the shared profiling environment run?  Every slot
+costs a clone's hourly rate around the clock, but too few slots make
+hourly adaptation waves queue — decisions deploy on stale signatures,
+the previous allocation keeps serving, and the fleet pays SLO
+violations instead of dollars.
+
+This study sweeps ``profiling_slots`` over a 200-lane fleet using the
+sharded sweep driver and prints the frontier: queueing (mean/max wait,
+peak depth), the SLO-violation fraction, and the profiling-environment
+cost as a fraction of fleet spend.  The paper's amortization argument
+(Sec. 5) shows up directly — even several slots stay a rounding error
+next to 200 lanes of production capacity, so the frontier says where
+waiting stops hurting, not where profiling starts costing.
+
+    python examples/profiling_slots_frontier.py
+    python examples/profiling_slots_frontier.py --lanes 400 --shards 4
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--lanes", type=int, default=200)
+    parser.add_argument("--hours", type=float, default=24.0)
+    parser.add_argument(
+        "--slots", type=int, nargs="+", default=[1, 2, 4, 8]
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard the sweep across worker processes (slots are "
+        "per-shard profiling environments)",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    args = parser.parse_args()
+
+    print(
+        f"== profiling_slots frontier: {args.lanes} lanes, "
+        f"{args.hours:.0f} h, hourly adaptation waves"
+    )
+    header = (
+        f"{'slots':>5}  {'mean wait':>9}  {'max wait':>8}  {'depth':>5}  "
+        f"{'deferred':>8}  {'SLO viol.':>9}  {'util.':>6}  {'cost share':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    frontier = []
+    for slots in args.slots:
+        study = run_fleet_multiplexing_study(
+            n_lanes=args.lanes,
+            hours=args.hours,
+            profiling_slots=slots,
+            shards=args.shards,
+            workers=args.workers,
+        )
+        frontier.append((slots, study))
+        print(
+            f"{slots:>5}  {study.mean_queue_wait_seconds:>8.0f}s  "
+            f"{study.max_queue_wait_seconds:>7.0f}s  "
+            f"{study.max_queue_depth:>5}  "
+            f"{study.deferred_adaptations:>8}  "
+            f"{study.violation_fraction:>9.2%}  "
+            f"{study.profiler_utilization:>6.1%}  "
+            f"{study.amortized_profiling_fraction:>10.3%}"
+        )
+
+    # The knee: the smallest slot count whose extra slot no longer buys
+    # a meaningful SLO improvement.
+    best = min(frontier, key=lambda pair: pair[1].violation_fraction)
+    baseline = frontier[0][1]
+    print(
+        f"\nfrontier: {baseline.violation_fraction:.2%} violations at "
+        f"{frontier[0][0]} slot(s) -> {best[1].violation_fraction:.2%} at "
+        f"{best[0]} slot(s); profiling environment stays "
+        f"{best[1].amortized_profiling_fraction:.2%} of fleet spend "
+        f"(the Sec. 5 amortization claim at fleet scale)"
+    )
+
+
+if __name__ == "__main__":
+    main()

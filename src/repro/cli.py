@@ -5,6 +5,7 @@
     python -m repro.cli run all --seed 3
     python -m repro.cli fleet --lanes 200 --hours 24
     python -m repro.cli fleet --lanes 8 --mix mixed --hosts 4
+    python -m repro.cli fleet --lanes 400 --shards 4 --workers 4
 
 Each experiment name maps to the table/figure it regenerates; ``run``
 prints the headline numbers the paper's text quotes (the benchmark
@@ -17,6 +18,11 @@ queue (Sec. 5).  ``--mix`` picks the composition — ``scaleout``
 places the lanes onto that many shared simulated hosts so co-located
 services steal capacity from each other and interference-band
 escalation fires across lanes (Sec. 3.6 at fleet scale).
+``--shards``/``--workers`` partition the fleet into contiguous
+lane-range shards run by worker processes and merged exactly
+(``repro.sim.shard``); ``--rng-mode`` picks counter-mode telemetry
+streams (default; signature collection vectorizes across lanes) or the
+legacy sequential generators.
 """
 
 from __future__ import annotations
@@ -183,13 +189,22 @@ def _fleet_rows(args) -> list[str]:
         n_hosts=args.hosts if args.hosts > 0 else None,
         host_capacity_units=args.host_capacity,
         batched=args.batch,
+        rng_mode=args.rng_mode,
+        shards=args.shards,
+        workers=args.workers,
     )
     path = "batched" if study.batched else "scalar"
+    engine_label = (
+        "in the engine"
+        if study.shards == 1
+        else f"wall, {study.shards} shards x {study.workers} worker(s)"
+    )
     rows = [
         f"{study.n_lanes} services ({study.mix}) x {study.n_steps} steps "
         f"({study.step_seconds:.0f} s each) on one shared clock",
-        f"{path} control plane: {study.lane_steps_per_second:,.0f} "
-        f"lane-steps/s ({study.engine_seconds:.2f} s in the engine)",
+        f"{path} control plane, {study.rng_mode} telemetry streams: "
+        f"{study.lane_steps_per_second:,.0f} "
+        f"lane-steps/s ({study.engine_seconds:.2f} s {engine_label})",
         f"learning phases paid: {study.learning_runs} "
         f"({study.tuning_invocations} tuner runs, amortized fleet-wide)",
         f"shared-repository hit rate: {study.hit_rate:.1%}",
@@ -279,6 +294,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="run the batched fleet control plane (--no-batch keeps the "
         "scalar per-lane step path reachable for A/B runs)",
+    )
+    fleet.add_argument(
+        "--rng-mode",
+        choices=["counter", "legacy"],
+        default="counter",
+        help="telemetry stream discipline: counter-mode streams (one "
+        "per-fleet key; signature collection vectorizes across lanes "
+        "and is shard-invariant) or the legacy sequential per-sampler "
+        "generators",
+    )
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the fleet into this many contiguous lane-range "
+        "shards (each with its own profiling environment)",
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes executing the shards (default "
+        "min(shards, cpus); 0 runs shards inline in this process)",
     )
     return parser
 

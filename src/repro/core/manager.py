@@ -781,15 +781,17 @@ class DejaVuManager:
             )
         return self._schema_columns
 
-    def prepare_batched_adapt(self, ctx: StepContext) -> np.ndarray | None:
-        """Phase 1 of a batched adaptation: gate and collect.
+    def begin_batched_adapt(self, ctx: StepContext) -> bool:
+        """Phase 1a of a batched adaptation: the gate, without collection.
 
-        Mirrors :meth:`adapt` up to (but excluding) classification:
-        record the workload, charge the shared profiling queue, and
-        collect the raw signature vector — consuming the monitor's RNG
-        exactly as the scalar path's ``collect_metrics`` would.  Returns
-        None when a bounded queue rejected the request (the adaptation
-        is deferred; the engine retries next step).
+        Mirrors :meth:`adapt` up to (but excluding) the signature
+        collection: record the workload and charge the shared profiling
+        queue.  Returns False when a bounded queue rejected the request
+        (the adaptation is deferred; the engine retries next step).
+        The engine then collects all gated lanes' signatures in one
+        :meth:`~repro.telemetry.monitor.Monitor.collect_matrix` pass
+        (phase 1b) — or per lane for legacy-stream monitors, consuming
+        each monitor's RNG exactly as the scalar path would.
         """
         if self.schema is None or self.classifier is None or self.clustering is None:
             raise RuntimeError("DejaVu used online before learning")
@@ -799,10 +801,26 @@ class DejaVuManager:
         if wait is None:
             self.deferred_adaptations += 1
             self._pending_wait = 0.0
-            return None
+            return False
         self._pending_wait = wait
-        vector = self.profiler.monitor.collect_vector(ctx.workload)
+        return True
+
+    def signature_row(self, vector: np.ndarray) -> np.ndarray:
+        """Slice a monitor's full metric vector down to the signature."""
         return vector[self._signature_columns()]
+
+    def prepare_batched_adapt(self, ctx: StepContext) -> np.ndarray | None:
+        """Phase 1 of a batched adaptation: gate and collect.
+
+        The one-lane composition of :meth:`begin_batched_adapt` and a
+        scalar collection; kept for callers outside the fleet engine's
+        wave (the engine itself batches phase 1b across lanes).
+        """
+        if not self.begin_batched_adapt(ctx):
+            return None
+        return self.signature_row(
+            self.profiler.monitor.collect_vector(ctx.workload)
+        )
 
     def complete_batched_adapt(
         self, ctx: StepContext, label: int, certainty: float, prefetched

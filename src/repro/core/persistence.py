@@ -1,4 +1,4 @@
-"""Persistence of DejaVu's learned state.
+"""Persistence of DejaVu's learned state and of fleet results.
 
 The whole point of DejaVu is that tuning knowledge is reusable; this
 module makes it reusable *across process lifetimes* by serializing
@@ -10,6 +10,12 @@ looks up allocations identically to the one that learned.
 Only the learned state is persisted; the environments (profiler,
 production, tuner) are reconstructed by the caller, since they describe
 the deployment rather than the knowledge.
+
+The second half persists :class:`~repro.sim.fleet.FleetResult` numpy
+blocks to ``.npz`` files (:func:`save_fleet_result` /
+:func:`load_fleet_result`): sharded sweep workers hand their results to
+the parent process this way, and fleet-scale sweeps too large for one
+process can archive per-shard blocks for later merging/analysis.
 """
 
 from __future__ import annotations
@@ -251,3 +257,73 @@ def save_manager_state(manager: DejaVuManager, path: str | Path) -> None:
 def load_manager_state(manager: DejaVuManager, path: str | Path) -> None:
     """Restore a manager's learned state from a JSON file."""
     restore_manager_state(manager, json.loads(Path(path).read_text()))
+
+
+# --- fleet results ----------------------------------------------------------
+
+FLEET_RESULT_FORMAT_VERSION = 1
+
+
+def save_fleet_result(result, path: str | Path) -> None:
+    """Persist a :class:`~repro.sim.fleet.FleetResult` to one ``.npz``.
+
+    The matrices are stored as raw numpy blocks (one array per series,
+    indexed to dodge series-name/file-key collisions); everything
+    non-numeric travels in a JSON header.  Empty (zero-step) and
+    single-step results round-trip exactly — the shard-merge edge cases.
+    """
+    series = list(result.matrices)
+    meta = {
+        "version": FLEET_RESULT_FORMAT_VERSION,
+        "label": result.label,
+        "lane_labels": list(result.lane_labels),
+        "schemas": [list(schema) for schema in result.schemas],
+        "lane_schemas": list(result.lane_schemas),
+        "series": series,
+        "series_lanes": {
+            name: list(result.series_lanes[name]) for name in series
+        },
+    }
+    arrays: dict[str, np.ndarray] = {
+        "meta_json": np.array(json.dumps(meta)),
+        "times": np.asarray(result.times, dtype=float),
+    }
+    for index, name in enumerate(series):
+        arrays[f"matrix_{index}"] = np.asarray(
+            result.matrices[name], dtype=float
+        )
+    # Through a file handle: np.savez given a *name* appends ".npz",
+    # which would break round-tripping suffix-less paths.
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+
+
+def load_fleet_result(path: str | Path):
+    """Load a fleet result written by :func:`save_fleet_result`."""
+    from repro.sim.fleet import FleetResult
+
+    with np.load(str(path)) as data:
+        meta = json.loads(data["meta_json"].item())
+        version = meta.get("version")
+        if version != FLEET_RESULT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported fleet-result version {version!r}; "
+                f"expected {FLEET_RESULT_FORMAT_VERSION}"
+            )
+        times = np.asarray(data["times"], dtype=float)
+        matrices = {
+            name: np.asarray(data[f"matrix_{index}"], dtype=float)
+            for index, name in enumerate(meta["series"])
+        }
+    return FleetResult(
+        label=meta["label"],
+        lane_labels=tuple(meta["lane_labels"]),
+        times=times,
+        matrices=matrices,
+        schemas=tuple(tuple(schema) for schema in meta["schemas"]),
+        lane_schemas=tuple(int(i) for i in meta["lane_schemas"]),
+        series_lanes={
+            name: tuple(int(lane) for lane in lanes)
+            for name, lanes in meta["series_lanes"].items()
+        },
+    )

@@ -28,6 +28,7 @@ scale) instead of only from scripted per-lane injection.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 
@@ -40,10 +41,14 @@ from repro.sim.fleet import FleetEngine, FleetLane, FleetResult, ProfilingQueue
 from repro.sim.hosts import HostMap
 from repro.telemetry.counters import HARDWARE_REGISTERS, HPCSampler
 from repro.telemetry.events import TABLE1_EVENTS
+from repro.telemetry.streams import TelemetryStreams
 from repro.workloads.request_mix import CASSANDRA_UPDATE_HEAVY, Workload
 
 #: Lane compositions the fleet study understands.
 FLEET_MIXES = ("scaleout", "scaleup", "mixed")
+
+#: Telemetry stream disciplines the fleet study understands.
+FLEET_RNG_MODES = ("counter", "legacy")
 
 
 @dataclass(frozen=True)
@@ -181,9 +186,32 @@ class FleetMultiplexingStudy:
 
     result: FleetResult
 
+    rng_mode: str = "counter"
+    """Telemetry stream discipline: ``counter`` (per-fleet counter-mode
+    streams, the default — collection is batch- and shard-invariant) or
+    ``legacy`` (sequential per-sampler generators, the pre-sharding
+    behavior)."""
+
+    shards: int = 1
+    """How many lane-range shards the sweep was partitioned into."""
+
+    workers: int = 1
+    """Worker processes that executed the shards (1 = in-process)."""
+
+    lane_events: tuple = ()
+    """Per-lane adaptation logs, one tuple of
+    ``(t, duration_seconds, cache_hit, workload_class, certainty,
+    allocation_count, instance_type)`` records per lane in global lane
+    order — comparable across single-process and sharded runs."""
+
     @property
     def lane_steps_per_second(self) -> float:
-        """Engine throughput: lane-steps per wall-clock second."""
+        """Engine throughput: lane-steps per wall-clock second.
+
+        For sharded sweeps the denominator is the sweep wall-clock
+        (dispatch to merge), so the figure reflects real end-to-end
+        throughput including per-worker setup.
+        """
         if self.engine_seconds <= 0:
             return float("inf")
         return self.n_lanes * self.n_steps / self.engine_seconds
@@ -207,6 +235,312 @@ def lane_kinds(n_lanes: int, mix: str) -> tuple[str, ...]:
     return (mix,) * n_lanes
 
 
+@dataclass(frozen=True)
+class FleetStudySpec:
+    """Everything a worker process needs to rebuild its fleet shard.
+
+    A shard worker receives this spec plus a global lane range and
+    reconstructs *exactly* the lanes the single-process study would
+    have built at those global indices: per-lane trace seeds, sampler
+    seeds/stream keys, and family leadership are all keyed by global
+    lane index, so a lane's simulation does not depend on which process
+    runs it.  (Host coupling is deliberately absent: sharded sweeps
+    model dedicated hardware, since round-robin host placement couples
+    lanes across shard boundaries.)
+    """
+
+    n_lanes: int
+    hours: float
+    step_seconds: float
+    profiling_slots: int
+    max_pending: int | None
+    lane_seed_stride: int
+    trace_name: str
+    seed: int
+    mix: str
+    batched: bool
+    rng_mode: str
+
+
+def _event_log(manager) -> tuple:
+    """One lane's adaptation events as plain comparable tuples."""
+    return tuple(
+        (
+            event.t,
+            event.duration_seconds,
+            event.cache_hit,
+            event.workload_class,
+            event.certainty,
+            event.allocation.count,
+            event.allocation.itype.name,
+        )
+        for event in manager.adaptation_events
+    )
+
+
+def _run_fleet_slice(
+    spec: FleetStudySpec,
+    lane_lo: int,
+    lane_hi: int,
+    host_map: HostMap | None = None,
+) -> tuple[FleetResult, dict]:
+    """Build and run global lanes ``[lane_lo, lane_hi)`` of the fleet.
+
+    The single-process study is the full slice ``[0, n_lanes)``; shard
+    workers run proper sub-slices.  Families whose global leader lane
+    falls outside the slice re-derive the leader's trained model from a
+    *phantom* setup (identical seeds, deterministic learning) so
+    adoptees share bit-identical state with the leader's own shard.
+
+    Returns the slice's :class:`FleetResult` plus a payload dict of raw
+    aggregates (queue stats, hit/miss counts, violations, per-lane
+    event logs) that :func:`run_fleet_multiplexing_study` merges.
+    """
+    # Imported here: repro.experiments.setup imports the manager layer,
+    # which this module must not pull in at import time for the
+    # register-multiplexing study alone.
+    from repro.experiments.setup import (
+        build_scaleout_setup,
+        build_scaleup_setup,
+        counter_monitor,
+        fleet_observer_scaleout,
+        fleet_observer_scaleup,
+        observe_scaleout,
+        observe_scaleup,
+    )
+
+    kinds_all = lane_kinds(spec.n_lanes, spec.mix)
+    streams = (
+        TelemetryStreams(spec.seed) if spec.rng_mode == "counter" else None
+    )
+    repositories: dict[str, AllocationRepository] = {}
+
+    def build_setup(lane: int, kind: str):
+        """One lane's setup, derived from its *global* index."""
+        repository = repositories.setdefault(kind, AllocationRepository())
+        lane_key = lane * spec.lane_seed_stride
+        common = dict(
+            trace_name=spec.trace_name,
+            repository=repository,
+            injector=host_map.feed(lane) if host_map is not None else None,
+            trace_seed=spec.seed + lane_key,
+            # Legacy monitors derive two sampler seeds from this (seed
+            # and seed + 1), so lanes stride by 2 to keep every lane's
+            # telemetry noise stream independent of its neighbours'.
+            # Counter monitors key their streams by (fleet seed,
+            # lane_key) instead — batch- and shard-invariant.
+            seed=spec.seed + 2 * lane_key,
+            monitor=(
+                counter_monitor(streams, lane_key)
+                if streams is not None
+                else None
+            ),
+        )
+        if kind == "scaleout":
+            return build_scaleout_setup(**common)
+        return build_scaleup_setup(**common)
+
+    setups = []
+    observers = []
+    family_setups: dict[str, list] = {}
+    for lane in range(lane_lo, lane_hi):
+        kind = kinds_all[lane]
+        setup = build_setup(lane, kind)
+        if kind == "scaleout":
+            observers.append(observe_scaleout(setup))
+        else:
+            observers.append(observe_scaleup(setup))
+        setups.append(setup)
+        family_setups.setdefault(kind, []).append(setup)
+
+    # One vectorized observer per service family: lanes sharing it are
+    # observed in a single fill_rows call per step in batched mode.
+    family_observer = {
+        kind: (
+            fleet_observer_scaleout(members)
+            if kind == "scaleout"
+            else fleet_observer_scaleup(members)
+        )
+        for kind, members in family_setups.items()
+    }
+
+    # Each family's leader is the *global* first lane of the family.
+    # If it lives in this slice, that lane's own manager learns (and
+    # runs online here); otherwise a phantom setup with the leader's
+    # exact seeds re-derives the identical trained state for adoption.
+    leaders: dict[str, object] = {}
+    family_tuning: dict[str, int] = {}
+    for offset, setup in enumerate(setups):
+        kind = kinds_all[lane_lo + offset]
+        leader = leaders.get(kind)
+        if leader is None:
+            leader_lane = kinds_all.index(kind)
+            leader_setup = (
+                setup
+                if leader_lane == lane_lo + offset
+                else build_setup(leader_lane, kind)
+            )
+            leader = leader_setup.manager
+            leader.learn(leader_setup.trace.hourly_workloads(day=0))
+            leaders[kind] = leader
+            family_tuning[kind] = leader.learning_report.tuning_invocations
+        if setup.manager is not leader:
+            setup.manager.adopt_trained_state(leader)
+
+    queue = ProfilingQueue(
+        slots=spec.profiling_slots,
+        service_seconds=setups[0].profiler.signature_seconds,
+        max_pending=spec.max_pending,
+    )
+    lanes = [
+        FleetLane(
+            workload_fn=setup.trace.workload_at,
+            controller=setup.manager,
+            observe_fn=observers[offset],
+            label=f"svc-{lane_lo + offset}",
+            observe_batch=family_observer[kinds_all[lane_lo + offset]],
+        )
+        for offset, setup in enumerate(setups)
+    ]
+    engine = FleetEngine(
+        lanes,
+        step_seconds=spec.step_seconds,
+        label=f"fleet-{spec.n_lanes}",
+        profiling_queue=queue,
+        host_map=host_map,
+        batched=spec.batched,
+    )
+    duration = spec.hours * HOUR
+    engine_start = time.perf_counter()
+    result = engine.run(duration)
+    engine_seconds = time.perf_counter() - engine_start
+
+    # Each lane is judged against its own SLO: the latency bound for
+    # scale-out lanes, the QoS floor for scale-up lanes.
+    violations = 0
+    for offset, setup in enumerate(setups):
+        slo = setup.service.slo
+        if isinstance(slo, LatencySLO):
+            values = result.lane_series("latency_ms", offset).values
+            violations += int(np.sum(values > slo.bound_ms))
+        else:
+            values = result.lane_series("qos_percent", offset).values
+            violations += int(np.sum(values < slo.floor_percent))
+
+    # Escalation-tuned entries live at band > 0 (only band 0 is
+    # pretuned); count them across every distinct repository, including
+    # private forks created by a re-learning manager.
+    distinct = {id(s.manager.repository): s.manager.repository for s in setups}
+    escalations = sum(
+        1
+        for repo in distinct.values()
+        for entry in repo.entries()
+        if entry.interference_band > 0
+    )
+
+    accepted = queue.accepted_grants
+    payload = {
+        "lane_lo": lane_lo,
+        "lane_hi": lane_hi,
+        "n_steps": result.n_steps,
+        "engine_seconds": engine_seconds,
+        "families": list(leaders),
+        "family_tuning": family_tuning,
+        "relearns": sum(s.manager.relearn_count for s in setups),
+        "hits": sum(repo.stats.hits for repo in repositories.values()),
+        "misses": sum(repo.stats.misses for repo in repositories.values()),
+        "violations": violations,
+        "escalations": escalations,
+        "deferred": sum(s.manager.deferred_adaptations for s in setups),
+        "queue_accepted": len(accepted),
+        "queue_wait_sum": float(
+            sum(grant.wait_seconds for grant in accepted)
+        ),
+        "queue_wait_max": queue.max_wait_seconds,
+        "queue_depth_max": queue.max_depth,
+        "queue_rejected": queue.rejected,
+        "queue_utilization": queue.utilization(duration),
+        "clone_hourly_cost": setups[0].profiler.clone_allocation.hourly_cost,
+        "lane_events": [_event_log(s.manager) for s in setups],
+    }
+    return result, payload
+
+
+def _shard_worker(
+    spec: FleetStudySpec, lane_lo: int, lane_hi: int, result_path: str
+) -> dict:
+    """One worker process's job: run a slice, persist it, return stats."""
+    result, payload = _run_fleet_slice(spec, lane_lo, lane_hi)
+    result.to_npz(result_path)
+    return payload
+
+
+def _merged_study(
+    spec: FleetStudySpec,
+    result: FleetResult,
+    payloads: list[dict],
+    engine_seconds: float,
+    shards: int,
+    workers: int,
+    n_hosts: int,
+    host_overload: float,
+    mean_theft: float,
+    peak_theft: float,
+) -> FleetMultiplexingStudy:
+    """Assemble the study dataclass from slice payloads + merged result."""
+    families: list[str] = []
+    tuning = 0
+    for payload in payloads:
+        for kind in payload["families"]:
+            if kind not in families:
+                families.append(kind)
+                tuning += payload["family_tuning"][kind]
+    hits = sum(p["hits"] for p in payloads)
+    misses = sum(p["misses"] for p in payloads)
+    accepted = sum(p["queue_accepted"] for p in payloads)
+    wait_sum = sum(p["queue_wait_sum"] for p in payloads)
+    violations = sum(p["violations"] for p in payloads)
+    fleet_hourly_cost = result.total("hourly_cost").mean()
+    profiling_hourly_cost = (
+        spec.profiling_slots * shards * payloads[0]["clone_hourly_cost"]
+    )
+    lane_events = tuple(
+        tuple(log) for payload in payloads for log in payload["lane_events"]
+    )
+    return FleetMultiplexingStudy(
+        n_lanes=spec.n_lanes,
+        n_steps=result.n_steps,
+        step_seconds=spec.step_seconds,
+        mix=spec.mix,
+        batched=spec.batched,
+        engine_seconds=engine_seconds,
+        learning_runs=len(families) + sum(p["relearns"] for p in payloads),
+        tuning_invocations=tuning,
+        hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+        mean_queue_wait_seconds=wait_sum / accepted if accepted else 0.0,
+        max_queue_wait_seconds=max(p["queue_wait_max"] for p in payloads),
+        max_queue_depth=max(p["queue_depth_max"] for p in payloads),
+        rejected_profiles=sum(p["queue_rejected"] for p in payloads),
+        profiler_utilization=(
+            sum(p["queue_utilization"] for p in payloads) / len(payloads)
+        ),
+        fleet_hourly_cost=fleet_hourly_cost,
+        amortized_profiling_fraction=profiling_hourly_cost / fleet_hourly_cost,
+        violation_fraction=violations / (result.n_steps * spec.n_lanes),
+        n_hosts=n_hosts,
+        host_overload_fraction=host_overload,
+        mean_host_theft=mean_theft,
+        peak_host_theft=peak_theft,
+        interference_escalations=sum(p["escalations"] for p in payloads),
+        deferred_adaptations=sum(p["deferred"] for p in payloads),
+        result=result,
+        rng_mode=spec.rng_mode,
+        shards=shards,
+        workers=workers,
+        lane_events=lane_events,
+    )
+
+
 def run_fleet_multiplexing_study(
     n_lanes: int = 4,
     hours: float = 48.0,
@@ -220,6 +554,10 @@ def run_fleet_multiplexing_study(
     n_hosts: int | None = None,
     host_capacity_units: float = 12.0,
     batched: bool = True,
+    rng_mode: str = "counter",
+    shards: int = 1,
+    workers: int | None = None,
+    shard_dir: str | None = None,
 ) -> FleetMultiplexingStudy:
     """Run ``n_lanes`` co-hosted services against one shared DejaVu.
 
@@ -251,167 +589,118 @@ def run_fleet_multiplexing_study(
     bit-identical :class:`~repro.sim.fleet.FleetResult`\\ s (pinned in
     ``tests/test_fleet_equivalence.py``).
 
+    ``rng_mode`` picks the telemetry stream discipline.  The default
+    ``"counter"`` derives every sampler's noise from one per-fleet key
+    via counter-mode streams (:mod:`repro.telemetry.streams`): the
+    engine's prepare phase then collects all due lanes' signatures as
+    one vectorized matrix pass, and a lane's telemetry is independent
+    of which batch or worker process samples it (scalar == batched ==
+    sharded, bit for bit).  ``"legacy"`` keeps the sequential
+    per-sampler generators of the pre-sharding engine, bit-identical to
+    the old per-lane prepare loop.
+
+    ``shards``/``workers`` partition the fleet into contiguous global
+    lane ranges executed by worker processes (``spawn``), each
+    persisting its :class:`FleetResult` via ``to_npz`` before the
+    parent merges them (:mod:`repro.sim.shard`).  ``workers=None``
+    picks ``min(shards, cpu_count)``; ``workers=0`` runs the shards
+    inline (deterministic single-process debugging of the exact shard
+    path).  Sharding models one profiling environment (with
+    ``profiling_slots`` clone VMs) *per shard*: with an uncontended
+    queue the merged result is bit-identical to the single-process run,
+    while under contention per-shard queues legitimately wait less than
+    one fleet-wide queue would.  Host coupling (``n_hosts``) is
+    incompatible with sharding — round-robin placement couples lanes
+    across shard boundaries.
+
     The default 5-minute step keeps adaptation hourly (the managers'
     check interval) while sampling performance between adaptations, so
     the VM warm-up transient right after a reallocation is weighted as
     in the paper's 60-second-step case studies rather than dominating
     every sample.
     """
-    # Imported here: repro.experiments.setup imports the manager layer,
-    # which this module must not pull in at import time for the
-    # register-multiplexing study alone.
-    from repro.experiments.setup import (
-        build_scaleout_setup,
-        build_scaleup_setup,
-        fleet_observer_scaleout,
-        fleet_observer_scaleup,
-        observe_scaleout,
-        observe_scaleup,
-    )
-
     if n_lanes < 1:
         raise ValueError(f"need at least one lane: {n_lanes}")
     if hours <= 0:
         raise ValueError(f"need a positive duration: {hours}")
     if n_hosts is not None and n_hosts < 1:
         raise ValueError(f"need at least one host: {n_hosts}")
-    kinds = lane_kinds(n_lanes, mix)
-    host_map = (
-        HostMap.spread(n_lanes, n_hosts, host_capacity_units)
-        if n_hosts is not None
-        else None
-    )
-
-    repositories: dict[str, AllocationRepository] = {}
-    setups = []
-    observers = []
-    family_setups: dict[str, list] = {}
-    for lane, kind in enumerate(kinds):
-        repository = repositories.setdefault(kind, AllocationRepository())
-        common = dict(
-            trace_name=trace_name,
-            repository=repository,
-            injector=host_map.feed(lane) if host_map is not None else None,
-            trace_seed=seed + lane * lane_seed_stride,
-            # Monitors derive two sampler seeds from this (seed and
-            # seed + 1), so lanes stride by 2 to keep every lane's
-            # telemetry noise stream independent of its neighbours'.
-            seed=seed + 2 * lane * lane_seed_stride,
+    if mix not in FLEET_MIXES:
+        raise ValueError(f"unknown mix {mix!r}; use one of {FLEET_MIXES}")
+    if rng_mode not in FLEET_RNG_MODES:
+        raise ValueError(
+            f"unknown rng_mode {rng_mode!r}; use one of {FLEET_RNG_MODES}"
         )
-        if kind == "scaleout":
-            setup = build_scaleout_setup(**common)
-            observers.append(observe_scaleout(setup))
-        else:
-            setup = build_scaleup_setup(**common)
-            observers.append(observe_scaleup(setup))
-        setups.append(setup)
-        family_setups.setdefault(kind, []).append(setup)
-
-    # One vectorized observer per service family: lanes sharing it are
-    # observed in a single fill_rows call per step in batched mode.
-    family_observer = {
-        kind: (
-            fleet_observer_scaleout(members)
-            if kind == "scaleout"
-            else fleet_observer_scaleup(members)
+    if shards < 1:
+        raise ValueError(f"need at least one shard: {shards}")
+    if shards > n_lanes:
+        raise ValueError(f"cannot cut {n_lanes} lanes into {shards} shards")
+    if shards > 1 and n_hosts is not None:
+        raise ValueError(
+            "sharded sweeps model dedicated hardware; host coupling "
+            "(n_hosts) crosses shard boundaries — run with shards=1"
         )
-        for kind, members in family_setups.items()
-    }
-
-    leaders: dict[str, object] = {}
-    for kind, setup in zip(kinds, setups):
-        leader = leaders.get(kind)
-        if leader is None:
-            setup.manager.learn(setup.trace.hourly_workloads(day=0))
-            leaders[kind] = setup.manager
-        else:
-            setup.manager.adopt_trained_state(leader)
-
-    queue = ProfilingQueue(
-        slots=profiling_slots,
-        service_seconds=setups[0].profiler.signature_seconds,
-        max_pending=max_pending,
-    )
-    lanes = [
-        FleetLane(
-            workload_fn=setup.trace.workload_at,
-            controller=setup.manager,
-            observe_fn=observers[lane],
-            label=f"svc-{lane}",
-            observe_batch=family_observer[kinds[lane]],
-        )
-        for lane, setup in enumerate(setups)
-    ]
-    engine = FleetEngine(
-        lanes,
-        step_seconds=step_seconds,
-        label=f"fleet-{n_lanes}",
-        profiling_queue=queue,
-        host_map=host_map,
-        batched=batched,
-    )
-    duration = hours * HOUR
-    engine_start = time.perf_counter()
-    result = engine.run(duration)
-    engine_seconds = time.perf_counter() - engine_start
-
-    # Each lane is judged against its own SLO: the latency bound for
-    # scale-out lanes, the QoS floor for scale-up lanes.
-    violations = 0
-    for lane, setup in enumerate(setups):
-        slo = setup.service.slo
-        if isinstance(slo, LatencySLO):
-            values = result.lane_series("latency_ms", lane).values
-            violations += int(np.sum(values > slo.bound_ms))
-        else:
-            values = result.lane_series("qos_percent", lane).values
-            violations += int(np.sum(values < slo.floor_percent))
-
-    # Escalation-tuned entries live at band > 0 (only band 0 is
-    # pretuned); count them across every distinct repository, including
-    # private forks created by a re-learning manager.
-    distinct = {id(s.manager.repository): s.manager.repository for s in setups}
-    escalations = sum(
-        1
-        for repo in distinct.values()
-        for entry in repo.entries()
-        if entry.interference_band > 0
-    )
-
-    hits = sum(repo.stats.hits for repo in repositories.values())
-    misses = sum(repo.stats.misses for repo in repositories.values())
-    fleet_hourly_cost = result.total("hourly_cost").mean()
-    profiling_hourly_cost = (
-        profiling_slots * setups[0].profiler.clone_allocation.hourly_cost
-    )
-    return FleetMultiplexingStudy(
+    spec = FleetStudySpec(
         n_lanes=n_lanes,
-        n_steps=result.n_steps,
+        hours=hours,
         step_seconds=step_seconds,
+        profiling_slots=profiling_slots,
+        max_pending=max_pending,
+        lane_seed_stride=lane_seed_stride,
+        trace_name=trace_name,
+        seed=seed,
         mix=mix,
         batched=batched,
-        engine_seconds=engine_seconds,
-        learning_runs=len(leaders) + sum(s.manager.relearn_count for s in setups),
-        tuning_invocations=sum(
-            leader.learning_report.tuning_invocations
-            for leader in leaders.values()
-        ),
-        hit_rate=hits / (hits + misses) if hits + misses else 0.0,
-        mean_queue_wait_seconds=queue.mean_wait_seconds,
-        max_queue_wait_seconds=queue.max_wait_seconds,
-        max_queue_depth=queue.max_depth,
-        rejected_profiles=queue.rejected,
-        profiler_utilization=queue.utilization(duration),
-        fleet_hourly_cost=fleet_hourly_cost,
-        amortized_profiling_fraction=profiling_hourly_cost / fleet_hourly_cost,
-        violation_fraction=violations / (result.n_steps * n_lanes),
-        n_hosts=host_map.n_hosts if host_map is not None else 0,
-        host_overload_fraction=(
-            host_map.overload_fraction if host_map is not None else 0.0
-        ),
-        mean_host_theft=host_map.mean_theft if host_map is not None else 0.0,
-        peak_host_theft=host_map.peak_theft if host_map is not None else 0.0,
-        interference_escalations=escalations,
-        deferred_adaptations=sum(s.manager.deferred_adaptations for s in setups),
-        result=result,
+        rng_mode=rng_mode,
+    )
+    if shards == 1:
+        host_map = (
+            HostMap.spread(n_lanes, n_hosts, host_capacity_units)
+            if n_hosts is not None
+            else None
+        )
+        result, payload = _run_fleet_slice(spec, 0, n_lanes, host_map=host_map)
+        return _merged_study(
+            spec,
+            result,
+            [payload],
+            engine_seconds=payload["engine_seconds"],
+            shards=1,
+            workers=1,
+            n_hosts=host_map.n_hosts if host_map is not None else 0,
+            host_overload=(
+                host_map.overload_fraction if host_map is not None else 0.0
+            ),
+            mean_theft=host_map.mean_theft if host_map is not None else 0.0,
+            peak_theft=host_map.peak_theft if host_map is not None else 0.0,
+        )
+
+    from repro.sim.shard import run_sharded
+
+    # The pool never exceeds the shard count; record the size that ran.
+    effective_workers = (
+        min(shards, os.cpu_count() or 1)
+        if workers is None
+        else min(workers, shards)
+    )
+    merged, payloads, wall_seconds = run_sharded(
+        _shard_worker,
+        spec,
+        n_lanes=n_lanes,
+        shards=shards,
+        workers=effective_workers,
+        shard_dir=shard_dir,
+        label=f"fleet-{n_lanes}",
+    )
+    return _merged_study(
+        spec,
+        merged,
+        payloads,
+        engine_seconds=wall_seconds,
+        shards=shards,
+        workers=effective_workers,
+        n_hosts=0,
+        host_overload=0.0,
+        mean_theft=0.0,
+        peak_theft=0.0,
     )

@@ -107,6 +107,26 @@ def _build_monitor(seed: int) -> Monitor:
     )
 
 
+def counter_monitor(streams, lane_key: int) -> Monitor:
+    """A profiling monitor riding per-fleet counter-mode streams.
+
+    ``streams`` is the fleet's
+    :class:`~repro.telemetry.streams.TelemetryStreams`; the HPC and
+    xentop samplers get the ``(lane_key, salt)`` streams 0 and 1, so a
+    lane's telemetry noise depends only on the fleet seed and its lane
+    key — not on which batch or worker process samples it.  Fleet
+    studies pass ``lane_key = lane * lane_seed_stride`` to preserve the
+    stride-0 "identical lanes" determinism property.
+    """
+    return Monitor(
+        hpc=HPCSampler(stream=streams.stream(lane_key, salt=0)),
+        xentop=XentopSampler(
+            capacity_units=PROFILER_CAPACITY_UNITS,
+            stream=streams.stream(lane_key, salt=1),
+        ),
+    )
+
+
 @dataclass
 class ScaleOutSetup:
     """Everything a scale-out experiment needs, pre-wired."""
@@ -132,6 +152,7 @@ def build_scaleout_setup(
     repository=None,
     trace_seed: int | None = None,
     seed: int = 0,
+    monitor: Monitor | None = None,
 ) -> ScaleOutSetup:
     """Assemble the Cassandra scale-out case study (Sec. 4.1, Figs. 6-8, 11).
 
@@ -143,7 +164,9 @@ def build_scaleout_setup(
     fleets pass a :class:`~repro.sim.hosts.HostInterferenceFeed` here
     so co-located lanes' pressure reaches this lane's production
     environment; it is mutually exclusive with ``interference_schedule``
-    (the scripted Fig. 11 regime).
+    (the scripted Fig. 11 regime).  ``monitor`` overrides the profiling
+    monitor entirely (counter-mode fleet studies build theirs via
+    :func:`counter_monitor`); ``seed`` is then ignored.
     """
     if interference_schedule is not None and injector is not None:
         raise ValueError(
@@ -156,7 +179,9 @@ def build_scaleout_setup(
     if injector is None and interference_schedule is not None:
         injector = InterferenceInjector(interference_schedule)
     production = ProductionEnvironment(service, provider, injector)
-    profiler = ProfilingEnvironment(service, _build_monitor(seed))
+    profiler = ProfilingEnvironment(
+        service, monitor if monitor is not None else _build_monitor(seed)
+    )
     tuner = LinearSearchTuner(
         service,
         scale_out_candidates(provider.max_instances),
@@ -209,6 +234,7 @@ def build_scaleup_setup(
     repository=None,
     trace_seed: int | None = None,
     seed: int = 0,
+    monitor: Monitor | None = None,
 ) -> ScaleUpSetup:
     """Assemble the SPECweb scale-up case study (Sec. 4.2, Figs. 9-10).
 
@@ -217,11 +243,12 @@ def build_scaleup_setup(
     provisioned tier (the one being switched between large and
     extra-large) with ``fixed_count`` instances.
 
-    ``repository``, ``trace_seed`` and ``injector`` mirror the
-    scale-out builder: heterogeneous fleet studies share one
+    ``repository``, ``trace_seed``, ``injector`` and ``monitor`` mirror
+    the scale-out builder: heterogeneous fleet studies share one
     repository across the scale-up lanes, re-draw each lane's trace,
-    and couple lanes through shared hosts via an injector-compatible
-    :class:`~repro.sim.hosts.HostInterferenceFeed`.
+    couple lanes through shared hosts via an injector-compatible
+    :class:`~repro.sim.hosts.HostInterferenceFeed`, and supply
+    counter-mode monitors for batch-/shard-invariant telemetry.
     """
     if peak_demand is None:
         if trace_name not in SCALE_UP_PEAK_DEMAND:
@@ -231,7 +258,9 @@ def build_scaleup_setup(
     trace = make_trace(trace_name, SPECWEB_SUPPORT, peak_demand, seed=trace_seed)
     provider = CloudProvider(max_instances=fixed_count)
     production = ProductionEnvironment(service, provider, injector)
-    profiler = ProfilingEnvironment(service, _build_monitor(seed))
+    profiler = ProfilingEnvironment(
+        service, monitor if monitor is not None else _build_monitor(seed)
+    )
     tuner = LinearSearchTuner(service, scale_up_candidates(fixed_count))
     manager_kwargs = {}
     if repository is not None:

@@ -39,7 +39,9 @@ fleet, so every existing experiment exercises this code path.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Protocol
 
 import numpy as np
@@ -139,14 +141,17 @@ class ProfilingQueue:
         self.slots = slots
         self.service_seconds = float(service_seconds)
         self.max_pending = max_pending
-        self._slot_free = np.zeros(slots, dtype=float)
+        # Plain Python floats: a fleet-wide adaptation wave charges one
+        # request per lane, and at a few machine slots the list
+        # arithmetic is several times cheaper than numpy round-trips.
+        self._slot_free = [0.0] * slots
         self._last_request_at = float("-inf")
         self.grants: list[ProfilingGrant] = []
         self.rejected = 0
         self.max_depth = 0
         self.busy_seconds = 0.0
 
-    def _outstanding_per_slot(self, t: float) -> np.ndarray:
+    def _outstanding_per_slot(self, t: float) -> list[int]:
         """Unfinished requests stacked on each slot at time ``t``.
 
         Accepted requests occupy a slot back-to-back for exactly
@@ -154,17 +159,23 @@ class ProfilingQueue:
         ``ceil((F - t) / service_seconds)`` runs (the epsilon keeps
         exact multiples from rounding up).
         """
-        backlog = np.maximum(self._slot_free - t, 0.0)
-        return np.ceil(backlog / self.service_seconds - 1e-12)
+        service = self.service_seconds
+        return [
+            math.ceil((free - t) / service - 1e-12) if free > t else 0
+            for free in self._slot_free
+        ]
 
     def pending_at(self, t: float) -> int:
         """Requests granted but not yet *started* at time ``t``."""
-        outstanding = self._outstanding_per_slot(t)
-        return int(np.maximum(outstanding - 1, 0.0).sum())
+        return sum(
+            outstanding - 1
+            for outstanding in self._outstanding_per_slot(t)
+            if outstanding > 1
+        )
 
     def depth_at(self, t: float) -> int:
         """Requests queued or in service at time ``t``."""
-        return int(self._outstanding_per_slot(t).sum())
+        return sum(self._outstanding_per_slot(t))
 
     def request(self, t: float, *, bounded: bool = True) -> ProfilingGrant:
         """Ask for one profiling run starting no earlier than ``t``.
@@ -179,8 +190,10 @@ class ProfilingQueue:
                 f"profiling requests must not rewind: t={t} < {self._last_request_at}"
             )
         self._last_request_at = t
-        slot = int(np.argmin(self._slot_free))
-        would_wait = float(self._slot_free[slot]) > t
+        slot_free = self._slot_free
+        slot = min(range(self.slots), key=slot_free.__getitem__)
+        free = slot_free[slot]
+        would_wait = free > t
         if (
             bounded
             and self.max_pending is not None
@@ -193,11 +206,13 @@ class ProfilingQueue:
             )
             self.grants.append(grant)
             return grant
-        start = max(t, float(self._slot_free[slot]))
+        start = free if would_wait else t
         finish = start + self.service_seconds
-        self._slot_free[slot] = finish
+        slot_free[slot] = finish
         self.busy_seconds += self.service_seconds
-        self.max_depth = max(self.max_depth, self.depth_at(t))
+        depth = self.depth_at(t)
+        if depth > self.max_depth:
+            self.max_depth = depth
         grant = ProfilingGrant(requested_at=t, start_at=start, finish_at=finish)
         self.grants.append(grant)
         return grant
@@ -464,10 +479,43 @@ class FleetResult:
             f"{name}.mean", self.times, self.matrix(name).mean(axis=1)
         )
 
+    def to_npz(self, path: "str | Path") -> None:
+        """Persist the numpy blocks to one ``.npz`` file.
+
+        The sharded sweep driver writes each worker's shard result this
+        way and merges the files in the parent process; see
+        :func:`repro.core.persistence.save_fleet_result`.
+        """
+        from repro.core.persistence import save_fleet_result
+
+        save_fleet_result(self, path)
+
+    @staticmethod
+    def from_npz(path: "str | Path") -> "FleetResult":
+        """Load a result persisted by :meth:`to_npz`."""
+        from repro.core.persistence import load_fleet_result
+
+        return load_fleet_result(path)
+
 
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
+
+#: Everything the batched adaptation wave calls on a controller.  A
+#: controller offering only part of the surface (e.g. a PR 3-era
+#: ``prepare_batched_adapt`` implementor) is not a batch candidate and
+#: keeps the scalar ``on_step`` path instead of crashing mid-wave.
+_BATCH_ADAPT_PROTOCOL = (
+    "supports_batched_adapt",
+    "adaptation_due",
+    "begin_batched_adapt",
+    "signature_row",
+    "batch_group_key",
+    "batch_classifier",
+    "complete_batched_adapt",
+    "poll_pending_deployment",
+)
 
 
 class FleetEngine:
@@ -557,14 +605,34 @@ class FleetEngine:
                     controller = QueuedController(controller, profiling_queue)
             self.controllers.append(controller)
         # Lanes whose controller implements the batched-adaptation
-        # contract (structurally a DejaVuManager); whether a given lane
-        # actually batches is re-checked each step (training status and
-        # adapt_on_violation can change).
+        # contract (structurally a DejaVuManager): every method the
+        # wave calls must be present, or the lane stays on the scalar
+        # on_step path.  Whether a candidate actually batches is
+        # re-checked each step (training status and adapt_on_violation
+        # can change).
         self._batch_candidates: tuple[int, ...] = tuple(
             i
             for i, controller in enumerate(self.controllers)
-            if self.batched and hasattr(controller, "prepare_batched_adapt")
+            if self.batched
+            and all(
+                hasattr(controller, name) for name in _BATCH_ADAPT_PROTOCOL
+            )
         )
+        # (index, controller) pairs, pre-zipped: the wave's gating loop
+        # touches every candidate every step.
+        self._batch_pairs: tuple = tuple(
+            (i, self.controllers[i]) for i in self._batch_candidates
+        )
+        # lane index -> the controller's profiling monitor (fixed at
+        # construction, like the candidate set itself); None when a
+        # protocol-compliant controller carries no profiler, in which
+        # case the wave raises a clear error if that lane ever gates.
+        self._batch_monitors: dict[int, object] = {
+            i: getattr(
+                getattr(self.controllers[i], "profiler", None), "monitor", None
+            )
+            for i in self._batch_candidates
+        }
         # Distinct batch observers in first-appearance order, each with
         # the lane indices it covers.
         self._observer_lanes: list[tuple[BatchObserver, list[int]]] = []
@@ -684,12 +752,15 @@ class FleetEngine:
         """Run this step's due periodic adaptations as batched waves.
 
         Phase order preserves per-lane scalar semantics exactly:
-        *prepare* (queue gate + signature collection, consuming each
-        lane's own monitor RNG) walks lanes in global lane order, then
-        each shared-model group classifies its stacked signature matrix
-        and resolves band-0 entries in one batched repository lookup,
-        then *finish* (deploy, escalate, record) walks lanes in global
-        lane order again.  Lanes are independent across those phases
+        *prepare* gates lanes (queue charge) in global lane order and
+        then collects all gated signatures batched by monitor family —
+        one vectorized ``Monitor.collect_matrix`` pass per family under
+        counter-mode streams, a per-lane loop consuming each lane's own
+        generator under legacy streams — then each shared-model group
+        classifies its stacked signature matrix and resolves band-0
+        entries in one batched repository lookup, then *finish*
+        (deploy, escalate, record) walks lanes in global lane order
+        again.  Lanes are independent across those phases
         except through the queue and the shared repository, both of
         which see the same per-lane sequence the scalar path produces.
 
@@ -702,8 +773,7 @@ class FleetEngine:
         """
         handled = set()
         due: list[tuple[int, StepContext]] = []
-        for i in self._batch_candidates:
-            controller = self.controllers[i]
+        for i, controller in self._batch_pairs:
             if not controller.supports_batched_adapt:
                 continue
             handled.add(i)
@@ -720,25 +790,66 @@ class FleetEngine:
                 controller.poll_pending_deployment(t)
         if not due:
             return handled
-        prepared: list[tuple[int, StepContext, np.ndarray]] = []
-        for i, ctx in due:
-            row = self.controllers[i].prepare_batched_adapt(ctx)
-            if row is not None:
-                prepared.append((i, ctx, row))
-        if prepared:
+        # Phase 1a — gate every due lane in lane order: the queue sees
+        # the same per-lane request sequence the scalar path produces.
+        gated = [
+            (i, ctx)
+            for i, ctx in due
+            if self.controllers[i].begin_batched_adapt(ctx)
+        ]
+        if gated:
+            # Phase 1b — collect all gated lanes' signatures, batched
+            # per compatible monitor family (one vectorized
+            # collect_matrix pass under counter-mode streams).
+            rows = self._collect_wave_signatures(gated)
             by_key: dict = {}
-            for i, ctx, row in prepared:
+            for (i, _ctx), row in zip(gated, rows):
                 key = self.controllers[i].batch_group_key()
                 by_key.setdefault(key, []).append((i, row))
             finish: dict[int, tuple] = {}
             for members in by_key.values():
                 self._classify_group(members, finish)
-            for i, ctx, _row in prepared:
+            for i, ctx in gated:
                 label, certainty, entry = finish[i]
                 self.controllers[i].complete_batched_adapt(
                     ctx, label, certainty, entry
                 )
         return handled
+
+    def _collect_wave_signatures(
+        self, gated: list[tuple[int, StepContext]]
+    ) -> list[np.ndarray]:
+        """Signature rows for every gated lane, in ``gated`` order.
+
+        Lanes whose monitors share a
+        :meth:`~repro.telemetry.monitor.Monitor.batch_key` are collected
+        as one matrix; counter-mode groups draw all their noise in a
+        single vectorized pass, while legacy groups loop per lane inside
+        ``collect_matrix`` (each consuming its own sampler generator
+        exactly as the scalar path would).
+        """
+        monitors = []
+        for i, _ctx in gated:
+            monitor = self._batch_monitors[i]
+            if monitor is None:
+                raise ValueError(
+                    f"lane {self._lanes[i].label!r} batch-adapts but its "
+                    "controller has no profiler.monitor to collect with"
+                )
+            monitors.append(monitor)
+        groups: dict[tuple, list[int]] = {}
+        for position, monitor in enumerate(monitors):
+            groups.setdefault(monitor.batch_key(), []).append(position)
+        rows: list[np.ndarray | None] = [None] * len(gated)
+        for positions in groups.values():
+            group_monitors = [monitors[p] for p in positions]
+            matrix = group_monitors[0].collect_matrix(
+                [gated[p][1].workload for p in positions],
+                monitors=group_monitors,
+            )
+            for r, p in enumerate(positions):
+                rows[p] = self.controllers[gated[p][0]].signature_row(matrix[r])
+        return rows
 
     def _classify_group(
         self,

@@ -44,7 +44,14 @@ class TimeSeries:
         """
         times = np.asarray(times, dtype=float)
         values = np.asarray(values, dtype=float)
-        if times.shape != values.shape or times.ndim != 1:
+        if times.ndim != 1 or values.ndim != 1:
+            # A (n, 1) column sliced off a matrix is the classic slip;
+            # diagnose it as dimensionality, not as a length mismatch.
+            raise ValueError(
+                f"batch for {self.name!r} must be 1-D arrays; got shapes "
+                f"{times.shape} and {values.shape}"
+            )
+        if times.shape != values.shape:
             raise ValueError(
                 f"batch shapes differ for {self.name!r}: "
                 f"{times.shape} vs {values.shape}"

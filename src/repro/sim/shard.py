@@ -1,0 +1,199 @@
+"""Sharded multiprocess fleet sweeps: partition, execute, persist, merge.
+
+A 200+-lane fleet fits one process, but the multiplexing economics the
+paper argues for (Sec. 5) are worth sweeping at scales and parameter
+grids that do not.  This module cuts a fleet into contiguous **shards**
+of global lane indices, runs each shard in a worker process
+(``ProcessPoolExecutor`` with the ``spawn`` start method, so workers
+re-import the package instead of inheriting simulator state), persists
+every shard's :class:`~repro.sim.fleet.FleetResult` numpy blocks to an
+``.npz`` file (:meth:`FleetResult.to_npz`), and merges the shard files
+back into one fleet-wide result.
+
+The merge is exact, not approximate: lane simulations in this codebase
+interact only through the profiling queue and shared hosts, so a shard
+spec that scopes both to the shard (one profiling environment per
+shard, dedicated hosts) makes every lane's series independent of the
+partition — with counter-mode telemetry streams the merged result is
+bit-identical to the single-process run (pinned in
+``tests/test_fleet_shard.py``).
+
+The module is deliberately generic: it knows how to partition, execute,
+persist and merge, while the *worker* callable (a module-level function
+so ``spawn`` can pickle it by reference) owns fleet construction — see
+:func:`repro.experiments.multiplexing_study.run_fleet_multiplexing_study`
+``(shards=, workers=)`` and ``repro.cli fleet --shards/--workers``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.sim.fleet import FleetResult
+
+
+def partition_lanes(n_lanes: int, shards: int) -> list[range]:
+    """Cut ``n_lanes`` global lane indices into contiguous shard ranges.
+
+    Sizes differ by at most one (the first ``n_lanes % shards`` shards
+    take the extra lane); every shard is non-empty.
+    """
+    if n_lanes < 1:
+        raise ValueError(f"need at least one lane: {n_lanes}")
+    if shards < 1:
+        raise ValueError(f"need at least one shard: {shards}")
+    if shards > n_lanes:
+        raise ValueError(f"cannot cut {n_lanes} lanes into {shards} shards")
+    base, extra = divmod(n_lanes, shards)
+    ranges = []
+    start = 0
+    for shard in range(shards):
+        stop = start + base + (1 if shard < extra else 0)
+        ranges.append(range(start, stop))
+        start = stop
+    return ranges
+
+
+def merge_fleet_results(
+    parts: list[FleetResult], label: str = "fleet"
+) -> FleetResult:
+    """Merge contiguous shard results back into one fleet-wide result.
+
+    ``parts`` must be in ascending global-lane order (shard 0 first);
+    all shards must have recorded the same step times.  Schemas are
+    deduplicated across shards, per-series matrices are column-merged
+    in global lane order, and per-lane rows come out exactly where the
+    single-process engine would have put them.
+    """
+    if not parts:
+        raise ValueError("need at least one shard result")
+    times = parts[0].times
+    for part in parts[1:]:
+        if not np.array_equal(part.times, times):
+            raise ValueError(
+                "shard results disagree on step times; they must come "
+                "from one sweep"
+            )
+    lane_labels = tuple(
+        lane_label for part in parts for lane_label in part.lane_labels
+    )
+    schemas: list[tuple[str, ...]] = []
+    schema_index: dict[tuple[str, ...], int] = {}
+    lane_schemas: list[int] = []
+    for part in parts:
+        for local_schema in part.lane_schemas:
+            schema = part.schemas[local_schema]
+            index = schema_index.get(schema)
+            if index is None:
+                index = schema_index[schema] = len(schemas)
+                schemas.append(schema)
+            lane_schemas.append(index)
+    # Per-series column merge.  Shards are contiguous and each part's
+    # recording lanes are ascending, so concatenation in shard order
+    # already yields ascending global lane order.
+    offsets = []
+    offset = 0
+    for part in parts:
+        offsets.append(offset)
+        offset += part.n_lanes
+    order: list[str] = []
+    columns: dict[str, list[np.ndarray]] = {}
+    recording: dict[str, list[int]] = {}
+    for part, part_offset in zip(parts, offsets):
+        for name in part.matrices:
+            if name not in columns:
+                order.append(name)
+                columns[name] = []
+                recording[name] = []
+            columns[name].append(part.matrix(name))
+            recording[name].extend(
+                part_offset + lane for lane in part.lanes_recording(name)
+            )
+    matrices = {
+        name: (
+            columns[name][0]
+            if len(columns[name]) == 1
+            else np.hstack(columns[name])
+        )
+        for name in order
+    }
+    return FleetResult(
+        label=label,
+        lane_labels=lane_labels,
+        times=times,
+        matrices=matrices,
+        schemas=tuple(schemas),
+        lane_schemas=tuple(lane_schemas),
+        series_lanes={name: tuple(recording[name]) for name in order},
+    )
+
+
+def run_sharded(
+    worker: Callable[..., dict],
+    spec: Any,
+    n_lanes: int,
+    shards: int,
+    workers: int | None = None,
+    shard_dir: str | Path | None = None,
+    label: str = "fleet",
+) -> tuple[FleetResult, list[dict], float]:
+    """Execute a sharded sweep and merge the persisted shard results.
+
+    ``worker`` must be a module-level callable (``spawn`` pickles it by
+    reference) with signature ``worker(spec, lane_lo, lane_hi,
+    result_path) -> payload``: it simulates global lanes
+    ``[lane_lo, lane_hi)``, persists the shard's
+    :class:`~repro.sim.fleet.FleetResult` to ``result_path`` via
+    ``to_npz``, and returns a small picklable stats payload.
+
+    ``workers`` sizes the process pool (default
+    ``min(shards, cpu_count)``); ``workers=0`` runs every shard inline
+    in this process — the exact shard code path, deterministic and
+    debuggable, with no pool.  ``shard_dir`` keeps the per-shard
+    ``.npz`` files (for archival or out-of-band merging); by default a
+    temporary directory is used and cleaned up.
+
+    Returns ``(merged_result, payloads_in_shard_order, wall_seconds)``
+    where ``wall_seconds`` covers dispatch through merge.
+    """
+    ranges = partition_lanes(n_lanes, shards)
+    if workers is None:
+        workers = min(shards, os.cpu_count() or 1)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0: {workers}")
+    own_tmp = None
+    if shard_dir is None:
+        own_tmp = tempfile.TemporaryDirectory(prefix="fleet-shards-")
+        shard_dir = own_tmp.name
+    try:
+        directory = Path(shard_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        jobs = [
+            (spec, lanes.start, lanes.stop, str(directory / f"shard_{k:03d}.npz"))
+            for k, lanes in enumerate(ranges)
+        ]
+        start = time.perf_counter()
+        if workers == 0:
+            payloads = [worker(*job) for job in jobs]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, shards),
+                mp_context=get_context("spawn"),
+            ) as pool:
+                futures = [pool.submit(worker, *job) for job in jobs]
+                payloads = [future.result() for future in futures]
+        parts = [FleetResult.from_npz(job[3]) for job in jobs]
+        merged = merge_fleet_results(parts, label=label)
+        wall_seconds = time.perf_counter() - start
+        return merged, payloads, wall_seconds
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()

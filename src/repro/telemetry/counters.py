@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.telemetry.events import EVENT_CATALOGUE, HPCEvent, event_by_name
+from repro.telemetry.streams import CounterStream, normals_block
 from repro.workloads.request_mix import Workload
 
 #: HPC registers available on the profiling server (Intel Xeon X5472).
@@ -58,12 +59,22 @@ class HPCSampler:
         (time-multiplexed).
     seed:
         RNG seed; readings are reproducible given (seed, call order).
+        Ignored when ``stream`` is given.
+    stream:
+        Optional counter-mode stream
+        (:class:`~repro.telemetry.streams.CounterStream`).  With a
+        stream, reading noise is a pure function of the stream's
+        ``(key, lane, salt)`` identity and its pass counter instead of
+        a sequentially consumed generator, so many lanes' noise can be
+        drawn as one block — and a lane's readings do not depend on
+        which process or batch samples it.
     """
 
     def __init__(
         self,
         events: list[str] | None = None,
         seed: int = 0,
+        stream: CounterStream | None = None,
     ) -> None:
         if events is None:
             self._events: list[HPCEvent] = list(EVENT_CATALOGUE)
@@ -71,7 +82,8 @@ class HPCSampler:
             if not events:
                 raise ValueError("must monitor at least one event")
             self._events = [event_by_name(name) for name in events]
-        self._rng = np.random.default_rng(seed)
+        self._stream = stream
+        self._rng = np.random.default_rng(seed) if stream is None else None
         # Hot-path constants: one (n_events, n_dims) weight matrix plus
         # baseline/noise vectors, so a sampling pass is a handful of
         # vectorized operations instead of a per-event Python loop.
@@ -79,10 +91,22 @@ class HPCSampler:
         self._baselines = np.array([e.baseline for e in self._events])
         self._noise_sds = np.array([e.noise_sd for e in self._events])
         self._memory_coupling = np.abs(self._weights[:, 1]) / 10.0
+        extra_sd = MULTIPLEX_NOISE_SD if self.multiplexed else 0.0
+        self._sds_total = self._noise_sds + extra_sd
 
     @property
     def monitored(self) -> list[str]:
         return [e.name for e in self._events]
+
+    @property
+    def rng_mode(self) -> str:
+        """``"legacy"`` (sequential per-sampler generator) or
+        ``"counter"`` (per-pass counter stream)."""
+        return "legacy" if self._stream is None else "counter"
+
+    @property
+    def stream(self) -> CounterStream | None:
+        return self._stream
 
     @property
     def multiplexed(self) -> bool:
@@ -141,7 +165,6 @@ class HPCSampler:
             raise ValueError(f"interference out of [0,1): {interference}")
         activity = np.asarray(workload.mix.activity_vector())
         intensity = workload.demand_units
-        extra_sd = MULTIPLEX_NOISE_SD if self.multiplexed else 0.0
         rates = (
             self._baselines
             + (self._weights * activity).sum(axis=1) * intensity
@@ -152,5 +175,62 @@ class HPCSampler:
             rates = rates * (
                 1.0 + interference * (0.5 + self._memory_coupling)
             )
-        noise = self._rng.normal(0.0, self._noise_sds + extra_sd)
+        if self._stream is None:
+            noise = self._rng.normal(0.0, self._sds_total)
+        else:
+            noise = self._stream.normals(len(self._events)) * self._sds_total
         return np.maximum(0.0, rates * (1.0 + noise)) * duration_seconds
+
+    @staticmethod
+    def sample_rates_matrix(
+        samplers: list["HPCSampler"],
+        workloads: list[Workload],
+        duration_seconds: float,
+        interferences: np.ndarray,
+    ) -> np.ndarray:
+        """All lanes' rate vectors in one vectorized pass.
+
+        Row ``r`` is bit-identical to
+        ``samplers[r].sample_rates(workloads[r], duration_seconds,
+        interference=interferences[r])``: the rate/noise arithmetic is
+        evaluated with the same per-element operation sequence as the
+        scalar path, and counter-mode streams make the noise a pure
+        function of each sampler's ``(lane, pass)`` key.  Requires all
+        samplers in counter mode with identical event constants (the
+        caller groups by :meth:`Monitor.batch_key`).
+        """
+        lead = samplers[0]
+        if duration_seconds <= 0:
+            raise ValueError(f"sampling window must be positive: {duration_seconds}")
+        if np.any(interferences < 0.0) or np.any(interferences >= 1.0):
+            raise ValueError("interference out of [0,1)")
+        streams = []
+        for sampler in samplers:
+            if sampler._stream is None:
+                raise ValueError("matrix sampling needs counter-mode samplers")
+            streams.append(sampler._stream)
+        n = len(workloads)
+        n_dims = lead._weights.shape[1]
+        activity = np.empty((n, n_dims), dtype=float)
+        intensity = np.empty(n, dtype=float)
+        mix_cache: dict[int, tuple[float, ...]] = {}
+        for r, workload in enumerate(workloads):
+            mix = workload.mix
+            vector = mix_cache.get(id(mix))
+            if vector is None:
+                vector = mix_cache[id(mix)] = mix.activity_vector()
+            activity[r] = vector
+            intensity[r] = workload.demand_units
+        rates = (
+            lead._baselines
+            + (lead._weights[None, :, :] * activity[:, None, :]).sum(axis=2)
+            * intensity[:, None]
+        )
+        hot = interferences > 0
+        if np.any(hot):
+            rates[hot] = rates[hot] * (
+                1.0 + interferences[hot, None] * (0.5 + lead._memory_coupling)
+            )
+        noise = normals_block(streams, len(lead._events)) * lead._sds_total
+        counts = np.maximum(0.0, rates * (1.0 + noise)) * duration_seconds
+        return counts / duration_seconds

@@ -53,6 +53,32 @@ class Monitor:
 
         return list(self.hpc.monitored) + list(XENTOP_METRICS)
 
+    @property
+    def rng_mode(self) -> str:
+        """``"counter"`` when both samplers ride counter-mode streams."""
+        if self.hpc.rng_mode == "counter" and self.xentop.rng_mode == "counter":
+            return "counter"
+        return "legacy"
+
+    def batch_key(self) -> tuple:
+        """Compatibility key for fleet-wide matrix collection.
+
+        Monitors with equal keys sample identical metric constants and
+        may be collected as rows of one :meth:`collect_matrix` block;
+        only their noise streams (lane keys or legacy generators)
+        differ.  The fleet engine groups due lanes by this key.
+        """
+        key = getattr(self, "_batch_key", None)
+        if key is None:
+            key = self._batch_key = (
+                self.rng_mode,
+                tuple(self.hpc.monitored),
+                self.hpc.multiplexed,
+                self.xentop.capacity_units,
+                self.window_seconds,
+            )
+        return key
+
     def collect(
         self,
         workload: Workload,
@@ -97,3 +123,81 @@ class Monitor:
             workload, interference=interference
         )
         return np.concatenate([hpc_rates, xentop_values])
+
+    def collect_matrix(
+        self,
+        workloads: list[Workload],
+        interferences: "np.ndarray | list[float] | None" = None,
+        *,
+        monitors: "list[Monitor] | None" = None,
+        window_seconds: float | None = None,
+    ) -> "np.ndarray":
+        """Many lanes' monitoring passes as one ``(n_lanes, n_metrics)``
+        matrix.
+
+        Row ``r`` is the collection of ``workloads[r]`` by
+        ``monitors[r]`` (default: this monitor for every row) and is
+        bit-identical to that monitor's :meth:`collect_vector` — same
+        values, same stream consumption.  Under counter-mode samplers
+        the whole block is produced in one vectorized pass (the fleet
+        engine's prepare phase); legacy monitors fall back to a
+        per-row loop so per-sampler generator order is preserved.
+
+        All row monitors must share this monitor's :meth:`batch_key`
+        (identical metric constants; only noise streams differ).
+        """
+        window = self.window_seconds if window_seconds is None else window_seconds
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window}")
+        n = len(workloads)
+        if n == 0:
+            raise ValueError("need at least one workload")
+        if monitors is None:
+            monitors = [self] * n
+        if len(monitors) != n:
+            raise ValueError(
+                f"{len(monitors)} monitors for {n} workloads"
+            )
+        if interferences is None:
+            interferences = np.zeros(n, dtype=float)
+        else:
+            interferences = np.asarray(interferences, dtype=float)
+            if interferences.shape != (n,):
+                raise ValueError(
+                    f"interference shape {interferences.shape} != ({n},)"
+                )
+        key = self.batch_key()
+        for monitor in monitors:
+            if monitor.batch_key() != key:
+                raise ValueError(
+                    "matrix collection needs compatible monitors; "
+                    f"{monitor.batch_key()} != {key}"
+                )
+        if self.rng_mode == "legacy":
+            return np.stack(
+                [
+                    monitor.collect_vector(
+                        workload,
+                        interference=float(interference),
+                        window_seconds=window,
+                    )
+                    for monitor, workload, interference in zip(
+                        monitors, workloads, interferences
+                    )
+                ]
+            )
+        from repro.telemetry.counters import HPCSampler
+        from repro.telemetry.xentop import XentopSampler
+
+        hpc_rates = HPCSampler.sample_rates_matrix(
+            [monitor.hpc for monitor in monitors],
+            workloads,
+            window,
+            interferences,
+        )
+        xentop_values = XentopSampler.sample_matrix(
+            [monitor.xentop for monitor in monitors],
+            workloads,
+            interferences,
+        )
+        return np.concatenate([hpc_rates, xentop_values], axis=1)

@@ -1,0 +1,154 @@
+"""Counter-mode telemetry RNG streams for fleet-scale collection.
+
+The legacy samplers each own a sequential ``numpy.random.Generator``:
+reproducible, but only if every draw happens on that lane's own sampler
+in call order — which forces the fleet engine to collect signatures one
+lane at a time.  This module replaces the *stream* (not the noise
+model) with **counter-mode** randomness: one per-fleet 64-bit key is
+derived from a :class:`numpy.random.SeedSequence`, and the ``k``-th
+normal of the ``d``-th sampling pass of lane ``l`` is a pure function
+of ``(key, l, salt, d, k)``.  Because nothing is consumed from a shared
+stream, the same numbers come out whether a lane is sampled alone, as
+one row of a fleet-wide matrix, or inside a different worker process —
+scalar == batched == sharded, bit for bit, by construction.
+
+The generator is a splitmix64-style counter hash (Philox's shape — a
+keyed block function over a counter — with a cheaper mixing function
+that numpy can evaluate for every ``(lane, element)`` pair of a block
+in one vectorized pass) followed by a Box–Muller transform.  Statistical
+quality is far beyond what the telemetry noise model needs, and the
+whole ``(n_lanes, n_metrics)`` noise block of an adaptation wave is
+produced by a handful of array operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: splitmix64 constants (Steele, Lea & Flood; also Philox-style odd
+#: multipliers).  All arithmetic is uint64 and wraps mod 2**64.
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+
+_U64_30 = np.uint64(30)
+_U64_27 = np.uint64(27)
+_U64_31 = np.uint64(31)
+_U64_11 = np.uint64(11)
+_ONE = np.uint64(1)
+
+#: 2**-53: maps the top 53 bits of a word onto [0, 1).
+_INV_2_53 = float(2.0**-53)
+
+
+def _mix64(x: np.ndarray | np.uint64) -> np.ndarray | np.uint64:
+    """The splitmix64 finalizer: a bijective avalanche on uint64."""
+    x = (x ^ (x >> _U64_30)) * _MIX_1
+    x = (x ^ (x >> _U64_27)) * _MIX_2
+    return x ^ (x >> _U64_31)
+
+
+def counter_normals(
+    keys: np.ndarray,
+    lanes: np.ndarray,
+    salts: np.ndarray,
+    draws: np.ndarray,
+    n: int,
+) -> np.ndarray:
+    """Standard normals for many streams' next sampling pass at once.
+
+    Row ``r`` holds the ``n`` normals of the stream identified by
+    ``(keys[r], lanes[r], salts[r])`` at pass counter ``draws[r]`` — a
+    pure function of those four integers, evaluated for the whole block
+    in one vectorized pass.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one normal per row: {n}")
+    row_key = _mix64(keys + _GOLDEN * lanes)
+    row_key = _mix64(row_key + _GOLDEN * salts)
+    row_key = _mix64(row_key + _GOLDEN * draws)
+    cols = _GOLDEN * np.arange(n, dtype=np.uint64)
+    w1 = _mix64(row_key[:, None] + cols[None, :])
+    w2 = _mix64(w1 + _GOLDEN)
+    # Box-Muller: u1 in (0, 1] keeps the log finite, u2 in [0, 1).
+    u1 = ((w1 >> _U64_11) + _ONE).astype(np.float64) * _INV_2_53
+    u2 = (w2 >> _U64_11).astype(np.float64) * _INV_2_53
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos((2.0 * np.pi) * u2)
+
+
+class CounterStream:
+    """One sampler's counter-mode stream: ``(key, lane, salt)`` plus a
+    monotone pass counter.
+
+    Each sampling pass consumes exactly one counter tick regardless of
+    how many normals it draws, so a lane's ``d``-th collection produces
+    the same noise no matter which process or batch performs it.
+    """
+
+    __slots__ = ("key", "lane", "salt", "draws")
+
+    rng_mode = "counter"
+
+    def __init__(self, key: int, lane: int, salt: int = 0) -> None:
+        if lane < 0:
+            raise ValueError(f"lane key must be non-negative: {lane}")
+        if salt < 0:
+            raise ValueError(f"salt must be non-negative: {salt}")
+        self.key = int(key) & 0xFFFFFFFFFFFFFFFF
+        self.lane = int(lane)
+        self.salt = int(salt)
+        self.draws = 0
+
+    def identity(self) -> tuple[int, int, int]:
+        """The stream's ``(key, lane, salt)`` triple (counter excluded)."""
+        return (self.key, self.lane, self.salt)
+
+    def normals(self, n: int) -> np.ndarray:
+        """The next pass's ``n`` standard normals (bumps the counter)."""
+        return normals_block([self], n)[0]
+
+
+def normals_block(streams: list[CounterStream], n: int) -> np.ndarray:
+    """One ``(len(streams), n)`` block: every stream's next pass at once.
+
+    Bit-identical to calling each stream's :meth:`CounterStream.normals`
+    separately — the whole point of counter mode — but the block is
+    produced by a single vectorized evaluation.
+    """
+    if not streams:
+        raise ValueError("need at least one stream")
+    keys = np.fromiter((s.key for s in streams), dtype=np.uint64, count=len(streams))
+    lanes = np.fromiter((s.lane for s in streams), dtype=np.uint64, count=len(streams))
+    salts = np.fromiter((s.salt for s in streams), dtype=np.uint64, count=len(streams))
+    draws = np.fromiter((s.draws for s in streams), dtype=np.uint64, count=len(streams))
+    block = counter_normals(keys, lanes, salts, draws, n)
+    for stream in streams:
+        stream.draws += 1
+    return block
+
+
+class TelemetryStreams:
+    """The per-fleet root of all counter-mode sampler streams.
+
+    One 64-bit fleet key is derived from ``seed`` via
+    :class:`numpy.random.SeedSequence`; per-sampler streams are then
+    keyed by ``(lane, salt)`` under it.  Two fleets built from the same
+    seed derive the same key (sharded workers rely on this), and two
+    samplers given the same ``(lane, salt)`` produce identical noise —
+    which is exactly what ``lane_seed_stride=0`` determinism tests want
+    when every lane maps to lane key 0.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._key = int(
+            np.random.SeedSequence(self.seed).generate_state(1, dtype=np.uint64)[0]
+        )
+
+    @property
+    def key(self) -> int:
+        return self._key
+
+    def stream(self, lane: int, salt: int = 0) -> CounterStream:
+        """The counter stream for one sampler of one lane."""
+        return CounterStream(self._key, lane, salt)

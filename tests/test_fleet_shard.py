@@ -1,0 +1,282 @@
+"""Sharded fleet sweeps: partitioning, npz persistence, exact merging.
+
+The contract under test: a fleet cut into contiguous shards — each run
+by a worker process against its own profiling environment, persisted
+via ``FleetResult.to_npz`` and merged by the parent — produces the
+same ``FleetResult``, per-lane rows, and per-lane adaptation-event
+ordering as the single-process run, bit for bit, whenever lanes do not
+interact (uncontended queue, dedicated hosts, counter or legacy
+streams).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+from repro.sim.fleet import FleetResult
+from repro.sim.shard import merge_fleet_results, partition_lanes
+
+HOURS = 6.0
+
+
+def assert_same_fleet(a, b):
+    assert a.result.lane_labels == b.result.lane_labels
+    assert a.result.schemas == b.result.schemas
+    assert a.result.lane_schemas == b.result.lane_schemas
+    assert a.result.series_names() == b.result.series_names()
+    assert a.result.n_steps > 0
+    for name in a.result.series_names():
+        np.testing.assert_array_equal(
+            a.result.matrix(name), b.result.matrix(name),
+            strict=True, err_msg=name,
+        )
+        assert a.result.lanes_recording(name) == b.result.lanes_recording(name)
+    assert a.lane_events == b.lane_events
+    assert any(a.lane_events)
+
+
+class TestPartition:
+    def test_even_split(self):
+        assert partition_lanes(8, 2) == [range(0, 4), range(4, 8)]
+
+    def test_remainder_goes_to_early_shards(self):
+        assert partition_lanes(7, 3) == [
+            range(0, 3), range(3, 5), range(5, 7),
+        ]
+
+    def test_one_shard_is_everything(self):
+        assert partition_lanes(5, 1) == [range(0, 5)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_lanes(0, 1)
+        with pytest.raises(ValueError):
+            partition_lanes(4, 0)
+        with pytest.raises(ValueError, match="cannot cut"):
+            partition_lanes(2, 3)
+
+
+class TestNpzRoundTrip:
+    def build_result(self):
+        return FleetResult(
+            label="rt",
+            lane_labels=("a", "b", "c"),
+            times=np.array([0.0, 300.0]),
+            matrices={
+                "latency_ms": np.array([[1.0, 2.0], [3.0, 4.0]]),
+                "cost": np.array([[5.0], [6.0]]),
+            },
+            schemas=(("latency_ms", "cost"), ("latency_ms",)),
+            lane_schemas=(0, 1, 1),
+            series_lanes={"latency_ms": (0, 1, 2), "cost": (0,)},
+        )
+
+    def assert_round_trips(self, result, tmp_path):
+        path = tmp_path / "result.npz"
+        result.to_npz(path)
+        loaded = FleetResult.from_npz(path)
+        assert loaded.label == result.label
+        assert loaded.lane_labels == result.lane_labels
+        assert loaded.schemas == result.schemas
+        assert loaded.lane_schemas == result.lane_schemas
+        assert loaded.series_lanes == result.series_lanes
+        np.testing.assert_array_equal(loaded.times, result.times, strict=True)
+        assert loaded.series_names() == result.series_names()
+        for name in result.series_names():
+            np.testing.assert_array_equal(
+                loaded.matrix(name), result.matrix(name), strict=True
+            )
+        return loaded
+
+    def test_heterogeneous_round_trip(self, tmp_path):
+        # The mismatched columns of latency_ms vs cost survive intact.
+        self.assert_round_trips(self.build_result(), tmp_path)
+
+    def test_single_row_round_trip(self, tmp_path):
+        result = FleetResult(
+            label="one",
+            lane_labels=("a", "b"),
+            times=np.array([0.0]),
+            matrices={"m": np.array([[1.5, 2.5]])},
+        )
+        loaded = self.assert_round_trips(result, tmp_path)
+        series = loaded.lane_series("m", 1)
+        assert len(series) == 1
+        assert series.values.tolist() == [2.5]
+        assert series.integrate() == 0.0  # step-hold of a single sample
+        # A later extend keeps appending where the lane left off.
+        series.extend(np.array([300.0]), np.array([3.5]))
+        assert list(series) == [(0.0, 2.5), (300.0, 3.5)]
+
+    def test_empty_round_trip(self, tmp_path):
+        result = FleetResult(
+            label="empty",
+            lane_labels=("a",),
+            times=np.empty(0),
+            matrices={"m": np.empty((0, 1))},
+            schemas=(("m",),),
+            lane_schemas=(0,),
+            series_lanes={"m": (0,)},
+        )
+        loaded = self.assert_round_trips(result, tmp_path)
+        series = loaded.lane_series("m", 0)
+        assert len(series) == 0
+        series.extend(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+        assert list(series) == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_real_mixed_fleet_round_trip(self, tmp_path):
+        study = run_fleet_multiplexing_study(n_lanes=4, hours=2.0, mix="mixed")
+        path = tmp_path / "fleet.npz"
+        study.result.to_npz(path)
+        loaded = FleetResult.from_npz(path)
+        assert loaded.schemas == study.result.schemas
+        for lane in range(4):
+            schema, rows = loaded.lane_block(lane)
+            _schema, expected = study.result.lane_block(lane)
+            assert schema == _schema
+            np.testing.assert_array_equal(rows, expected, strict=True)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            meta_json=np.array(json.dumps({"version": 99})),
+            times=np.empty(0),
+        )
+        with pytest.raises(ValueError, match="version"):
+            FleetResult.from_npz(path)
+
+
+class TestMerge:
+    def test_merge_homogeneous_parts(self):
+        parts = [
+            FleetResult(
+                label=f"shard-{k}",
+                lane_labels=(f"svc-{2 * k}", f"svc-{2 * k + 1}"),
+                times=np.array([0.0, 60.0]),
+                matrices={"m": np.array([[k, k + 10.0], [k + 1, k + 11.0]])},
+            )
+            for k in range(2)
+        ]
+        merged = merge_fleet_results(parts, label="fleet")
+        assert merged.lane_labels == ("svc-0", "svc-1", "svc-2", "svc-3")
+        assert merged.lanes_recording("m") == (0, 1, 2, 3)
+        np.testing.assert_array_equal(
+            merged.matrix("m"),
+            np.array([[0.0, 10.0, 1.0, 11.0], [1.0, 11.0, 2.0, 12.0]]),
+        )
+
+    def test_merge_deduplicates_schemas(self):
+        def part(k, schema):
+            return FleetResult(
+                label=f"shard-{k}",
+                lane_labels=(f"svc-{k}",),
+                times=np.array([0.0]),
+                matrices={name: np.array([[float(k)]]) for name in schema},
+                schemas=(schema,),
+                lane_schemas=(0,),
+                series_lanes={name: (0,) for name in schema},
+            )
+
+        merged = merge_fleet_results(
+            [part(0, ("a",)), part(1, ("b",)), part(2, ("a",))]
+        )
+        assert merged.schemas == (("a",), ("b",))
+        assert merged.lane_schemas == (0, 1, 0)
+        assert merged.lanes_recording("a") == (0, 2)
+        assert merged.lanes_recording("b") == (1,)
+
+    def test_merge_rejects_disagreeing_times(self):
+        a = FleetResult(
+            label="a", lane_labels=("x",), times=np.array([0.0]),
+            matrices={"m": np.array([[1.0]])},
+        )
+        b = FleetResult(
+            label="b", lane_labels=("y",), times=np.array([60.0]),
+            matrices={"m": np.array([[1.0]])},
+        )
+        with pytest.raises(ValueError, match="step times"):
+            merge_fleet_results([a, b])
+
+    def test_merge_requires_parts(self):
+        with pytest.raises(ValueError):
+            merge_fleet_results([])
+
+
+class TestShardedStudy:
+    KWARGS = dict(n_lanes=8, hours=HOURS, profiling_slots=8)
+
+    def test_inline_shards_match_single_process(self):
+        single = run_fleet_multiplexing_study(**self.KWARGS)
+        sharded = run_fleet_multiplexing_study(
+            shards=2, workers=0, **self.KWARGS
+        )
+        assert sharded.shards == 2 and sharded.workers == 0
+        assert sharded.learning_runs == single.learning_runs
+        assert sharded.tuning_invocations == single.tuning_invocations
+        assert sharded.hit_rate == single.hit_rate
+        assert sharded.violation_fraction == single.violation_fraction
+        assert_same_fleet(single, sharded)
+
+    def test_worker_processes_match_single_process(self):
+        # The real spawn path: 2 worker processes, each persisting its
+        # shard via to_npz before the parent merges.
+        single = run_fleet_multiplexing_study(n_lanes=4, hours=3.0,
+                                              profiling_slots=4)
+        sharded = run_fleet_multiplexing_study(
+            n_lanes=4, hours=3.0, profiling_slots=4, shards=2, workers=2
+        )
+        assert_same_fleet(single, sharded)
+
+    def test_mixed_fleet_shards_match_single_process(self):
+        # Shard 1 of 3 holds lanes (2, 3) — neither family leader —
+        # so phantom-leader re-derivation is exercised.
+        kwargs = dict(n_lanes=6, hours=4.0, profiling_slots=6, mix="mixed")
+        single = run_fleet_multiplexing_study(**kwargs)
+        sharded = run_fleet_multiplexing_study(shards=3, workers=0, **kwargs)
+        assert sharded.learning_runs == single.learning_runs == 2
+        assert_same_fleet(single, sharded)
+
+    def test_legacy_streams_also_shard_invariant(self):
+        # Legacy per-sampler seeds are keyed by global lane index too.
+        kwargs = dict(
+            n_lanes=6, hours=4.0, profiling_slots=6, rng_mode="legacy"
+        )
+        single = run_fleet_multiplexing_study(**kwargs)
+        sharded = run_fleet_multiplexing_study(shards=2, workers=0, **kwargs)
+        assert_same_fleet(single, sharded)
+
+    def test_shard_dir_keeps_npz_files(self, tmp_path):
+        run_fleet_multiplexing_study(
+            n_lanes=4,
+            hours=2.0,
+            shards=2,
+            workers=0,
+            shard_dir=str(tmp_path),
+        )
+        files = sorted(p.name for p in tmp_path.glob("*.npz"))
+        assert files == ["shard_000.npz", "shard_001.npz"]
+        part = FleetResult.from_npz(tmp_path / "shard_000.npz")
+        assert part.n_lanes == 2
+
+    def test_events_preserve_per_lane_ordering(self):
+        sharded = run_fleet_multiplexing_study(
+            shards=2, workers=0, **self.KWARGS
+        )
+        assert len(sharded.lane_events) == self.KWARGS["n_lanes"]
+        for log in sharded.lane_events:
+            assert len(log) >= 1
+            times = [event[0] for event in log]
+            assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shard"):
+            run_fleet_multiplexing_study(n_lanes=4, shards=0)
+        with pytest.raises(ValueError, match="cannot cut"):
+            run_fleet_multiplexing_study(n_lanes=2, hours=1.0, shards=4)
+        with pytest.raises(ValueError, match="dedicated hardware"):
+            run_fleet_multiplexing_study(
+                n_lanes=4, hours=1.0, shards=2, n_hosts=2
+            )

@@ -417,3 +417,29 @@ class TestQueuedController:
         result = FleetEngine([forward, backward], step_seconds=10.0).run(10.0)
         assert result.matrix("a")[0].tolist() == [1.0, 10.0]
         assert result.matrix("b")[0].tolist() == [2.0, 20.0]
+
+
+class TestBatchProtocolProbe:
+    def test_partial_batched_protocol_falls_back_to_scalar(self):
+        # A controller offering only the PR 3-era prepare method is not
+        # a batch candidate: it must keep stepping through on_step
+        # instead of crashing mid-wave on the newer protocol surface.
+        class OldProtocol:
+            def __init__(self):
+                self.stepped = 0
+
+            def prepare_batched_adapt(self, ctx):  # pragma: no cover
+                raise AssertionError("engine must not call this")
+
+            def on_step(self, ctx):
+                self.stepped += 1
+
+        controller = OldProtocol()
+        lane = FleetLane(
+            workload_fn=constant_workload,
+            controller=controller,
+            observe_fn=lambda ctx: {"v": 1.0},
+        )
+        result = FleetEngine([lane], step_seconds=60.0).run(180.0)
+        assert controller.stepped == 3
+        assert result.n_steps == 3

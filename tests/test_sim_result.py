@@ -128,3 +128,51 @@ class TestSimulationResult:
         result.scalars["a"] = 1.0
         merged = result.merged_scalars([("b", 2.0)])
         assert merged == {"a": 1.0, "b": 2.0}
+
+
+class TestTimeSeriesBatchEdges:
+    """extend/from_arrays edge cases the shard merge hits: empty
+    batches, single-row lanes, and matrix-column slips."""
+
+    def test_from_arrays_empty(self):
+        series = TimeSeries.from_arrays("e", np.empty(0), np.empty(0))
+        assert len(series) == 0
+        # An empty series accepts a later batch as if freshly created.
+        series.extend(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert list(series) == [(1.0, 3.0), (2.0, 4.0)]
+
+    def test_from_arrays_single_row(self):
+        series = TimeSeries.from_arrays("s", np.array([5.0]), np.array([7.0]))
+        assert list(series) == [(5.0, 7.0)]
+        assert series.integrate() == 0.0
+        assert series.value_at(9.0) == 7.0
+
+    def test_extend_empty_batch_is_a_noop(self):
+        series = TimeSeries.from_arrays("n", np.array([1.0]), np.array([2.0]))
+        series.extend(np.empty(0), np.empty(0))
+        assert list(series) == [(1.0, 2.0)]
+
+    def test_extend_single_row_batches_stay_ordered(self):
+        series = TimeSeries("o")
+        for t in (1.0, 2.0, 3.0):
+            series.extend(np.array([t]), np.array([t * 10]))
+        assert series.times.tolist() == [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError, match="out-of-order"):
+            series.extend(np.array([0.5]), np.array([0.0]))
+
+    def test_extend_rejects_matrix_columns(self):
+        # A (n, 1) column sliced off a fleet matrix must be diagnosed
+        # as a dimensionality error, not a bogus length mismatch.
+        series = TimeSeries("m")
+        with pytest.raises(ValueError, match="1-D"):
+            series.extend(np.ones((2, 1)), np.ones((2, 1)))
+
+    def test_extend_rejects_length_mismatch(self):
+        series = TimeSeries("l")
+        with pytest.raises(ValueError, match="shapes differ"):
+            series.extend(np.array([1.0, 2.0]), np.array([3.0]))
+
+    def test_integer_arrays_are_cast(self):
+        series = TimeSeries.from_arrays("i", np.array([1, 2]), np.array([3, 4]))
+        assert series.times.dtype == float
+        assert list(series) == [(1.0, 3.0), (2.0, 4.0)]
