@@ -1,0 +1,89 @@
+"""Placement-sensitivity frontier: how much does VM placement matter?
+
+DejaVu adapts to co-tenant interference (Sec. 3.6) — but the amount of
+interference a fleet suffers is itself a *placement decision*.  This
+example runs the **same heterogeneous fleet** (mixed scale-out/scale-up
+lanes whose trace peaks cycle through several sizes) under each
+placement policy in ``repro.sim.placement`` and prints the frontier:
+SLO violations, fleet spend, overcommit theft, interference-band
+escalations, and migrations per policy.
+
+The default configuration is adversarial to round-robin on purpose:
+with five lane sizes cycling against a host count that is a multiple of
+five, round-robin keeps stacking equal-sized lanes onto the same hosts,
+while first-fit-decreasing packs by measured demand.  A ``+migrate``
+policy additionally re-packs the worst-pressure host online, charging
+each moved lane a blackout window (the paper's Sec. 3 VM-cloning cost).
+
+    python examples/placement_frontier.py
+    python examples/placement_frontier.py --lanes 50 --hosts 10 --hours 24
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.experiments.placement_study import (
+    frontier_rows,
+    run_placement_sensitivity_study,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--lanes", type=int, default=20)
+    parser.add_argument("--hours", type=float, default=24.0)
+    parser.add_argument("--hosts", type=int, default=5)
+    parser.add_argument("--host-capacity", type=float, default=24.0)
+    parser.add_argument(
+        "--policies",
+        nargs="+",
+        default=[
+            "round_robin",
+            "block",
+            "first_fit_decreasing",
+            "best_fit",
+            "round_robin+migrate",
+        ],
+    )
+    parser.add_argument(
+        "--demand-factors",
+        type=float,
+        nargs="+",
+        default=[0.7, 0.85, 1.0, 1.1, 1.2],
+    )
+    args = parser.parse_args()
+
+    print(
+        f"== placement frontier: {args.lanes} heterogeneous lanes on "
+        f"{args.hosts} x {args.host_capacity:.0f}-unit hosts, "
+        f"{args.hours:.0f} h"
+    )
+    study = run_placement_sensitivity_study(
+        n_lanes=args.lanes,
+        hours=args.hours,
+        policies=tuple(args.policies),
+        n_hosts=args.hosts,
+        host_capacity_units=args.host_capacity,
+        demand_factors=tuple(args.demand_factors),
+    )
+    for row in frontier_rows(study):
+        print(row)
+
+    rr = study.point("round_robin")
+    best = study.best
+    if best.mean_host_theft < rr.mean_host_theft:
+        print(
+            f"\nplacement is a control knob: {best.policy} cuts mean "
+            f"overcommit theft {rr.mean_host_theft:.3%} -> "
+            f"{best.mean_host_theft:.3%} vs round-robin on the identical "
+            f"fleet — interference DejaVu never has to adapt to"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,9 @@
     python -m repro.cli run all --seed 3
     python -m repro.cli fleet --lanes 200 --hours 24
     python -m repro.cli fleet --lanes 8 --mix mixed --hosts 4
+    python -m repro.cli fleet --lanes 50 --hosts 10 --placement first_fit_decreasing
     python -m repro.cli fleet --lanes 400 --shards 4 --workers 4
+    python -m repro.cli placement --lanes 50 --hosts 10
 
 Each experiment name maps to the table/figure it regenerates; ``run``
 prints the headline numbers the paper's text quotes (the benchmark
@@ -18,11 +20,17 @@ queue (Sec. 5).  ``--mix`` picks the composition — ``scaleout``
 places the lanes onto that many shared simulated hosts so co-located
 services steal capacity from each other and interference-band
 escalation fires across lanes (Sec. 3.6 at fleet scale).
-``--shards``/``--workers`` partition the fleet into contiguous
-lane-range shards run by worker processes and merged exactly
+``--placement`` selects the policy that packs lanes onto those hosts
+(``repro.sim.placement``: round_robin, block, first_fit_decreasing,
+best_fit).  ``--shards``/``--workers`` partition the fleet into
+contiguous lane-range shards run by worker processes and merged exactly
 (``repro.sim.shard``); ``--rng-mode`` picks counter-mode telemetry
 streams (default; signature collection vectorizes across lanes) or the
-legacy sequential generators.
+legacy sequential generators.  ``placement`` runs the
+placement-sensitivity study: the *same* fleet under each policy,
+printing the SLO-violation/cost/interference-theft frontier per policy
+(policies accept a ``+migrate`` suffix to re-pack the worst-pressure
+host online, charging migrated lanes a blackout window).
 """
 
 from __future__ import annotations
@@ -188,6 +196,7 @@ def _fleet_rows(args) -> list[str]:
         mix=args.mix,
         n_hosts=args.hosts if args.hosts > 0 else None,
         host_capacity_units=args.host_capacity,
+        placement=args.placement,
         batched=args.batch,
         rng_mode=args.rng_mode,
         shards=args.shards,
@@ -226,13 +235,35 @@ def _fleet_rows(args) -> list[str]:
     if study.n_hosts:
         rows.append(
             f"shared hosts ({study.n_hosts} x "
-            f"{args.host_capacity:.0f} units): overloaded "
+            f"{args.host_capacity:.0f} units, {study.placement} placement, "
+            f"{study.host_demand} footprints): overloaded "
             f"{study.host_overload_fraction:.1%} of host-steps, mean theft "
             f"{study.mean_host_theft:.1%} (peak {study.peak_host_theft:.1%}), "
             f"{study.interference_escalations} interference-band "
             f"escalation(s)"
         )
     return rows
+
+
+def _placement_rows(args) -> list[str]:
+    from repro.experiments.placement_study import (
+        frontier_rows,
+        run_placement_sensitivity_study,
+    )
+
+    study = run_placement_sensitivity_study(
+        n_lanes=args.lanes,
+        hours=args.hours,
+        policies=tuple(args.policies),
+        n_hosts=args.hosts,
+        host_capacity_units=args.host_capacity,
+        mix=args.mix,
+        demand_factors=tuple(args.demand_factors),
+        rebalance_every=args.rebalance_every,
+        seed=args.seed,
+        workers=0,
+    )
+    return frontier_rows(study)
 
 
 def _nonnegative_int(value: str) -> int:
@@ -289,6 +320,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="capacity units of each shared host",
     )
     fleet.add_argument(
+        "--placement",
+        choices=["round_robin", "block", "first_fit_decreasing", "best_fit"],
+        default="round_robin",
+        help="policy packing lanes onto the shared hosts "
+        "(repro.sim.placement; needs --hosts)",
+    )
+    fleet.add_argument(
         "--batch",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -318,6 +356,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes executing the shards (default "
         "min(shards, cpus); 0 runs shards inline in this process)",
     )
+    placement = subparsers.add_parser(
+        "placement",
+        help="placement-sensitivity study: same fleet, different packings "
+        "-> SLO/cost/theft frontier per policy",
+    )
+    placement.add_argument("--lanes", type=int, default=50)
+    placement.add_argument("--hours", type=float, default=24.0)
+    placement.add_argument("--hosts", type=int, default=10)
+    placement.add_argument(
+        "--host-capacity",
+        type=_positive_float,
+        default=30.0,
+        help="capacity units of each shared host",
+    )
+    placement.add_argument(
+        "--mix",
+        choices=["scaleout", "scaleup", "mixed"],
+        default="mixed",
+    )
+    placement.add_argument(
+        "--policies",
+        nargs="+",
+        default=[
+            "round_robin",
+            "block",
+            "first_fit_decreasing",
+            "best_fit",
+        ],
+        help="placement policies to sweep; append '+migrate' to a name "
+        "to re-pack the worst-pressure host online",
+    )
+    placement.add_argument(
+        "--demand-factors",
+        type=_positive_float,
+        nargs="+",
+        default=[0.7, 0.85, 1.0, 1.1, 1.2],
+        help="per-lane peak-demand multipliers (cycled) making the "
+        "fleet heterogeneous in size",
+    )
+    placement.add_argument(
+        "--rebalance-every",
+        type=int,
+        default=12,
+        help="steps between migrations for '+migrate' policies",
+    )
+    placement.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -330,6 +414,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "fleet":
         print(f"== fleet: {args.lanes}-service multiplexing study")
         for row in _fleet_rows(args):
+            print(f"   {row}")
+        return 0
+    if args.command == "placement":
+        print(
+            f"== placement: {args.lanes} lanes on {args.hosts} shared "
+            f"hosts, {len(args.policies)} polic"
+            f"{'y' if len(args.policies) == 1 else 'ies'}"
+        )
+        for row in _placement_rows(args):
             print(f"   {row}")
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -81,6 +81,7 @@ class CloudProvider:
         self._last_billed_at = 0.0
         self._last_change_at: float | None = None
         self._capacity_plan: tuple[float, tuple[tuple[float, float], ...], float, float] | None = None
+        self._capacity_listeners: list = []
 
     @property
     def current_allocation(self) -> Allocation:
@@ -130,6 +131,8 @@ class CloudProvider:
         self._current = allocation
         self._last_change_at = now
         self._capacity_plan = None
+        for listener in self._capacity_listeners:
+            listener()
 
     def tick(self, now: float) -> None:
         """Advance VM lifecycles and billing to time ``now``."""
@@ -177,6 +180,25 @@ class CloudProvider:
             last_ready = max((ready for ready, _u in pending), default=0.0)
             self._capacity_plan = (base, tuple(pending), total_pending, last_ready)
         return self._capacity_plan
+
+    def subscribe_capacity_changes(self, listener) -> None:
+        """Call ``listener()`` whenever an allocation change invalidates
+        the capacity plan.
+
+        A cached :meth:`capacity_at` value can go stale two ways: an
+        allocation change (this notification) or a pending warm-up
+        elapsing (time-based — poll ``capacity_settles_at``).  Consumers
+        that poll capacity every step for every lane (the fleet
+        engine's allocation-aware host footprints) keep a dirty flag
+        per provider instead of re-reading each one each step.
+        """
+        self._capacity_listeners.append(listener)
+
+    @property
+    def capacity_settles_at(self) -> float:
+        """Time after which capacity is constant under the current plan."""
+        _base, pending, _total, last_ready = self._plan()
+        return last_ready if pending else 0.0
 
     def capacity_at(self, t: float) -> float:
         """Serving capacity at ``t``, with no side effects.

@@ -22,6 +22,11 @@ from repro.experiments.multiplexing_study import (
     run_fleet_multiplexing_study,
     run_multiplexing_study,
 )
+from repro.experiments.placement_study import (
+    PlacementFrontierPoint,
+    PlacementSensitivityStudy,
+    run_placement_sensitivity_study,
+)
 from repro.experiments.probe_study import run_probe_study
 from repro.experiments.sensitivity import run_margin_sweep, run_trials_sweep
 from repro.experiments.scaling import (
@@ -47,6 +52,9 @@ __all__ = [
     "run_hit_rate_study",
     "run_fleet_multiplexing_study",
     "run_multiplexing_study",
+    "PlacementFrontierPoint",
+    "PlacementSensitivityStudy",
+    "run_placement_sensitivity_study",
     "run_probe_study",
     "run_margin_sweep",
     "run_trials_sweep",

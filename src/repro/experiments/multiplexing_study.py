@@ -38,7 +38,13 @@ from repro.core.repository import AllocationRepository
 from repro.services.slo import LatencySLO
 from repro.sim.clock import HOUR
 from repro.sim.fleet import FleetEngine, FleetLane, FleetResult, ProfilingQueue
-from repro.sim.hosts import HostMap
+from repro.sim.hosts import HostMap, allocation_demand
+from repro.sim.placement import (
+    MigrationPolicy,
+    PlacementPolicy,
+    build_host_map,
+    make_policy,
+)
 from repro.telemetry.counters import HARDWARE_REGISTERS, HPCSampler
 from repro.telemetry.events import TABLE1_EVENTS
 from repro.telemetry.streams import TelemetryStreams
@@ -49,6 +55,11 @@ FLEET_MIXES = ("scaleout", "scaleup", "mixed")
 
 #: Telemetry stream disciplines the fleet study understands.
 FLEET_RNG_MODES = ("counter", "legacy")
+
+#: Host-footprint models the fleet study understands: ``allocation``
+#: tracks what DejaVu actually deployed (the default), ``offered`` keeps
+#: the static PR 2 offered-demand footprint (regression pinning).
+FLEET_HOST_DEMANDS = ("allocation", "offered")
 
 
 @dataclass(frozen=True)
@@ -204,6 +215,22 @@ class FleetMultiplexingStudy:
     allocation_count, instance_type)`` records per lane in global lane
     order — comparable across single-process and sharded runs."""
 
+    placement: str = "round_robin"
+    """Placement policy that assigned lanes to shared hosts
+    (:mod:`repro.sim.placement`); meaningful only when ``n_hosts > 0``."""
+
+    host_demand: str = "allocation"
+    """Host-footprint model: ``allocation`` (footprints track deployed
+    capacity) or ``offered`` (the static PR 2 offered-demand model)."""
+
+    migrations: int = 0
+    """Lane migrations the host map's :class:`~repro.sim.placement.MigrationPolicy`
+    performed (each charged a blackout window to the migrated lane)."""
+
+    demand_factors: tuple[float, ...] = ()
+    """Per-lane peak-demand multipliers (cycled over the fleet) that
+    made the lanes heterogeneous in size; empty = uniform demand."""
+
     @property
     def lane_steps_per_second(self) -> float:
         """Engine throughput: lane-steps per wall-clock second.
@@ -235,6 +262,35 @@ def lane_kinds(n_lanes: int, mix: str) -> tuple[str, ...]:
     return (mix,) * n_lanes
 
 
+def lane_demand_factor(
+    lane: int, factors: tuple[float, ...] | None
+) -> float:
+    """The peak-demand multiplier of one lane (factors cycle by index)."""
+    if not factors:
+        return 1.0
+    return factors[lane % len(factors)]
+
+
+def lane_families(
+    n_lanes: int, mix: str, factors: tuple[float, ...] | None
+) -> tuple[str, ...]:
+    """Model-sharing family of each lane.
+
+    Lanes share one trained model (leader + ``adopt_trained_state``
+    adoptees) only when both their service kind *and* their demand
+    factor agree: a classifier learned on a half-size trace would
+    misclassify a double-size lane's signatures, so differently-sized
+    lanes each pay their own family's learning day.
+    """
+    kinds = lane_kinds(n_lanes, mix)
+    if not factors:
+        return kinds
+    return tuple(
+        f"{kind}@x{lane_demand_factor(lane, factors):g}"
+        for lane, kind in enumerate(kinds)
+    )
+
+
 @dataclass(frozen=True)
 class FleetStudySpec:
     """Everything a worker process needs to rebuild its fleet shard.
@@ -260,6 +316,12 @@ class FleetStudySpec:
     mix: str
     batched: bool
     rng_mode: str
+    n_hosts: int | None = None
+    host_capacity_units: float = 12.0
+    placement: "str | PlacementPolicy" = "round_robin"
+    host_demand: str = "allocation"
+    migration: MigrationPolicy | None = None
+    demand_factors: tuple[float, ...] | None = None
 
 
 def _event_log(manager) -> tuple:
@@ -282,7 +344,6 @@ def _run_fleet_slice(
     spec: FleetStudySpec,
     lane_lo: int,
     lane_hi: int,
-    host_map: HostMap | None = None,
 ) -> tuple[FleetResult, dict]:
     """Build and run global lanes ``[lane_lo, lane_hi)`` of the fleet.
 
@@ -292,14 +353,23 @@ def _run_fleet_slice(
     *phantom* setup (identical seeds, deterministic learning) so
     adoptees share bit-identical state with the leader's own shard.
 
+    When the spec carries hosts, the slice builds the
+    :class:`~repro.sim.hosts.HostMap` itself (host coupling implies a
+    single full-fleet slice): the placement policy packs each lane's
+    *peak learning-day demand* onto the hosts, and the lanes'
+    production environments are wired to the map's interference feeds.
+
     Returns the slice's :class:`FleetResult` plus a payload dict of raw
-    aggregates (queue stats, hit/miss counts, violations, per-lane
-    event logs) that :func:`run_fleet_multiplexing_study` merges.
+    aggregates (queue stats, hit/miss counts, violations, host/theft
+    stats, per-lane event logs) that
+    :func:`run_fleet_multiplexing_study` merges.
     """
     # Imported here: repro.experiments.setup imports the manager layer,
     # which this module must not pull in at import time for the
     # register-multiplexing study alone.
     from repro.experiments.setup import (
+        DEFAULT_PEAK_DEMAND,
+        SCALE_UP_PEAK_DEMAND,
         build_scaleout_setup,
         build_scaleup_setup,
         counter_monitor,
@@ -310,6 +380,7 @@ def _run_fleet_slice(
     )
 
     kinds_all = lane_kinds(spec.n_lanes, spec.mix)
+    families_all = lane_families(spec.n_lanes, spec.mix, spec.demand_factors)
     streams = (
         TelemetryStreams(spec.seed) if spec.rng_mode == "counter" else None
     )
@@ -317,12 +388,13 @@ def _run_fleet_slice(
 
     def build_setup(lane: int, kind: str):
         """One lane's setup, derived from its *global* index."""
-        repository = repositories.setdefault(kind, AllocationRepository())
+        repository = repositories.setdefault(
+            families_all[lane], AllocationRepository()
+        )
         lane_key = lane * spec.lane_seed_stride
         common = dict(
             trace_name=spec.trace_name,
             repository=repository,
-            injector=host_map.feed(lane) if host_map is not None else None,
             trace_seed=spec.seed + lane_key,
             # Legacy monitors derive two sampler seeds from this (seed
             # and seed + 1), so lanes stride by 2 to keep every lane's
@@ -336,13 +408,27 @@ def _run_fleet_slice(
                 else None
             ),
         )
+        if spec.demand_factors:
+            # Heterogeneously sized lanes: scale each lane's trace peak
+            # by its cycled factor (1.0 factors reproduce the defaults
+            # bit for bit, so uniform fleets are unchanged).
+            factor = lane_demand_factor(lane, spec.demand_factors)
+            if kind == "scaleout":
+                common["peak_demand"] = DEFAULT_PEAK_DEMAND * factor
+            else:
+                base = SCALE_UP_PEAK_DEMAND.get(spec.trace_name)
+                if base is None:
+                    raise ValueError(
+                        f"no default scale-up demand for {spec.trace_name!r}"
+                    )
+                common["peak_demand"] = base * factor
         if kind == "scaleout":
             return build_scaleout_setup(**common)
         return build_scaleup_setup(**common)
 
     setups = []
     observers = []
-    family_setups: dict[str, list] = {}
+    kind_setups: dict[str, list] = {}
     for lane in range(lane_lo, lane_hi):
         kind = kinds_all[lane]
         setup = build_setup(lane, kind)
@@ -351,39 +437,71 @@ def _run_fleet_slice(
         else:
             observers.append(observe_scaleup(setup))
         setups.append(setup)
-        family_setups.setdefault(kind, []).append(setup)
+        kind_setups.setdefault(kind, []).append(setup)
 
-    # One vectorized observer per service family: lanes sharing it are
-    # observed in a single fill_rows call per step in batched mode.
-    family_observer = {
+    # Shared hosts: pack placement-time demand estimates (each lane's
+    # peak learning-day offered demand) under the spec's policy, then
+    # wire every lane's production environment to its interference
+    # feed.  Host coupling implies a single full-fleet slice, so local
+    # offsets are global lane indices.  Feeds attach *before* the
+    # vectorized observers are built — the observers snapshot each
+    # production's injector at construction.
+    host_map: HostMap | None = None
+    if spec.n_hosts is not None:
+        estimates = [
+            max(w.demand_units for w in setup.trace.hourly_workloads(day=0))
+            for setup in setups
+        ]
+        host_map = build_host_map(
+            spec.placement,
+            estimates,
+            n_hosts=spec.n_hosts,
+            capacity_units=spec.host_capacity_units,
+            demand_fn=(
+                allocation_demand
+                if spec.host_demand == "allocation"
+                else None
+            ),
+            migration=spec.migration,
+        )
+        for offset, setup in enumerate(setups):
+            setup.production.injector = host_map.feed(offset)
+
+    # One vectorized observer per service *kind* (lanes of one kind
+    # share a performance model regardless of demand factor): lanes
+    # sharing it are observed in a single fill_rows call per step in
+    # batched mode.
+    kind_observer = {
         kind: (
             fleet_observer_scaleout(members)
             if kind == "scaleout"
             else fleet_observer_scaleup(members)
         )
-        for kind, members in family_setups.items()
+        for kind, members in kind_setups.items()
     }
 
-    # Each family's leader is the *global* first lane of the family.
-    # If it lives in this slice, that lane's own manager learns (and
-    # runs online here); otherwise a phantom setup with the leader's
-    # exact seeds re-derives the identical trained state for adoption.
+    # Each family's leader is the *global* first lane of the family
+    # (kind + demand factor: differently sized lanes cannot share one
+    # trained model).  If it lives in this slice, that lane's own
+    # manager learns (and runs online here); otherwise a phantom setup
+    # with the leader's exact seeds re-derives the identical trained
+    # state for adoption.
     leaders: dict[str, object] = {}
     family_tuning: dict[str, int] = {}
     for offset, setup in enumerate(setups):
-        kind = kinds_all[lane_lo + offset]
-        leader = leaders.get(kind)
+        family = families_all[lane_lo + offset]
+        leader = leaders.get(family)
         if leader is None:
-            leader_lane = kinds_all.index(kind)
+            leader_lane = families_all.index(family)
             leader_setup = (
                 setup
                 if leader_lane == lane_lo + offset
-                else build_setup(leader_lane, kind)
+                else build_setup(leader_lane, kinds_all[leader_lane])
             )
             leader = leader_setup.manager
             leader.learn(leader_setup.trace.hourly_workloads(day=0))
-            leaders[kind] = leader
-            family_tuning[kind] = leader.learning_report.tuning_invocations
+            leaders[family] = leader
+            family_tuning[family] = leader.learning_report.tuning_invocations
         if setup.manager is not leader:
             setup.manager.adopt_trained_state(leader)
 
@@ -398,7 +516,7 @@ def _run_fleet_slice(
             controller=setup.manager,
             observe_fn=observers[offset],
             label=f"svc-{lane_lo + offset}",
-            observe_batch=family_observer[kinds_all[lane_lo + offset]],
+            observe_batch=kind_observer[kinds_all[lane_lo + offset]],
         )
         for offset, setup in enumerate(setups)
     ]
@@ -462,6 +580,17 @@ def _run_fleet_slice(
         "queue_utilization": queue.utilization(duration),
         "clone_hourly_cost": setups[0].profiler.clone_allocation.hourly_cost,
         "lane_events": [_event_log(s.manager) for s in setups],
+        "host": (
+            None
+            if host_map is None
+            else {
+                "n_hosts": host_map.n_hosts,
+                "overload_fraction": host_map.overload_fraction,
+                "mean_theft": host_map.mean_theft,
+                "peak_theft": host_map.peak_theft,
+                "migrations": host_map.migrations,
+            }
+        ),
     }
     return result, payload
 
@@ -482,10 +611,6 @@ def _merged_study(
     engine_seconds: float,
     shards: int,
     workers: int,
-    n_hosts: int,
-    host_overload: float,
-    mean_theft: float,
-    peak_theft: float,
 ) -> FleetMultiplexingStudy:
     """Assemble the study dataclass from slice payloads + merged result."""
     families: list[str] = []
@@ -507,6 +632,15 @@ def _merged_study(
     lane_events = tuple(
         tuple(log) for payload in payloads for log in payload["lane_events"]
     )
+    # Host coupling implies a single full-fleet slice, so host stats
+    # (None on dedicated hardware and in every sharded payload) come
+    # from the one payload that owns the map.
+    host = payloads[0].get("host")
+    placement = (
+        spec.placement
+        if isinstance(spec.placement, str)
+        else spec.placement.name
+    )
     return FleetMultiplexingStudy(
         n_lanes=spec.n_lanes,
         n_steps=result.n_steps,
@@ -527,10 +661,10 @@ def _merged_study(
         fleet_hourly_cost=fleet_hourly_cost,
         amortized_profiling_fraction=profiling_hourly_cost / fleet_hourly_cost,
         violation_fraction=violations / (result.n_steps * spec.n_lanes),
-        n_hosts=n_hosts,
-        host_overload_fraction=host_overload,
-        mean_host_theft=mean_theft,
-        peak_host_theft=peak_theft,
+        n_hosts=host["n_hosts"] if host else 0,
+        host_overload_fraction=host["overload_fraction"] if host else 0.0,
+        mean_host_theft=host["mean_theft"] if host else 0.0,
+        peak_host_theft=host["peak_theft"] if host else 0.0,
         interference_escalations=sum(p["escalations"] for p in payloads),
         deferred_adaptations=sum(p["deferred"] for p in payloads),
         result=result,
@@ -538,6 +672,10 @@ def _merged_study(
         shards=shards,
         workers=workers,
         lane_events=lane_events,
+        placement=placement,
+        host_demand=spec.host_demand,
+        migrations=host["migrations"] if host else 0,
+        demand_factors=spec.demand_factors or (),
     )
 
 
@@ -553,6 +691,10 @@ def run_fleet_multiplexing_study(
     mix: str = "scaleout",
     n_hosts: int | None = None,
     host_capacity_units: float = 12.0,
+    placement: "str | PlacementPolicy" = "round_robin",
+    host_demand: str = "allocation",
+    migration: MigrationPolicy | None = None,
+    demand_factors=None,
     batched: bool = True,
     rng_mode: str = "counter",
     shards: int = 1,
@@ -575,11 +717,32 @@ def run_fleet_multiplexing_study(
     ``mix`` picks the composition (``scaleout``, ``scaleup`` or
     ``mixed`` — alternating Cassandra-style and SPECweb-style lanes
     with different observation schemas).  ``n_hosts`` places the lanes
-    round-robin onto that many shared :class:`~repro.sim.hosts.SimHost`
-    machines of ``host_capacity_units`` each; co-located lanes then
-    steal capacity from each other at demand peaks, and managers that
-    catch a neighbour red-handed escalate to a higher interference
-    band (Sec. 3.6).  ``None`` keeps every lane on dedicated hardware.
+    onto that many shared :class:`~repro.sim.hosts.SimHost` machines of
+    ``host_capacity_units`` each under ``placement`` — a policy name
+    from :data:`repro.sim.placement.PLACEMENT_POLICIES`
+    (``round_robin`` default, ``block``, ``first_fit_decreasing``,
+    ``best_fit``) or a :class:`~repro.sim.placement.PlacementPolicy`
+    object, packing each lane's peak learning-day demand.  Co-located
+    lanes then steal capacity from each other at demand peaks, and
+    managers that catch a neighbour red-handed escalate to a higher
+    interference band (Sec. 3.6).  ``None`` keeps every lane on
+    dedicated hardware.
+
+    ``host_demand`` selects the footprint a lane presses onto its host:
+    ``"allocation"`` (default) tracks what DejaVu actually deployed —
+    ``min(offered demand, deployed capacity)``, so scale-ups press
+    harder after escalation and scale-downs free host headroom — while
+    ``"offered"`` keeps the static PR 2 offered-demand footprint.
+    ``migration`` attaches a :class:`~repro.sim.placement.MigrationPolicy`:
+    every ``rebalance_every`` steps the worst-pressure host evicts a
+    tenant, and the migrated lane pays a blackout window of degraded
+    capacity (the Sec. 3 VM-cloning cost) in its SLO accounting.
+
+    ``demand_factors`` makes the fleet heterogeneous in *size*: lane
+    ``i``'s trace peak is scaled by ``factors[i % len(factors)]``, and
+    model-sharing families split by (kind, factor) so each size pays
+    its own learning day.  This is what gives bin-packing placements
+    something to pack.
 
     ``batched`` selects the engine's batched control plane (default):
     each adaptation wave classifies all same-family lanes as one
@@ -609,9 +772,10 @@ def run_fleet_multiplexing_study(
     ``profiling_slots`` clone VMs) *per shard*: with an uncontended
     queue the merged result is bit-identical to the single-process run,
     while under contention per-shard queues legitimately wait less than
-    one fleet-wide queue would.  Host coupling (``n_hosts``) is
-    incompatible with sharding — round-robin placement couples lanes
-    across shard boundaries.
+    one fleet-wide queue would.  Host coupling (``n_hosts`` and with it
+    ``placement``/``migration``) is incompatible with sharding — any
+    placement of shared hosts couples lanes across shard boundaries —
+    and raises a :class:`ValueError` at call time.
 
     The default 5-minute step keeps adaptation hourly (the managers'
     check interval) while sampling performance between adaptations, so
@@ -631,6 +795,30 @@ def run_fleet_multiplexing_study(
         raise ValueError(
             f"unknown rng_mode {rng_mode!r}; use one of {FLEET_RNG_MODES}"
         )
+    if host_demand not in FLEET_HOST_DEMANDS:
+        raise ValueError(
+            f"unknown host_demand {host_demand!r}; "
+            f"use one of {FLEET_HOST_DEMANDS}"
+        )
+    make_policy(placement)  # unknown policy names fail loudly, up front
+    factors = tuple(float(f) for f in demand_factors) if demand_factors else None
+    if factors and any(f <= 0 for f in factors):
+        raise ValueError(f"demand factors must be positive: {factors}")
+    if n_hosts is None:
+        non_default_placement = (
+            placement != "round_robin"
+            if isinstance(placement, str)
+            else True
+        )
+        if non_default_placement:
+            raise ValueError(
+                "placement policies place lanes onto shared hosts; "
+                "pass n_hosts"
+            )
+        if migration is not None:
+            raise ValueError(
+                "migration re-packs shared hosts; pass n_hosts"
+            )
     if shards < 1:
         raise ValueError(f"need at least one shard: {shards}")
     if shards > n_lanes:
@@ -638,7 +826,8 @@ def run_fleet_multiplexing_study(
     if shards > 1 and n_hosts is not None:
         raise ValueError(
             "sharded sweeps model dedicated hardware; host coupling "
-            "(n_hosts) crosses shard boundaries — run with shards=1"
+            "(n_hosts, and with it placement/migration) crosses shard "
+            "boundaries — run with shards=1"
         )
     spec = FleetStudySpec(
         n_lanes=n_lanes,
@@ -652,14 +841,15 @@ def run_fleet_multiplexing_study(
         mix=mix,
         batched=batched,
         rng_mode=rng_mode,
+        n_hosts=n_hosts,
+        host_capacity_units=host_capacity_units,
+        placement=placement,
+        host_demand=host_demand,
+        migration=migration,
+        demand_factors=factors,
     )
     if shards == 1:
-        host_map = (
-            HostMap.spread(n_lanes, n_hosts, host_capacity_units)
-            if n_hosts is not None
-            else None
-        )
-        result, payload = _run_fleet_slice(spec, 0, n_lanes, host_map=host_map)
+        result, payload = _run_fleet_slice(spec, 0, n_lanes)
         return _merged_study(
             spec,
             result,
@@ -667,12 +857,6 @@ def run_fleet_multiplexing_study(
             engine_seconds=payload["engine_seconds"],
             shards=1,
             workers=1,
-            n_hosts=host_map.n_hosts if host_map is not None else 0,
-            host_overload=(
-                host_map.overload_fraction if host_map is not None else 0.0
-            ),
-            mean_theft=host_map.mean_theft if host_map is not None else 0.0,
-            peak_theft=host_map.peak_theft if host_map is not None else 0.0,
         )
 
     from repro.sim.shard import run_sharded
@@ -699,8 +883,4 @@ def run_fleet_multiplexing_study(
         engine_seconds=wall_seconds,
         shards=shards,
         workers=effective_workers,
-        n_hosts=0,
-        host_overload=0.0,
-        mean_theft=0.0,
-        peak_theft=0.0,
     )

@@ -1,0 +1,255 @@
+"""Placement-sensitivity study: same fleet, different packings.
+
+DejaVu's premise (Sec. 3.6) is that co-tenant interference on shared
+hosts is the dominant recurring disturbance a resource manager must
+adapt to.  How much of that disturbance is *placement's fault*?  This
+study runs the **same heterogeneous fleet** — identical traces, seeds,
+controllers and profiling queue — under each placement policy in
+:mod:`repro.sim.placement` and emits the SLO-violation / cost /
+interference-theft frontier per policy: how much overcommit theft the
+packing causes, how often DejaVu escalates to blame a neighbour, and
+what the fleet pays for it in violations and dollars.
+
+Policies may carry a ``+migrate`` suffix (``"best_fit+migrate"``) to
+attach a :class:`~repro.sim.placement.MigrationPolicy`: the worst-
+pressure host is re-packed online every ``rebalance_every`` steps, each
+move charging the migrated lane a blackout window — the paper's Sec. 3
+VM-cloning cost applied to a live move.
+
+Exposed via ``python -m repro.cli placement`` and
+``examples/placement_frontier.py``; the CI smoke and throughput gates
+live in ``benchmarks/test_fleet_placement.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.multiplexing_study import (
+    FleetMultiplexingStudy,
+    run_fleet_multiplexing_study,
+)
+from repro.sim.placement import PLACEMENT_POLICIES, MigrationPolicy, make_policy
+
+#: Policies the study sweeps by default, in presentation order.
+DEFAULT_PLACEMENT_POLICIES = (
+    "round_robin",
+    "block",
+    "first_fit_decreasing",
+    "best_fit",
+)
+
+#: Demand multipliers (cycled over the fleet) that make the default
+#: study fleet heterogeneous in size.  Five distinct factors against an
+#: even host count means round-robin keeps co-locating equal-sized
+#: lanes — the adversarial regime bin-packing exists to fix.
+DEFAULT_DEMAND_FACTORS = (0.7, 0.85, 1.0, 1.1, 1.2)
+
+
+@dataclass(frozen=True)
+class PlacementFrontierPoint:
+    """One policy's point on the SLO/cost/interference frontier."""
+
+    policy: str
+    violation_fraction: float
+    fleet_hourly_cost: float
+    mean_host_theft: float
+    peak_host_theft: float
+    host_overload_fraction: float
+    interference_escalations: int
+    migrations: int
+    deferred_adaptations: int
+    hit_rate: float
+    lane_steps_per_second: float
+    study: FleetMultiplexingStudy
+    """The policy's full fleet study (series, events, queue stats)."""
+
+
+@dataclass(frozen=True)
+class PlacementSensitivityStudy:
+    """The frontier: one :class:`PlacementFrontierPoint` per policy."""
+
+    n_lanes: int
+    hours: float
+    n_hosts: int
+    host_capacity_units: float
+    mix: str
+    demand_factors: tuple[float, ...]
+    points: tuple[PlacementFrontierPoint, ...]
+
+    def point(self, policy: str) -> PlacementFrontierPoint:
+        for point in self.points:
+            if point.policy == policy:
+                return point
+        raise KeyError(
+            f"no policy {policy!r}; have {[p.policy for p in self.points]}"
+        )
+
+    @property
+    def best(self) -> PlacementFrontierPoint:
+        """Fewest SLO violations, dollars as the tie-break."""
+        return min(
+            self.points,
+            key=lambda p: (p.violation_fraction, p.fleet_hourly_cost),
+        )
+
+
+def parse_policy_spec(
+    spec: str,
+    rebalance_every: int = 12,
+    blackout_seconds: float = 600.0,
+    blackout_theft: float = 0.5,
+) -> tuple[str, MigrationPolicy | None]:
+    """Split ``"name"`` / ``"name+migrate"`` into (policy, migration)."""
+    name, _, suffix = spec.partition("+")
+    if suffix not in ("", "migrate"):
+        raise ValueError(
+            f"unknown policy suffix {suffix!r} in {spec!r}; "
+            "only '+migrate' is understood"
+        )
+    make_policy(name)  # fail loudly on unknown names
+    migration = (
+        MigrationPolicy(
+            rebalance_every=rebalance_every,
+            blackout_seconds=blackout_seconds,
+            blackout_theft=blackout_theft,
+        )
+        if suffix == "migrate"
+        else None
+    )
+    return name, migration
+
+
+def run_placement_sensitivity_study(
+    n_lanes: int = 50,
+    hours: float = 24.0,
+    policies=DEFAULT_PLACEMENT_POLICIES,
+    n_hosts: int = 10,
+    host_capacity_units: float = 30.0,
+    mix: str = "mixed",
+    demand_factors=DEFAULT_DEMAND_FACTORS,
+    host_demand: str = "allocation",
+    rebalance_every: int = 12,
+    blackout_seconds: float = 600.0,
+    blackout_theft: float = 0.5,
+    profiling_slots: int = 4,
+    step_seconds: float = 300.0,
+    lane_seed_stride: int = 1,
+    trace_name: str = "messenger",
+    seed: int = 0,
+    batched: bool = True,
+    rng_mode: str = "counter",
+    workers: int = 0,
+) -> PlacementSensitivityStudy:
+    """Run the same fleet under each placement policy.
+
+    Every policy run rebuilds the identical fleet from scratch (same
+    seeds, traces, families, queue) so the only degree of freedom is
+    *where the VMs land*.  The default configuration is deliberately
+    adversarial to round-robin: ``demand_factors`` cycles five lane
+    sizes while round-robin strides the host count, so same-sized lanes
+    pile onto the same hosts; the bin-packing policies spread them by
+    measured demand instead.
+
+    ``policies`` entries accept a ``+migrate`` suffix to attach a
+    :class:`~repro.sim.placement.MigrationPolicy` with this study's
+    ``rebalance_every`` / ``blackout_seconds`` / ``blackout_theft``.
+
+    ``workers`` is accepted for symmetry with the fleet study's driver
+    surface but host-coupled fleets always run in-process (``shards=1``
+    — placement crosses shard boundaries), so the smoke configurations
+    pass ``workers=0`` explicitly.
+    """
+    if not policies:
+        raise ValueError("need at least one placement policy")
+    if n_hosts < 1:
+        raise ValueError(f"need at least one host: {n_hosts}")
+    points = []
+    for policy_spec in policies:
+        name, migration = parse_policy_spec(
+            policy_spec,
+            rebalance_every=rebalance_every,
+            blackout_seconds=blackout_seconds,
+            blackout_theft=blackout_theft,
+        )
+        study = run_fleet_multiplexing_study(
+            n_lanes=n_lanes,
+            hours=hours,
+            step_seconds=step_seconds,
+            profiling_slots=profiling_slots,
+            lane_seed_stride=lane_seed_stride,
+            trace_name=trace_name,
+            seed=seed,
+            mix=mix,
+            n_hosts=n_hosts,
+            host_capacity_units=host_capacity_units,
+            placement=name,
+            host_demand=host_demand,
+            migration=migration,
+            demand_factors=demand_factors,
+            batched=batched,
+            rng_mode=rng_mode,
+        )
+        points.append(
+            PlacementFrontierPoint(
+                policy=str(policy_spec),
+                violation_fraction=study.violation_fraction,
+                fleet_hourly_cost=study.fleet_hourly_cost,
+                mean_host_theft=study.mean_host_theft,
+                peak_host_theft=study.peak_host_theft,
+                host_overload_fraction=study.host_overload_fraction,
+                interference_escalations=study.interference_escalations,
+                migrations=study.migrations,
+                deferred_adaptations=study.deferred_adaptations,
+                hit_rate=study.hit_rate,
+                lane_steps_per_second=study.lane_steps_per_second,
+                study=study,
+            )
+        )
+    return PlacementSensitivityStudy(
+        n_lanes=n_lanes,
+        hours=hours,
+        n_hosts=n_hosts,
+        host_capacity_units=host_capacity_units,
+        mix=mix,
+        demand_factors=tuple(demand_factors) if demand_factors else (),
+        points=tuple(points),
+    )
+
+
+def frontier_rows(study: PlacementSensitivityStudy) -> list[str]:
+    """The frontier as aligned text rows (CLI and example output)."""
+    header = (
+        f"{'policy':<28} {'SLO viol.':>9} {'$ / hour':>9} "
+        f"{'mean theft':>10} {'peak theft':>10} {'overload':>8} "
+        f"{'escal.':>6} {'migr.':>5}"
+    )
+    rows = [header, "-" * len(header)]
+    for point in study.points:
+        rows.append(
+            f"{point.policy:<28} {point.violation_fraction:>9.2%} "
+            f"{point.fleet_hourly_cost:>9.2f} "
+            f"{point.mean_host_theft:>10.3%} {point.peak_host_theft:>10.1%} "
+            f"{point.host_overload_fraction:>8.1%} "
+            f"{point.interference_escalations:>6} {point.migrations:>5}"
+        )
+    best = study.best
+    rows.append(
+        f"best: {best.policy} "
+        f"({best.violation_fraction:.2%} violations at "
+        f"${best.fleet_hourly_cost:,.2f}/h, "
+        f"mean theft {best.mean_host_theft:.3%})"
+    )
+    return rows
+
+
+__all__ = [
+    "DEFAULT_DEMAND_FACTORS",
+    "DEFAULT_PLACEMENT_POLICIES",
+    "PLACEMENT_POLICIES",
+    "PlacementFrontierPoint",
+    "PlacementSensitivityStudy",
+    "frontier_rows",
+    "parse_policy_spec",
+    "run_placement_sensitivity_study",
+]

@@ -356,6 +356,34 @@ class _FleetFamilyObserver:
                 )
         self._injectors = [s.production.injector for s in self._setups]
         self._any_injector = any(inj is not None for inj in self._injectors)
+        # Host-map feeds expose their slot of the map's theft vector;
+        # when every injector is such a feed on one shared vector (the
+        # host-coupled fleet case), interference is read as a single
+        # fancy-index gather per step instead of one Python call per
+        # lane.  Any other injector shape keeps the per-lane loop.
+        self._feed_values: np.ndarray | None = None
+        self._feed_columns: np.ndarray | None = None
+        self._feed_rows: np.ndarray | None = None
+        sources = [
+            getattr(inj, "source", None)
+            for inj in self._injectors
+            if inj is not None
+        ]
+        if (
+            self._any_injector
+            and all(source is not None for source in sources)
+            and len({id(source[0]) for source in sources}) == 1
+        ):
+            rows = [
+                j
+                for j, inj in enumerate(self._injectors)
+                if inj is not None
+            ]
+            self._feed_values = sources[0][0]
+            self._feed_rows = np.asarray(rows, dtype=int)
+            self._feed_columns = np.asarray(
+                [source[1] for source in sources], dtype=int
+            )
         n = len(self._setups)
         self._caps = np.empty(n)
         self._demands = np.empty(n)
@@ -411,9 +439,14 @@ class _FleetFamilyObserver:
             out[4, j] = workload.volume
         if self._any_injector:
             interference = self._interference
-            for j, injector in enumerate(self._injectors):
-                if injector is not None:
-                    interference[j] = injector.interference_at(t)
+            if self._feed_values is not None:
+                interference[self._feed_rows] = self._feed_values[
+                    self._feed_columns
+                ]
+            else:
+                for j, injector in enumerate(self._injectors):
+                    if injector is not None:
+                        interference[j] = injector.interference_at(t)
         for j, provider in enumerate(self._providers):
             allocation = provider.current_allocation
             if allocation is not self._alloc_cache[j]:

@@ -18,7 +18,23 @@ from repro.sim.fleet import (
     ProfilingQueue,
     QueuedController,
 )
-from repro.sim.hosts import HostInterferenceFeed, HostMap, SimHost
+from repro.sim.hosts import (
+    HostInterferenceFeed,
+    HostMap,
+    SimHost,
+    allocation_demand,
+)
+from repro.sim.placement import (
+    PLACEMENT_POLICIES,
+    BestFitPlacement,
+    BlockPlacement,
+    FirstFitDecreasingPlacement,
+    MigrationPolicy,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    build_host_map,
+    make_policy,
+)
 from repro.sim.result import SimulationResult, TimeSeries
 
 __all__ = [
@@ -34,6 +50,16 @@ __all__ = [
     "HostInterferenceFeed",
     "HostMap",
     "SimHost",
+    "allocation_demand",
+    "PLACEMENT_POLICIES",
+    "BestFitPlacement",
+    "BlockPlacement",
+    "FirstFitDecreasingPlacement",
+    "MigrationPolicy",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "build_host_map",
+    "make_policy",
     "ProfilingGrant",
     "ProfilingQueue",
     "QueuedController",

@@ -538,10 +538,17 @@ class FleetEngine:
     host_map:
         Optional shared-host placement.  When given, the engine reports
         every lane's offered demand to the map at the start of each
-        step; co-located lanes on an overcommitted host experience
-        capacity theft through their
+        step — plus, for allocation-aware footprints
+        (:func:`repro.sim.hosts.allocation_demand`), each lane's
+        deployed capacity read off its provider's cached plan — so
+        co-located lanes on an overcommitted host experience capacity
+        theft through their
         :class:`~repro.sim.hosts.HostInterferenceFeed`, which the
-        experiment wires into each lane's production environment.
+        experiment wires into each lane's production environment.  The
+        map runs any attached
+        :class:`~repro.sim.placement.MigrationPolicy` inside the same
+        per-step call, so online re-packing (and its blackout cost)
+        needs no extra engine hook.
     batched:
         Run the batched control plane (the default).  Each step, lanes
         whose (trained, queue-gated) DejaVu managers are due a periodic
@@ -653,6 +660,63 @@ class FleetEngine:
             for i, lane in enumerate(self._lanes)
             if not (self.batched and lane.observe_batch is not None)
         )
+        # Per-lane deployed-capacity readers for allocation-aware host
+        # footprints.  Providers notify a per-lane dirty flag on every
+        # allocation change (subscribe_capacity_changes), so the
+        # per-step refresh touches only lanes that changed allocation
+        # or are still inside a warm-up window — the steady state costs
+        # two vectorized mask operations, not a call per lane.  Lanes
+        # whose controller exposes no provider read as unbounded
+        # (their footprint degrades to the offered demand).
+        self._capacity_providers: tuple = tuple(
+            getattr(
+                getattr(lane.controller, "production", None),
+                "provider",
+                None,
+            )
+            for lane in self._lanes
+        )
+        n_lanes = len(self._lanes)
+        self._capacity_values = np.full(n_lanes, math.inf)
+        self._capacity_dirty = np.zeros(n_lanes, dtype=bool)
+        self._capacity_settled = np.zeros(n_lanes, dtype=float)
+        if self.host_map is not None and self.host_map.allocation_aware:
+            for j, provider in enumerate(self._capacity_providers):
+                if provider is None:
+                    continue
+                self._capacity_dirty[j] = True
+                provider.subscribe_capacity_changes(
+                    self._capacity_invalidator(j)
+                )
+
+    def _capacity_invalidator(self, lane: int):
+        dirty = self._capacity_dirty
+
+        def invalidate() -> None:
+            dirty[lane] = True
+
+        return invalidate
+
+    def _lane_capacities(self, t: float) -> np.ndarray:
+        """Every lane's deployed capacity at ``t``.
+
+        Refreshes only dirty (allocation changed) or warming (capacity
+        still time-dependent) lanes; everything else reuses the cached
+        value.
+        """
+        values = self._capacity_values
+        dirty = self._capacity_dirty
+        settled = self._capacity_settled
+        stale = np.flatnonzero(dirty | (t < settled))
+        for j in stale:
+            provider = self._capacity_providers[j]
+            values[j] = provider.capacity_at(t)
+            settled[j] = provider.capacity_settles_at
+            # A lane still inside a warm-up window stays dirty: its
+            # capacity keeps changing, and the *first* step at or past
+            # the settle time must re-read the fully warmed value.
+            dirty[j] = t < settled[j]
+        return values
 
     @property
     def n_lanes(self) -> int:
@@ -981,7 +1045,15 @@ class FleetEngine:
             if self.host_map is not None:
                 # Host pressure is recomputed before controllers act, so
                 # adaptations this step already see the co-tenant theft.
-                self.host_map.apply_step(t, workloads)
+                # Allocation-aware footprints additionally refresh each
+                # lane's deployed capacity from its provider's cached
+                # plan (math.inf for provider-less lanes).
+                capacities = (
+                    self._lane_capacities(t)
+                    if self.host_map.allocation_aware
+                    else None
+                )
+                self.host_map.apply_step(t, workloads, capacities=capacities)
             handled = (
                 self._batched_adapt_wave(t, hour, day, workloads)
                 if self._batch_candidates

@@ -9,9 +9,12 @@ with no coupling between lanes.  This module closes the loop:
 
 * :class:`SimHost` — one shared machine with a fixed capacity.
 * :class:`HostMap` — the placement of fleet lanes onto hosts.  Each
-  step the engine reports every lane's offered demand; for each host the
-  map compares the co-located total against capacity and converts the
-  shortfall into a per-lane capacity-theft fraction.
+  step the engine reports every lane's offered demand (and, for
+  allocation-aware footprints, its deployed capacity); the map converts
+  per-host overcommitment into per-lane capacity-theft fractions in
+  **one vectorized matrix pass over all hosts** (``np.bincount`` over
+  the placement), so host coupling composes with the batched control
+  plane instead of costing a per-host Python loop.
 * :class:`HostInterferenceFeed` — one lane's view of that theft,
   implementing the injector contract
   (:meth:`~HostInterferenceFeed.interference_at`) so it plugs straight
@@ -19,6 +22,29 @@ with no coupling between lanes.  This module closes the loop:
   existing estimator/band machinery
   (:mod:`repro.core.interference`) sees it as ordinary co-tenant
   interference.
+
+Placement itself lives in :mod:`repro.sim.placement`: policies
+(round-robin, block, bin-packing) produce the lane → host assignment
+this map enforces, and an optional
+:class:`~repro.sim.placement.MigrationPolicy` re-packs the
+worst-pressure host online, charging each migrated lane a blackout
+window of degraded capacity.
+
+Demand footprints
+-----------------
+``demand_fn`` selects what a lane presses onto its host each step:
+
+* ``None`` (default) — the static *offered* demand,
+  :attr:`~repro.workloads.request_mix.Workload.demand_units` (the PR 2
+  behavior);
+* :func:`allocation_demand` — the **allocation-aware** footprint
+  ``min(offered demand, deployed capacity)``: a lane's VMs cannot press
+  harder than what DejaVu actually allocated, so scale-ups (and
+  interference escalations) grow the footprint and scale-downs free
+  host headroom for the neighbours;
+* any custom callable — either the legacy ``f(workload)`` shape or the
+  full ``f(lane, deployed_capacity, workload, t)`` shape (detected by
+  signature).
 
 Theft model
 -----------
@@ -38,6 +64,8 @@ gap, exactly as with injected interference.
 
 from __future__ import annotations
 
+import inspect
+import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -66,6 +94,20 @@ class SimHost:
             )
 
 
+def allocation_demand(
+    lane: int, deployed_capacity: float, workload: Workload, t: float
+) -> float:
+    """Allocation-aware host footprint: what the lane's VMs can consume.
+
+    A service's VMs cannot press more load onto the host than the
+    capacity DejaVu deployed for them — so a freshly escalated lane
+    presses harder (its bigger allocation absorbs more of the offered
+    demand) and a scaled-down lane frees host headroom even when its
+    offered demand stays high.
+    """
+    return min(workload.demand_units, deployed_capacity)
+
+
 class HostInterferenceFeed:
     """One lane's live view of its host-induced capacity theft.
 
@@ -73,22 +115,67 @@ class HostInterferenceFeed:
     by :class:`~repro.core.profiler.ProductionEnvironment`, so a fleet
     lane's production environment can be constructed with a feed in
     place of a scripted :class:`~repro.interference.injector.InterferenceInjector`.
-    The owning :class:`HostMap` updates the value once per engine step.
+    A map-owned feed reads straight out of the map's per-step theft
+    vector (one shared array, no per-lane push loop); a standalone feed
+    holds its own value via :meth:`_set`.
     """
+
+    __slots__ = ("_theft", "_values", "_index")
 
     def __init__(self) -> None:
         self._theft = 0.0
+        self._values: np.ndarray | None = None
+        self._index = 0
+
+    def _bind(self, values: np.ndarray, index: int) -> None:
+        """Attach this feed to one slot of the owner's theft vector."""
+        self._values = values
+        self._index = index
+
+    @property
+    def source(self) -> tuple[np.ndarray, int] | None:
+        """The ``(theft vector, slot)`` this feed reads, if map-owned.
+
+        Vectorized consumers (the fleet family observers) gather many
+        bound feeds in one fancy-index read per step instead of one
+        ``interference_at`` call per lane.
+        """
+        if self._values is None:
+            return None
+        return self._values, self._index
 
     @property
     def theft(self) -> float:
+        if self._values is not None:
+            return float(self._values[self._index])
         return self._theft
 
     def interference_at(self, t: float) -> float:
         """Effective capacity fraction stolen by co-located tenants."""
-        return self._theft
+        return self.theft
 
     def _set(self, value: float) -> None:
-        self._theft = float(value)
+        if self._values is not None:
+            self._values[self._index] = float(value)
+        else:
+            self._theft = float(value)
+
+
+def _demand_mode(demand_fn) -> str:
+    """Classify a demand callable: offered / allocation / custom shapes."""
+    if demand_fn is None:
+        return "offered"
+    if demand_fn is allocation_demand:
+        return "allocation"
+    n_params = len(inspect.signature(demand_fn).parameters)
+    if n_params == 1:
+        return "custom_workload"
+    if n_params == 4:
+        return "custom_allocation"
+    raise ValueError(
+        "demand_fn must take (workload) or "
+        f"(lane, deployed_capacity, workload, t); got {n_params} parameters"
+    )
 
 
 class HostMap:
@@ -101,56 +188,86 @@ class HostMap:
     placement:
         ``placement[lane]`` is the host index the lane's VMs run on, or
         ``None`` for a lane on dedicated hardware (never coupled).
+        Policies in :mod:`repro.sim.placement` produce these.
     demand_fn:
-        Maps a lane's offered :class:`Workload` to its demand on the
-        host, in capacity units.  Defaults to
-        :attr:`Workload.demand_units`.
+        Selects the lane-footprint model; see the module docstring.
+        ``None`` keeps the static offered-demand footprint;
+        :func:`allocation_demand` tracks deployed capacity.
     max_theft:
         Upper clip on any lane's theft fraction; keeps the service
         models' effective capacity strictly positive.
+    migration:
+        Optional :class:`~repro.sim.placement.MigrationPolicy` (duck
+        typed: ``rebalance_every``, ``blackout_seconds``,
+        ``blackout_theft`` and ``plan(placement, demands, hosts)``).
+        When set, every ``rebalance_every``-th step re-packs the
+        worst-pressure host before theft is computed, and each migrated
+        lane's feed reports at least ``blackout_theft`` until its
+        blackout window closes.
     """
 
     def __init__(
         self,
         hosts: Sequence[SimHost],
         placement: Sequence[int | None],
-        demand_fn: Callable[[Workload], float] | None = None,
+        demand_fn: Callable | None = None,
         max_theft: float = 0.9,
+        migration=None,
     ) -> None:
         if not hosts:
             raise ValueError("a host map needs at least one host")
         if not 0.0 < max_theft < 1.0:
             raise ValueError(f"max theft must be in (0, 1): {max_theft}")
         self.hosts = tuple(hosts)
-        self.placement = tuple(placement)
-        for lane, host in enumerate(self.placement):
+        self._placement = list(placement)
+        for lane, host in enumerate(self._placement):
             if host is not None and not 0 <= host < len(self.hosts):
                 raise ValueError(
                     f"lane {lane} placed on unknown host {host} "
                     f"(have {len(self.hosts)})"
                 )
-        self._demand_fn = (
-            demand_fn if demand_fn is not None else lambda w: w.demand_units
-        )
+        self._demand_fn = demand_fn
+        self._demand_mode = _demand_mode(demand_fn)
         self.max_theft = float(max_theft)
-        self._feeds = tuple(HostInterferenceFeed() for _ in self.placement)
+        self.migration = migration
+        n_lanes = len(self._placement)
+        self._capacity_arr = np.array(
+            [host.capacity_units for host in self.hosts], dtype=float
+        )
+        # The live theft vector: map-owned feeds read from it directly,
+        # apply_step rewrites it in place each step.
+        self.last_thefts = np.zeros(n_lanes, dtype=float)
+        self._feeds = tuple(HostInterferenceFeed() for _ in range(n_lanes))
+        for index, feed in enumerate(self._feeds):
+            feed._bind(self.last_thefts, index)
+        self._rebuild_placement_cache()
+        self._blackout_until = np.zeros(n_lanes, dtype=float)
+        # Coupling statistics, accumulated by apply_step.
+        self.steps = 0
+        self.overloaded_host_steps = 0
+        self._theft_sum = 0.0
+        self.peak_theft = 0.0
+        self.migrations = 0
+        self.lane_migrations = np.zeros(n_lanes, dtype=int)
+
+    def _rebuild_placement_cache(self) -> None:
+        """Refresh the vectorized-lookup arrays after (re)placement."""
+        self._host_index = np.array(
+            [-1 if host is None else host for host in self._placement],
+            dtype=int,
+        )
+        self._placed_idx = np.flatnonzero(self._host_index >= 0)
         self._host_lanes: tuple[tuple[int, ...], ...] = tuple(
             tuple(
                 lane
-                for lane, placed in enumerate(self.placement)
+                for lane, placed in enumerate(self._placement)
                 if placed == host
             )
             for host in range(len(self.hosts))
         )
         self._placed_lanes = [
-            lane for lane, host in enumerate(self.placement) if host is not None
+            lane for lane, host in enumerate(self._placement) if host is not None
         ]
-        # Coupling statistics, accumulated by apply_step.
-        self.steps = 0
-        self.overloaded_host_steps = 0
-        self.last_thefts = np.zeros(len(self.placement), dtype=float)
-        self._theft_sum = 0.0
-        self.peak_theft = 0.0
 
     # -- construction helpers ------------------------------------------
 
@@ -198,18 +315,28 @@ class HostMap:
     # -- introspection -------------------------------------------------
 
     @property
+    def placement(self) -> tuple[int | None, ...]:
+        """The current lane → host assignment (migrations mutate it)."""
+        return tuple(self._placement)
+
+    @property
     def n_hosts(self) -> int:
         return len(self.hosts)
 
     @property
     def n_lanes(self) -> int:
-        return len(self.placement)
+        return len(self._placement)
+
+    @property
+    def allocation_aware(self) -> bool:
+        """Whether :meth:`apply_step` needs per-lane deployed capacities."""
+        return self._demand_mode in ("allocation", "custom_allocation")
 
     def host_of(self, lane: int) -> int | None:
         """The host index a lane is placed on (None = dedicated)."""
         if not 0 <= lane < self.n_lanes:
             raise IndexError(f"lane {lane} out of range [0, {self.n_lanes})")
-        return self.placement[lane]
+        return self._placement[lane]
 
     def lanes_on(self, host: int) -> tuple[int, ...]:
         """All lane indices placed on one host."""
@@ -230,46 +357,160 @@ class HostMap:
             raise IndexError(f"lane {lane} out of range [0, {self.n_lanes})")
         return self._feeds[lane]
 
+    # -- migration ------------------------------------------------------
+
+    def migrate(self, lane: int, host: int, t: float) -> None:
+        """Move one lane to another host, charging its blackout window.
+
+        The migrated lane's feed reports at least the migration
+        policy's ``blackout_theft`` until ``t + blackout_seconds`` —
+        the VM-cloning/move cost landing in the lane's SLO accounting.
+        """
+        if not 0 <= lane < self.n_lanes:
+            raise IndexError(f"lane {lane} out of range [0, {self.n_lanes})")
+        if not 0 <= host < self.n_hosts:
+            raise ValueError(f"cannot migrate to unknown host {host}")
+        if self._placement[lane] is None:
+            raise ValueError(f"lane {lane} is on dedicated hardware")
+        if self._placement[lane] == host:
+            return
+        self._placement[lane] = host
+        self.migrations += 1
+        self.lane_migrations[lane] += 1
+        if self.migration is not None:
+            self._blackout_until[lane] = t + self.migration.blackout_seconds
+        self._rebuild_placement_cache()
+
+    def _maybe_rebalance(self, t: float, demands: np.ndarray) -> None:
+        if self.migration is None or self.steps == 0:
+            return
+        if self.steps % self.migration.rebalance_every != 0:
+            return
+        moves = self.migration.plan(self.placement, demands, self.hosts)
+        for lane, host in moves:
+            self.migrate(lane, host, t)
+
     # -- the coupling --------------------------------------------------
 
-    def apply_step(self, t: float, workloads: Sequence[Workload]) -> np.ndarray:
-        """Recompute every lane's theft from this step's offered demand.
+    def _demands(
+        self,
+        t: float,
+        workloads: Sequence[Workload],
+        capacities: Sequence[float] | None,
+    ) -> np.ndarray:
+        mode = self._demand_mode
+        if mode in ("allocation", "custom_allocation"):
+            if capacities is None:
+                raise ValueError(
+                    "allocation-aware demand needs per-lane deployed "
+                    "capacities; the fleet engine supplies them via "
+                    "apply_step(..., capacities=...)"
+                )
+            if len(capacities) != self.n_lanes:
+                raise ValueError(
+                    f"expected {self.n_lanes} capacities, got {len(capacities)}"
+                )
+        # The two built-in footprints are on the per-step hot path of
+        # 200-lane fleets: np.fromiter over the raw attributes skips
+        # one property call per lane-step versus Workload.demand_units.
+        n = self.n_lanes
+        if mode == "offered":
+            return np.fromiter(
+                (w.volume * w.mix.demand_per_client for w in workloads),
+                dtype=float,
+                count=n,
+            )
+        if mode == "allocation":
+            offered = np.fromiter(
+                (w.volume * w.mix.demand_per_client for w in workloads),
+                dtype=float,
+                count=n,
+            )
+            return np.minimum(offered, np.asarray(capacities, dtype=float))
+        if mode == "custom_workload":
+            return np.array(
+                [self._demand_fn(workload) for workload in workloads],
+                dtype=float,
+            )
+        return np.array(
+            [
+                self._demand_fn(lane, capacities[lane], workload, t)
+                for lane, workload in enumerate(workloads)
+            ],
+            dtype=float,
+        )
+
+    def apply_step(
+        self,
+        t: float,
+        workloads: Sequence[Workload],
+        capacities: Sequence[float] | None = None,
+    ) -> np.ndarray:
+        """Recompute every lane's theft from this step's demand.
 
         Called by the fleet engine once per step, *before* controllers
         act, so adaptations in the same step already see the pressure.
-        Returns the per-lane theft fractions (also pushed into the
-        lanes' feeds and accumulated into the map's statistics).
+        ``capacities`` carries each lane's deployed capacity
+        (``math.inf`` for lanes without a provider) and is required
+        when the demand footprint is allocation-aware.  Returns the
+        per-lane theft fractions — one vectorized pass over all hosts
+        (``np.bincount`` totals, one overload division, one theft
+        product), written in place into the lanes' feeds and
+        accumulated into the map's statistics.
         """
         if len(workloads) != self.n_lanes:
             raise ValueError(
                 f"expected {self.n_lanes} workloads, got {len(workloads)}"
             )
-        demands = np.array(
-            [self._demand_fn(workload) for workload in workloads], dtype=float
-        )
-        if np.any(demands < 0):
+        demands = self._demands(t, workloads, capacities)
+        if demands.size and float(demands.min()) < 0.0:
             raise ValueError("lane demand cannot be negative")
-        thefts = np.zeros(self.n_lanes, dtype=float)
-        for host_index, lanes in enumerate(self._host_lanes):
-            if not lanes:
-                continue
-            ids = np.asarray(lanes)
-            d = demands[ids]
-            total = float(d.sum())
-            capacity = self.hosts[host_index].capacity_units
-            if total <= capacity or total <= 0.0:
-                continue
-            self.overloaded_host_steps += 1
-            overload = (total - capacity) / total
-            thefts[ids] = np.minimum(
-                overload * (total - d) / total, self.max_theft
+        self._maybe_rebalance(t, demands)
+        thefts = self.last_thefts
+        thefts[:] = 0.0
+        idx = self._placed_idx
+        if idx.size:
+            if idx.size == self.n_lanes:
+                # Fully placed fleet (the common case): skip the copies.
+                hosts_of = self._host_index
+                placed = demands
+            else:
+                hosts_of = self._host_index[idx]
+                placed = demands[idx]
+            totals = np.bincount(
+                hosts_of, weights=placed, minlength=self.n_hosts
             )
-        for feed, theft in zip(self._feeds, thefts):
-            feed._set(theft)
+            over = totals > self._capacity_arr
+            n_over = int(np.count_nonzero(over))
+            if n_over:
+                self.overloaded_host_steps += n_over
+                overload = np.zeros(self.n_hosts, dtype=float)
+                overload[over] = (
+                    totals[over] - self._capacity_arr[over]
+                ) / totals[over]
+                factor = overload[hosts_of]
+                hot = factor > 0.0
+                if np.any(hot):
+                    host_total = totals[hosts_of[hot]]
+                    thefts[idx[hot]] = np.minimum(
+                        factor[hot] * (host_total - placed[hot]) / host_total,
+                        self.max_theft,
+                    )
+        if self.migration is not None:
+            blacked = t < self._blackout_until
+            if np.any(blacked):
+                np.maximum(
+                    thefts,
+                    np.where(
+                        blacked,
+                        min(self.migration.blackout_theft, self.max_theft),
+                        0.0,
+                    ),
+                    out=thefts,
+                )
         self.steps += 1
-        self.last_thefts = thefts
-        if self._placed_lanes:
-            self._theft_sum += float(thefts[self._placed_lanes].sum())
+        if idx.size:
+            self._theft_sum += float(thefts[idx].sum())
         self.peak_theft = max(self.peak_theft, float(thefts.max(initial=0.0)))
         return thefts
 
@@ -284,3 +525,9 @@ class HostMap:
         """Mean theft over all (step, placed lane) samples."""
         total = self.steps * len(self._placed_lanes)
         return self._theft_sum / total if total else 0.0
+
+
+#: Capacity value fleet engines pass for lanes without a provider: an
+#: unbounded allocation, so the allocation-aware footprint degrades to
+#: the offered demand.
+UNBOUNDED_CAPACITY = math.inf

@@ -1,0 +1,344 @@
+"""Placement policies: which shared host each fleet lane's VMs run on.
+
+PR 2's :class:`~repro.sim.hosts.HostMap` hard-wired two placements
+(round-robin ``spread`` and block-wise ``pack``) and a static
+offered-demand footprint, which left the paper-shaped question — *how
+much does where you put the VMs change the SLO/cost frontier?* — out of
+reach.  This module factors placement out behind one small protocol so
+the same fleet can run under different packings:
+
+* :class:`PlacementPolicy` — ``place(demands, hosts) -> host per lane``.
+  Policies are pure functions of the per-lane demand estimates and the
+  host shapes; the :class:`~repro.sim.hosts.HostMap` they feed stays a
+  vectorizable per-step matrix operation, so placement composes with
+  the batched (PR 3) and sharded (PR 4) fleet paths.
+* :class:`RoundRobinPlacement` / :class:`BlockPlacement` — the PR 2
+  behaviors re-expressed (``HostMap.spread`` / ``HostMap.pack``),
+  regression-pinned in ``tests/test_fleet_equivalence.py``.
+* :class:`FirstFitDecreasingPlacement` / :class:`BestFitPlacement` —
+  classic bin-packing over demand footprints.  When nothing fits, both
+  degrade deterministically to the host with the most headroom, so a
+  lane is always placed on exactly one host.
+* :class:`MigrationPolicy` — online re-packing: every
+  ``rebalance_every`` steps the worst-pressure host evicts a tenant to
+  the roomiest host, charging the migrated lane a *blackout window* of
+  degraded capacity (the paper's Sec. 3 VM-cloning cost, applied to a
+  live move instead of a profiling clone) that lands in the lane's SLO
+  accounting through the ordinary interference substrate.
+
+The placement-sensitivity study
+(:func:`repro.experiments.placement_study.run_placement_sensitivity_study`)
+runs the *same* fleet under each registered policy and emits the
+SLO-violation/cost/interference-theft frontier per policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.sim.hosts import HostMap, SimHost
+
+
+@runtime_checkable
+class PlacementPolicy(Protocol):
+    """Maps per-lane demand estimates onto hosts, one host per lane."""
+
+    name: str
+
+    def place(
+        self, demands: Sequence[float], hosts: Sequence[SimHost]
+    ) -> list[int]:
+        """Host index for every lane, in lane order.
+
+        ``demands`` are placement-time footprint estimates (the study
+        uses each lane's peak offered demand over its learning day);
+        ``hosts`` supply the capacities bin-packing packs against.
+        Every lane must land on exactly one valid host.
+        """
+        ...
+
+
+def _check_inputs(demands: Sequence[float], hosts: Sequence[SimHost]) -> None:
+    if not hosts:
+        raise ValueError("placement needs at least one host")
+    if any(d < 0 for d in demands):
+        raise ValueError("lane demand estimates cannot be negative")
+
+
+class RoundRobinPlacement:
+    """Lane ``i`` on host ``i % n_hosts`` — PR 2's ``HostMap.spread``."""
+
+    name = "round_robin"
+
+    def place(
+        self, demands: Sequence[float], hosts: Sequence[SimHost]
+    ) -> list[int]:
+        _check_inputs(demands, hosts)
+        return [lane % len(hosts) for lane in range(len(demands))]
+
+
+class BlockPlacement:
+    """Fill hosts block-wise — PR 2's ``HostMap.pack``.
+
+    ``lanes_per_host=None`` derives the block size from the host count
+    (``ceil(n_lanes / n_hosts)``), which reproduces ``pack`` exactly
+    whenever the host count is the one ``pack`` would have created.
+    """
+
+    name = "block"
+
+    def __init__(self, lanes_per_host: int | None = None) -> None:
+        if lanes_per_host is not None and lanes_per_host < 1:
+            raise ValueError(
+                f"need at least one lane per host: {lanes_per_host}"
+            )
+        self.lanes_per_host = lanes_per_host
+
+    def place(
+        self, demands: Sequence[float], hosts: Sequence[SimHost]
+    ) -> list[int]:
+        _check_inputs(demands, hosts)
+        n_lanes, n_hosts = len(demands), len(hosts)
+        block = self.lanes_per_host
+        if block is None:
+            block = max(1, -(-n_lanes // n_hosts))
+        placement = [lane // block for lane in range(n_lanes)]
+        if placement and placement[-1] >= n_hosts:
+            raise ValueError(
+                f"block placement of {n_lanes} lanes at {block} per host "
+                f"needs {placement[-1] + 1} hosts; have {n_hosts}"
+            )
+        return placement
+
+
+def _fallback_host(residual: np.ndarray) -> int:
+    """Deterministic overflow target: most headroom, ties to low index."""
+    return int(np.argmax(residual))
+
+
+class FirstFitDecreasingPlacement:
+    """Classic FFD bin packing: biggest demand first, first host it fits.
+
+    A lane that fits nowhere goes to the host with the most remaining
+    headroom — placement never drops a lane, it degrades into the
+    least-bad overcommit.
+    """
+
+    name = "first_fit_decreasing"
+
+    def place(
+        self, demands: Sequence[float], hosts: Sequence[SimHost]
+    ) -> list[int]:
+        _check_inputs(demands, hosts)
+        residual = np.array([h.capacity_units for h in hosts], dtype=float)
+        placement = [0] * len(demands)
+        order = sorted(
+            range(len(demands)), key=lambda lane: (-demands[lane], lane)
+        )
+        for lane in order:
+            demand = float(demands[lane])
+            fits = np.flatnonzero(residual >= demand - 1e-12)
+            host = int(fits[0]) if fits.size else _fallback_host(residual)
+            placement[lane] = host
+            residual[host] -= demand
+        return placement
+
+
+class BestFitPlacement:
+    """Online best fit: each lane, in lane order, onto the fitting host
+    it leaves tightest (smallest leftover), ties to the lowest index."""
+
+    name = "best_fit"
+
+    def place(
+        self, demands: Sequence[float], hosts: Sequence[SimHost]
+    ) -> list[int]:
+        _check_inputs(demands, hosts)
+        residual = np.array([h.capacity_units for h in hosts], dtype=float)
+        placement = [0] * len(demands)
+        for lane, demand in enumerate(demands):
+            demand = float(demand)
+            fits = np.flatnonzero(residual >= demand - 1e-12)
+            if fits.size:
+                host = int(fits[np.argmin(residual[fits])])
+            else:
+                host = _fallback_host(residual)
+            placement[lane] = host
+            residual[host] -= demand
+        return placement
+
+
+#: Registered policies, by CLI/study name.
+PLACEMENT_POLICIES: dict[str, type] = {
+    "round_robin": RoundRobinPlacement,
+    "block": BlockPlacement,
+    "first_fit_decreasing": FirstFitDecreasingPlacement,
+    "best_fit": BestFitPlacement,
+}
+
+
+def make_policy(policy: "str | PlacementPolicy") -> PlacementPolicy:
+    """Resolve a policy name (or pass a policy object through)."""
+    if isinstance(policy, str):
+        try:
+            return PLACEMENT_POLICIES[policy]()
+        except KeyError:
+            raise ValueError(
+                f"unknown placement policy {policy!r}; "
+                f"use one of {sorted(PLACEMENT_POLICIES)}"
+            ) from None
+    if not isinstance(policy, PlacementPolicy):
+        raise TypeError(f"not a placement policy: {policy!r}")
+    return policy
+
+
+# ----------------------------------------------------------------------
+# Packing quality helpers (tests, migration planning, studies)
+# ----------------------------------------------------------------------
+
+
+def host_loads(
+    placement: Sequence[int | None],
+    demands: Sequence[float],
+    n_hosts: int,
+) -> np.ndarray:
+    """Per-host total demand under a placement (``None`` = dedicated)."""
+    loads = np.zeros(n_hosts, dtype=float)
+    for lane, host in enumerate(placement):
+        if host is not None:
+            loads[host] += float(demands[lane])
+    return loads
+
+
+def total_overcommit(
+    placement: Sequence[int | None],
+    demands: Sequence[float],
+    hosts: Sequence[SimHost],
+) -> float:
+    """Summed per-host demand in excess of capacity — the packing-quality
+    metric the property tests and the migration planner minimize."""
+    loads = host_loads(placement, demands, len(hosts))
+    caps = np.array([h.capacity_units for h in hosts], dtype=float)
+    return float(np.maximum(loads - caps, 0.0).sum())
+
+
+# ----------------------------------------------------------------------
+# Online migration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MigrationPolicy:
+    """Re-pack the worst-pressure host every ``rebalance_every`` steps.
+
+    Each rebalance moves up to ``max_moves`` tenants off the host with
+    the largest demand-over-capacity excess, preferring the biggest
+    tenant that *fits* elsewhere (falling back to the biggest tenant and
+    the roomiest host), and only commits a move that strictly reduces
+    the fleet's total overcommit.  A migrated lane pays
+    ``blackout_seconds`` of ``blackout_theft`` capacity loss — the VM
+    is being cloned/moved, so its service degrades exactly as if a
+    co-tenant were squeezing it — which flows into the lane's SLO
+    accounting through the ordinary interference feed.
+    """
+
+    rebalance_every: int = 12
+    blackout_seconds: float = 600.0
+    blackout_theft: float = 0.5
+    max_moves: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rebalance_every < 1:
+            raise ValueError(
+                f"rebalance interval must be >= 1 step: {self.rebalance_every}"
+            )
+        if self.blackout_seconds < 0:
+            raise ValueError(
+                f"blackout cannot be negative: {self.blackout_seconds}"
+            )
+        if not 0.0 <= self.blackout_theft <= 1.0:
+            raise ValueError(
+                f"blackout theft must be in [0, 1]: {self.blackout_theft}"
+            )
+        if self.max_moves < 1:
+            raise ValueError(f"need at least one move: {self.max_moves}")
+
+    def plan(
+        self,
+        placement: Sequence[int | None],
+        demands: Sequence[float],
+        hosts: Sequence[SimHost],
+    ) -> list[tuple[int, int]]:
+        """The ``(lane, new host)`` moves one rebalance performs.
+
+        Pure planning — the owning :class:`~repro.sim.hosts.HostMap`
+        executes the moves (and charges the blackouts).
+        """
+        placement = list(placement)
+        demands = np.asarray(demands, dtype=float)
+        caps = np.array([h.capacity_units for h in hosts], dtype=float)
+        moves: list[tuple[int, int]] = []
+        for _ in range(self.max_moves):
+            loads = host_loads(placement, demands, len(hosts))
+            excess = loads - caps
+            worst = int(np.argmax(excess))
+            if excess[worst] <= 0.0:
+                break
+            residual = caps - loads
+            tenants = sorted(
+                (lane for lane, host in enumerate(placement) if host == worst),
+                key=lambda lane: (-demands[lane], lane),
+            )
+            if len(tenants) < 2:
+                break  # a lone tenant's overload is self-saturation
+            move = None
+            for lane in tenants:
+                fits = [
+                    h
+                    for h in range(len(hosts))
+                    if h != worst and residual[h] >= demands[lane] - 1e-12
+                ]
+                if fits:
+                    target = max(fits, key=lambda h: (residual[h], -h))
+                    move = (lane, target)
+                    break
+            if move is None:
+                # Nothing fits cleanly; push the biggest tenant to the
+                # roomiest other host if that still helps overall.
+                lane = tenants[0]
+                others = [h for h in range(len(hosts)) if h != worst]
+                target = max(others, key=lambda h: (residual[h], -h))
+                move = (lane, target)
+            before = total_overcommit(placement, demands, hosts)
+            candidate = list(placement)
+            candidate[move[0]] = move[1]
+            if total_overcommit(candidate, demands, hosts) >= before - 1e-12:
+                break
+            placement = candidate
+            moves.append(move)
+        return moves
+
+
+def build_host_map(
+    policy: "str | PlacementPolicy",
+    demands: Sequence[float],
+    n_hosts: int,
+    capacity_units: float,
+    **kwargs,
+) -> HostMap:
+    """Place ``demands`` onto ``n_hosts`` equal hosts under a policy.
+
+    Extra keyword arguments (``demand_fn``, ``max_theft``,
+    ``migration``) pass through to :class:`~repro.sim.hosts.HostMap`.
+    """
+    if n_hosts < 1:
+        raise ValueError(f"need at least one host: {n_hosts}")
+    hosts = [
+        SimHost(capacity_units=capacity_units, label=f"host-{h}")
+        for h in range(n_hosts)
+    ]
+    placement = make_policy(policy).place(demands, hosts)
+    return HostMap(hosts, placement, **kwargs)

@@ -63,6 +63,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--host-capacity", "0"])
 
+    def test_fleet_placement_flag(self):
+        args = build_parser().parse_args(
+            ["fleet", "--hosts", "4", "--placement", "best_fit"]
+        )
+        assert args.placement == "best_fit"
+        assert build_parser().parse_args(["fleet"]).placement == "round_robin"
+
+    def test_fleet_unknown_placement_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--placement", "pile"])
+
+    def test_placement_command_defaults(self):
+        args = build_parser().parse_args(["placement"])
+        assert args.command == "placement"
+        assert args.lanes == 50
+        assert args.hosts == 10
+        assert args.host_capacity == 30.0
+        assert args.mix == "mixed"
+        assert "first_fit_decreasing" in args.policies
+        assert args.rebalance_every == 12
+
+    def test_placement_command_policies(self):
+        args = build_parser().parse_args(
+            ["placement", "--policies", "best_fit+migrate", "round_robin"]
+        )
+        assert args.policies == ["best_fit+migrate", "round_robin"]
+
 
 class TestRegistry:
     def test_every_figure_covered(self):
@@ -116,5 +143,36 @@ class TestMain:
         )
         out = capsys.readouterr().out
         assert "(mixed)" in out
-        assert "shared hosts (1 x 12 units)" in out
+        assert "shared hosts (1 x 12 units, round_robin placement" in out
         assert "escalation" in out
+
+    def test_run_fleet_with_placement_policy(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet", "--lanes", "2", "--hours", "2",
+                    "--mix", "mixed", "--hosts", "1",
+                    "--placement", "first_fit_decreasing",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "first_fit_decreasing placement" in out
+
+    def test_run_placement_study(self, capsys):
+        assert (
+            main(
+                [
+                    "placement", "--lanes", "4", "--hours", "2",
+                    "--hosts", "2", "--host-capacity", "10",
+                    "--policies", "round_robin", "best_fit",
+                    "--demand-factors", "0.8", "1.2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "placement: 4 lanes on 2 shared hosts" in out
+        assert "round_robin" in out and "best_fit" in out
+        assert "best:" in out

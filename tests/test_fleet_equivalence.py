@@ -276,6 +276,114 @@ def test_batched_is_the_study_default():
     assert study.batched
 
 
+# ----------------------------------------------------------------------
+# Host-coupled fleets: placement policies + allocation-aware demand
+# ----------------------------------------------------------------------
+
+
+HOSTED = dict(
+    n_lanes=4,
+    mix="mixed",
+    hours=8.0,
+    lane_seed_stride=0,
+    seed=0,
+    n_hosts=2,
+    host_capacity_units=5.0,
+    profiling_slots=4,  # uncontended: the exact-equivalence regime
+)
+
+
+@pytest.mark.parametrize(
+    "placement", ["round_robin", "block", "first_fit_decreasing", "best_fit"]
+)
+def test_batched_matches_scalar_under_every_placement(placement):
+    """Batched == scalar stays bit-identical with a HostMap and the
+    allocation-aware demand footprint, under every placement policy."""
+    from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+
+    results = {
+        batched: run_fleet_multiplexing_study(
+            placement=placement, batched=batched, **HOSTED
+        )
+        for batched in (True, False)
+    }
+    batched, scalar = results[True], results[False]
+    assert batched.placement == scalar.placement == placement
+    assert batched.host_demand == "allocation"
+    # The coupling must actually fire, or this proves nothing.
+    assert batched.peak_host_theft > 0.0
+    assert batched.result.n_steps > 0
+    assert batched.result.schemas == scalar.result.schemas
+    for name in batched.result.series_names():
+        np.testing.assert_array_equal(
+            batched.result.matrix(name), scalar.result.matrix(name),
+            strict=True, err_msg=f"{placement}:{name}",
+        )
+    assert batched.lane_events == scalar.lane_events
+    assert any(batched.lane_events)
+    assert batched.mean_host_theft == scalar.mean_host_theft
+    assert batched.interference_escalations == scalar.interference_escalations
+
+
+class TestLegacyHostBehaviorPinned:
+    """PR 2's host coupling, re-expressed through the policy layer.
+
+    ``placement="round_robin"`` + ``host_demand="offered"`` must
+    reproduce the pre-placement study (static offered-demand footprints
+    on ``HostMap.spread``) exactly: the golden numbers below were
+    captured from the PR 4 code immediately before the refactor.
+    """
+
+    PINNED = dict(
+        n_lanes=4,
+        mix="mixed",
+        hours=12.0,
+        lane_seed_stride=0,
+        seed=0,
+        n_hosts=2,
+        host_capacity_units=5.0,
+    )
+
+    def run_offered(self, **overrides):
+        from repro.experiments.multiplexing_study import (
+            run_fleet_multiplexing_study,
+        )
+
+        kwargs = dict(self.PINNED, host_demand="offered", **overrides)
+        return run_fleet_multiplexing_study(**kwargs)
+
+    def test_round_robin_offered_reproduces_pr2_dynamics(self):
+        study = self.run_offered()
+        assert study.placement == "round_robin"
+        assert study.mean_host_theft == pytest.approx(
+            0.04398515493749479, rel=1e-9
+        )
+        assert study.peak_host_theft == pytest.approx(
+            0.18473429426475763, rel=1e-9
+        )
+        assert study.host_overload_fraction == pytest.approx(0.375, rel=1e-9)
+        assert study.violation_fraction == pytest.approx(
+            0.026041666666666668, rel=1e-9
+        )
+        assert study.interference_escalations == 1
+
+    def test_policy_placements_match_spread_and_pack(self):
+        from repro.sim.hosts import HostMap
+        from repro.sim.placement import make_policy
+
+        demands = [3.0, 7.0, 2.0, 5.0, 4.0]  # ignored by both policies
+        hosts = HostMap.spread(5, 2, 10.0).hosts
+        assert (
+            tuple(make_policy("round_robin").place(demands, hosts))
+            == HostMap.spread(5, 2, 10.0).placement
+        )
+        packed = HostMap.pack(5, 2, 10.0)
+        assert (
+            tuple(make_policy("block").place(demands, packed.hosts))
+            == packed.placement
+        )
+
+
 def test_wrapper_still_validates_duration():
     workload_fn, controller, observe_fn = build_policy("overprovision")
     engine = SimulationEngine(workload_fn, controller, observe_fn)

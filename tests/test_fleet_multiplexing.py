@@ -41,6 +41,43 @@ class TestValidation:
             "scaleout", "scaleup", "scaleout", "scaleup",
         )
 
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="unknown placement policy"):
+            run_fleet_multiplexing_study(n_lanes=2, n_hosts=1, placement="pile")
+
+    def test_placement_without_hosts_rejected(self):
+        with pytest.raises(ValueError, match="pass n_hosts"):
+            run_fleet_multiplexing_study(
+                n_lanes=2, placement="first_fit_decreasing"
+            )
+
+    def test_migration_without_hosts_rejected(self):
+        from repro.sim.placement import MigrationPolicy
+
+        with pytest.raises(ValueError, match="pass n_hosts"):
+            run_fleet_multiplexing_study(
+                n_lanes=2, migration=MigrationPolicy()
+            )
+
+    def test_unknown_host_demand_rejected(self):
+        with pytest.raises(ValueError, match="host_demand"):
+            run_fleet_multiplexing_study(n_lanes=2, host_demand="psychic")
+
+    def test_nonpositive_demand_factor_rejected(self):
+        with pytest.raises(ValueError, match="demand factors"):
+            run_fleet_multiplexing_study(n_lanes=2, demand_factors=(1.0, 0.0))
+
+    def test_lane_families_split_by_demand_factor(self):
+        from repro.experiments.multiplexing_study import lane_families
+
+        assert lane_families(4, "mixed", None) == (
+            "scaleout", "scaleup", "scaleout", "scaleup",
+        )
+        families = lane_families(4, "mixed", (0.5, 1.0))
+        assert families == (
+            "scaleout@x0.5", "scaleup@x1", "scaleout@x0.5", "scaleup@x1",
+        )
+
 
 class TestSharedRepository:
     def test_hit_rate_monotone_as_lanes_grow(self):
@@ -218,6 +255,98 @@ class TestHeterogeneousFleet:
     def test_violations_judged_against_each_lanes_own_slo(self):
         study = self.run_mixed(hours=2.0)
         assert 0.0 <= study.violation_fraction <= 1.0
+
+
+class TestHeterogeneousDemand:
+    """``demand_factors`` makes lanes differently sized (and family-split)."""
+
+    def test_one_learning_run_per_kind_and_factor(self):
+        study = run_small(
+            4, hours=2.0, mix="scaleout", demand_factors=(0.5, 1.0)
+        )
+        assert study.demand_factors == (0.5, 1.0)
+        assert study.learning_runs == 2  # scaleout@x0.5 and scaleout@x1
+
+    def test_factor_one_reproduces_uniform_fleet(self):
+        uniform = run_small(2, hours=2.0)
+        factored = run_small(2, hours=2.0, demand_factors=(1.0,))
+        assert (
+            factored.result.matrix("latency_ms").tolist()
+            == uniform.result.matrix("latency_ms").tolist()
+        )
+        assert factored.hit_rate == uniform.hit_rate
+
+    def test_bigger_factor_bigger_spend(self):
+        small = run_small(1, hours=12.0, demand_factors=(0.5,))
+        big = run_small(1, hours=12.0, demand_factors=(1.2,))
+        assert big.fleet_hourly_cost > small.fleet_hourly_cost
+
+
+class TestPlacementSensitivityStudy:
+    """The tentpole study: same fleet, different packings."""
+
+    #: 20 heterogeneous lanes on 5 hosts: five lane sizes against a
+    #: host count they stride, so round-robin stacks same-sized lanes.
+    KWARGS = dict(
+        n_lanes=20,
+        hours=24.0,
+        n_hosts=5,
+        host_capacity_units=24.0,
+        demand_factors=(0.7, 0.85, 1.0, 1.1, 1.2),
+    )
+
+    def test_ffd_strictly_reduces_mean_theft_vs_round_robin(self):
+        from repro.experiments.placement_study import (
+            run_placement_sensitivity_study,
+        )
+
+        study = run_placement_sensitivity_study(
+            policies=("round_robin", "first_fit_decreasing"), **self.KWARGS
+        )
+        round_robin = study.point("round_robin")
+        ffd = study.point("first_fit_decreasing")
+        # The same fleet, the same traces, the same controllers — only
+        # the packing differs, and it alone moves the theft frontier.
+        assert round_robin.fleet_hourly_cost == pytest.approx(
+            ffd.fleet_hourly_cost, rel=0.05
+        )
+        assert round_robin.mean_host_theft > 0.0
+        assert ffd.mean_host_theft < round_robin.mean_host_theft
+        assert ffd.peak_host_theft < round_robin.peak_host_theft
+        assert study.best.policy in ("first_fit_decreasing", "round_robin")
+
+    def test_migrate_suffix_attaches_migration(self):
+        from repro.experiments.placement_study import (
+            run_placement_sensitivity_study,
+        )
+
+        study = run_placement_sensitivity_study(
+            policies=("round_robin", "round_robin+migrate"),
+            rebalance_every=12,
+            **self.KWARGS,
+        )
+        static = study.point("round_robin")
+        migrating = study.point("round_robin+migrate")
+        assert static.migrations == 0
+        assert migrating.migrations >= 1
+        assert migrating.mean_host_theft < static.mean_host_theft
+
+    def test_point_lookup_and_validation(self):
+        from repro.experiments.placement_study import (
+            parse_policy_spec,
+            run_placement_sensitivity_study,
+        )
+
+        with pytest.raises(ValueError, match="at least one"):
+            run_placement_sensitivity_study(policies=())
+        with pytest.raises(ValueError, match="unknown placement policy"):
+            parse_policy_spec("tetris")
+        with pytest.raises(ValueError, match="suffix"):
+            parse_policy_spec("best_fit+teleport")
+        name, migration = parse_policy_spec("best_fit+migrate")
+        assert name == "best_fit" and migration is not None
+        name, migration = parse_policy_spec("best_fit")
+        assert name == "best_fit" and migration is None
 
 
 class TestHostCoupling:

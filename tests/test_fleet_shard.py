@@ -276,7 +276,33 @@ class TestShardedStudy:
             run_fleet_multiplexing_study(n_lanes=4, shards=0)
         with pytest.raises(ValueError, match="cannot cut"):
             run_fleet_multiplexing_study(n_lanes=2, hours=1.0, shards=4)
+
+    def test_hosts_with_shards_fails_loudly_at_call_time(self):
+        # Host coupling crosses shard boundaries under any placement,
+        # so the study must refuse up front — before building a single
+        # lane — with a message that names both the restriction and the
+        # fix.  (A 10,000-hour sweep must fail in microseconds, not
+        # after the first shard ran.)
+        import time
+
+        start = time.perf_counter()
+        with pytest.raises(
+            ValueError,
+            match=r"sharded sweeps model dedicated hardware; host "
+            r"coupling \(n_hosts, and with it placement/migration\) "
+            r"crosses shard boundaries — run with shards=1",
+        ):
+            run_fleet_multiplexing_study(
+                n_lanes=4, hours=10_000.0, shards=2, n_hosts=2
+            )
+        assert time.perf_counter() - start < 1.0
+
+    def test_placement_with_shards_also_rejected(self):
         with pytest.raises(ValueError, match="dedicated hardware"):
             run_fleet_multiplexing_study(
-                n_lanes=4, hours=1.0, shards=2, n_hosts=2
+                n_lanes=4,
+                hours=1.0,
+                shards=2,
+                n_hosts=2,
+                placement="first_fit_decreasing",
             )
