@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Gate bench/scenario metrics against the tracked baselines.
+
+Thin wrapper over :func:`repro.scenarios.gate.check_bench` so the gate
+runs from a bare checkout without installing the package:
+
+    python scripts/check_bench.py                 # run smokes, gate
+    python scripts/check_bench.py --update        # adopt new baseline
+    python scripts/check_bench.py out/run.jsonl --baseline BENCH_scenarios.json
+
+Exit code 0 when every gated metric matches its baseline within
+tolerance, 1 on any drift (see ``repro/scenarios/gate.py`` for the
+tolerance rules and the file formats understood).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenarios.gate import check_bench  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(check_bench())

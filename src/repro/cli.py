@@ -8,6 +8,8 @@
     python -m repro.cli fleet --lanes 50 --hosts 10 --placement first_fit_decreasing
     python -m repro.cli fleet --lanes 400 --shards 4 --workers 4
     python -m repro.cli placement --lanes 50 --hosts 10
+    python -m repro.cli scenario list
+    python -m repro.cli scenario run scenarios/SYN-lane-ramp.yaml
 
 Each experiment name maps to the table/figure it regenerates; ``run``
 prints the headline numbers the paper's text quotes (the benchmark
@@ -30,7 +32,10 @@ legacy sequential generators.  ``placement`` runs the
 placement-sensitivity study: the *same* fleet under each policy,
 printing the SLO-violation/cost/interference-theft frontier per policy
 (policies accept a ``+migrate`` suffix to re-pack the worst-pressure
-host online, charging migrated lanes a blackout window).
+host online, charging migrated lanes a blackout window).  ``scenario``
+drives the declarative scenario library (``repro.scenarios``): ``run``
+executes YAML/JSON scenario documents and emits one JSONL record per
+scenario x policy on stdout; ``list`` shows the library.
 """
 
 from __future__ import annotations
@@ -186,6 +191,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[int], list[str]]]] = {
 
 def _fleet_rows(args) -> list[str]:
     from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+    from repro.sim.placement import MigrationPolicy
 
     study = run_fleet_multiplexing_study(
         n_lanes=args.lanes,
@@ -196,7 +202,12 @@ def _fleet_rows(args) -> list[str]:
         mix=args.mix,
         n_hosts=args.hosts if args.hosts > 0 else None,
         host_capacity_units=args.host_capacity,
-        placement=args.placement,
+        placement=args.placement or "round_robin",
+        migration=(
+            MigrationPolicy(rebalance_every=args.rebalance_every)
+            if args.migration
+            else None
+        ),
         batched=args.batch,
         rng_mode=args.rng_mode,
         shards=args.shards,
@@ -322,9 +333,23 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--placement",
         choices=["round_robin", "block", "first_fit_decreasing", "best_fit"],
-        default="round_robin",
+        default=None,
         help="policy packing lanes onto the shared hosts "
-        "(repro.sim.placement; needs --hosts)",
+        "(repro.sim.placement; requires --hosts; "
+        "default round_robin when hosts are enabled)",
+    )
+    fleet.add_argument(
+        "--migration",
+        action="store_true",
+        help="re-pack the worst-pressure host online every "
+        "--rebalance-every steps, charging migrated lanes a blackout "
+        "window (requires --hosts)",
+    )
+    fleet.add_argument(
+        "--rebalance-every",
+        type=int,
+        default=12,
+        help="steps between migration rebalances (with --migration)",
     )
     fleet.add_argument(
         "--batch",
@@ -402,16 +427,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="steps between migrations for '+migrate' policies",
     )
     placement.add_argument("--seed", type=int, default=0)
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="declarative scenario library (repro.scenarios)",
+    )
+    scenario_sub = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scenario_run = scenario_sub.add_parser(
+        "run",
+        help="run scenario documents; one JSONL record per "
+        "scenario x policy on stdout",
+    )
+    scenario_run.add_argument("files", nargs="+", metavar="FILE")
+    scenario_run.add_argument(
+        "--out",
+        default=None,
+        help="additionally write the JSONL records to this file",
+    )
+    scenario_run.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=None,
+        help="override the documents' worker counts (0 = inline)",
+    )
+    scenario_list = scenario_sub.add_parser(
+        "list", help="list the scenario documents in a directory"
+    )
+    scenario_list.add_argument(
+        "--dir",
+        default="scenarios",
+        help="directory holding the scenario documents",
+    )
     return parser
 
 
+def _scenario_rows(args) -> int:
+    import json
+    import sys
+
+    from repro.scenarios import (
+        list_scenarios,
+        load_scenario,
+        record_to_dict,
+        run_scenario,
+    )
+
+    if args.scenario_command == "list":
+        scenarios = list_scenarios(args.dir)
+        if not scenarios:
+            print(f"no scenario documents under {args.dir!r}")
+            return 0
+        for scenario in scenarios:
+            print(
+                f"{scenario.id:<24} {scenario.study:<10} {scenario.label}"
+            )
+        return 0
+    lines = []
+    for file in args.files:
+        scenario = load_scenario(file)
+        print(f"running {scenario.id} ({file})...", file=sys.stderr)
+        for record in run_scenario(scenario, workers=args.workers):
+            line = json.dumps(record_to_dict(record), sort_keys=True)
+            print(line)
+            lines.append(line)
+    if args.out:
+        with open(args.out, "w") as fp:
+            fp.write("\n".join(lines) + "\n")
+        print(f"{len(lines)} record(s) -> {args.out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
         for name, (description, _fn) in EXPERIMENTS.items():
             print(f"{name:<9} {description}")
         return 0
+    if args.command == "scenario":
+        return _scenario_rows(args)
     if args.command == "fleet":
+        if args.hosts == 0 and args.placement is not None:
+            parser.error(
+                f"--placement {args.placement} has no effect without "
+                "shared hosts; pass --hosts N (>= 1)"
+            )
+        if args.hosts == 0 and args.migration:
+            parser.error(
+                "--migration has no effect without shared hosts; "
+                "pass --hosts N (>= 1)"
+            )
         print(f"== fleet: {args.lanes}-service multiplexing study")
         for row in _fleet_rows(args):
             print(f"   {row}")

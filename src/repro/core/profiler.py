@@ -119,11 +119,14 @@ class ProductionEnvironment:
         """
         capacity = self.provider.serving_capacity(t)
         if capacity <= 0:
-            # Nothing serving: report the timeout cap.
+            # Nothing serving: report the timeout cap at the model's
+            # finite saturated utilization (an infinite utilization
+            # would contaminate fleet-wide numpy aggregates with
+            # inf/NaN).
             return PerformanceSample(
                 latency_ms=self.service.model.max_latency_ms,
                 qos_percent=50.0,
-                utilization=float("inf"),
+                utilization=self.service.model.saturated_utilization,
             )
         return self.service.performance(
             workload,

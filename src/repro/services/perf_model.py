@@ -74,6 +74,32 @@ class QueueingModel:
             raise ValueError(f"interference fraction out of [0,1): {interference}")
         return demand_units / (capacity_units * (1.0 - interference))
 
+    @property
+    def saturated_utilization(self) -> float:
+        """Smallest utilization at which latency is pinned at the cap.
+
+        The finite stand-in for "nothing is serving at all": a sample at
+        this utilization already reports ``max_latency_ms``, so using it
+        as the zero-capacity sentinel keeps (latency, utilization) pairs
+        on the model's curve while staying finite — ``float("inf")``
+        here used to leak into fleet-wide numpy aggregates and turn
+        means into inf/NaN.
+        """
+        rho = 1.0 - self.base_latency_ms / self.max_latency_ms
+        if rho < self.smoothing_rho:
+            return rho
+        knee_latency = self.base_latency_ms / (1.0 - self.smoothing_rho)
+        knee_slope = self.base_latency_ms / (1.0 - self.smoothing_rho) ** 2
+        rho = self.smoothing_rho + (self.max_latency_ms - knee_latency) / knee_slope
+        if rho <= 1.0:
+            return rho
+        return (
+            self.max_latency_ms
+            - knee_latency
+            + knee_slope * self.smoothing_rho
+            + self.overload_slope_ms
+        ) / (knee_slope + self.overload_slope_ms)
+
     def latency_ms(
         self, demand_units: float, capacity_units: float, interference: float = 0.0
     ) -> float:

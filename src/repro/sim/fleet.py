@@ -156,14 +156,24 @@ class ProfilingQueue:
 
         Accepted requests occupy a slot back-to-back for exactly
         ``service_seconds`` each, so a slot freeing at ``F`` still owes
-        ``ceil((F - t) / service_seconds)`` runs (the epsilon keeps
-        exact multiples from rounding up).
+        ``ceil((F - t) / service_seconds)`` runs.  The tolerance keeps
+        exact service-multiple boundaries from rounding up — and it must
+        scale with the *clock* magnitude, not be a fixed epsilon:
+        ``F - t`` carries the rounding error of subtracting two large
+        simulation times (a few ulp of ``t``), which at ``t ~ 1e9``
+        seconds dwarfs any absolute 1e-12 and would overcount
+        ``pending_at`` into spurious bounded-queue rejections.
         """
         service = self.service_seconds
-        return [
-            math.ceil((free - t) / service - 1e-12) if free > t else 0
-            for free in self._slot_free
-        ]
+        eps = 2.220446049250313e-16  # float ulp at 1.0
+        out = []
+        for free in self._slot_free:
+            if free <= t:
+                out.append(0)
+                continue
+            tol = max(1e-12, 4.0 * eps * max(abs(t), abs(free)) / service)
+            out.append(max(1, math.ceil((free - t) / service - tol)))
+        return out
 
     def pending_at(self, t: float) -> int:
         """Requests granted but not yet *started* at time ``t``."""

@@ -30,6 +30,7 @@ from __future__ import annotations
 import os
 import tempfile
 import time
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context
 from pathlib import Path
@@ -62,6 +63,33 @@ def partition_lanes(n_lanes: int, shards: int) -> list[range]:
     return ranges
 
 
+def _check_shard_order(parts: list[FleetResult]) -> None:
+    """Reject shard results passed out of ascending global-lane order.
+
+    The merge concatenates columns in the order the parts arrive, so a
+    swapped pair would silently misalign every per-lane series.  Lane
+    labels of the fleet engine's ``<prefix>-<global index>`` form carry
+    the global order; when every label across every part has a numeric
+    suffix, the flattened sequence must be strictly increasing.  Parts
+    with free-form labels skip the check (only the duplicate-label guard
+    applies).
+    """
+    indices: list[int] = []
+    for part in parts:
+        for label in part.lane_labels:
+            prefix, _, suffix = label.rpartition("-")
+            if not prefix or not suffix.isdigit():
+                return
+            indices.append(int(suffix))
+    for previous, current in zip(indices, indices[1:]):
+        if current <= previous:
+            raise ValueError(
+                f"shard results are out of global lane order (lane "
+                f"{current} follows lane {previous}); pass parts in "
+                "ascending shard order, shard 0 first"
+            )
+
+
 def merge_fleet_results(
     parts: list[FleetResult], label: str = "fleet"
 ) -> FleetResult:
@@ -79,12 +107,21 @@ def merge_fleet_results(
     for part in parts[1:]:
         if not np.array_equal(part.times, times):
             raise ValueError(
-                "shard results disagree on step times; they must come "
-                "from one sweep"
+                f"shard results disagree on step times ({part.label!r} "
+                f"recorded {part.n_steps} step(s) vs {parts[0].label!r} "
+                f"with {len(times)}); they must come from one sweep"
             )
     lane_labels = tuple(
         lane_label for part in parts for lane_label in part.lane_labels
     )
+    if len(set(lane_labels)) != len(lane_labels):
+        counts = Counter(lane_labels)
+        duplicates = sorted(label for label, n in counts.items() if n > 1)
+        raise ValueError(
+            f"duplicate lane labels across shard results: {duplicates}; "
+            "the same shard was passed twice or the parts overlap"
+        )
+    _check_shard_order(parts)
     schemas: list[tuple[str, ...]] = []
     schema_index: dict[tuple[str, ...], int] = {}
     lane_schemas: list[int] = []
@@ -173,8 +210,9 @@ def run_sharded(
     if shard_dir is None:
         own_tmp = tempfile.TemporaryDirectory(prefix="fleet-shards-")
         shard_dir = own_tmp.name
+    directory = Path(shard_dir)
+    jobs: list[tuple] = []
     try:
-        directory = Path(shard_dir)
         directory.mkdir(parents=True, exist_ok=True)
         jobs = [
             (spec, lanes.start, lanes.stop, str(directory / f"shard_{k:03d}.npz"))
@@ -194,6 +232,15 @@ def run_sharded(
         merged = merge_fleet_results(parts, label=label)
         wall_seconds = time.perf_counter() - start
         return merged, payloads, wall_seconds
+    except BaseException:
+        # A failed sweep keeps nothing: shards that completed before
+        # the failure would otherwise orphan their .npz files in a
+        # caller-provided shard_dir (the temp dir case is covered by
+        # cleanup() below).  Successful sweeps with an explicit
+        # shard_dir keep their files, as documented.
+        for job in jobs:
+            Path(job[3]).unlink(missing_ok=True)
+        raise
     finally:
         if own_tmp is not None:
             own_tmp.cleanup()

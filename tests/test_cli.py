@@ -68,11 +68,42 @@ class TestParser:
             ["fleet", "--hosts", "4", "--placement", "best_fit"]
         )
         assert args.placement == "best_fit"
-        assert build_parser().parse_args(["fleet"]).placement == "round_robin"
+        # No flag means "no explicit choice": main() resolves it to
+        # round_robin only when hosts are enabled.
+        assert build_parser().parse_args(["fleet"]).placement is None
 
     def test_fleet_unknown_placement_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--placement", "pile"])
+
+    def test_fleet_migration_flags(self):
+        args = build_parser().parse_args(
+            ["fleet", "--hosts", "4", "--migration", "--rebalance-every", "6"]
+        )
+        assert args.migration is True
+        assert args.rebalance_every == 6
+        defaults = build_parser().parse_args(["fleet"])
+        assert defaults.migration is False
+        assert defaults.rebalance_every == 12
+
+    def test_scenario_run_command(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "a.yaml", "b.yaml", "--workers", "0"]
+        )
+        assert args.command == "scenario"
+        assert args.scenario_command == "run"
+        assert args.files == ["a.yaml", "b.yaml"]
+        assert args.workers == 0
+        assert args.out is None
+
+    def test_scenario_list_command(self):
+        args = build_parser().parse_args(["scenario", "list"])
+        assert args.scenario_command == "list"
+        assert args.dir == "scenarios"
+
+    def test_scenario_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
 
     def test_placement_command_defaults(self):
         args = build_parser().parse_args(["placement"])
@@ -159,6 +190,66 @@ class TestMain:
         )
         out = capsys.readouterr().out
         assert "first_fit_decreasing placement" in out
+
+    def test_fleet_placement_without_hosts_fails_loudly(self, capsys):
+        # These flags used to be silently ignored on dedicated
+        # hardware; now they fail like the pinned hosts+shards error.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--placement", "best_fit"])
+        assert excinfo.value.code == 2
+        assert "--hosts" in capsys.readouterr().err
+
+    def test_fleet_migration_without_hosts_fails_loudly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--migration"])
+        assert excinfo.value.code == 2
+        assert "--hosts" in capsys.readouterr().err
+
+    def test_run_fleet_with_migration(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet", "--lanes", "2", "--hours", "2",
+                    "--mix", "mixed", "--hosts", "1", "--migration",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "shared hosts" in out
+
+    def test_scenario_run_emits_jsonl(self, capsys, tmp_path):
+        import json
+
+        doc = tmp_path / "SYN-tiny.yaml"
+        doc.write_text(
+            "id: SYN-tiny\n"
+            "study: fleet\n"
+            "fleet:\n"
+            "  n_lanes: 2\n"
+            "  hours: 2.0\n"
+        )
+        out_path = tmp_path / "run.jsonl"
+        assert (
+            main(["scenario", "run", str(doc), "--out", str(out_path)]) == 0
+        )
+        stdout = capsys.readouterr().out
+        records = [json.loads(line) for line in stdout.splitlines()]
+        assert len(records) == 1
+        record = records[0]
+        assert record["scenario"] == "SYN-tiny"
+        assert record["policy"] == "dedicated"
+        assert record["metrics"]["n_steps"] == 24
+        assert out_path.read_text().strip() == stdout.strip()
+
+    def test_scenario_list_prints_library(self, capsys):
+        from pathlib import Path
+
+        scenario_dir = Path(__file__).resolve().parent.parent / "scenarios"
+        assert main(["scenario", "list", "--dir", str(scenario_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "SYN-lane-ramp" in out
+        assert "RL-diurnal-spikes" in out
 
     def test_run_placement_study(self, capsys):
         assert (

@@ -1,5 +1,8 @@
 """Unit tests for the profiling and production environments."""
 
+import math
+
+import numpy as np
 import pytest
 
 from repro.cloud.instance_types import LARGE
@@ -82,3 +85,34 @@ class TestProductionEnvironment:
         env.apply(Allocation(count=10, itype=LARGE), t=0.0)
         sample = env.performance_at(WORKLOAD, t=60.0)
         assert sample.latency_ms < env.service.model.max_latency_ms
+
+    def test_zero_capacity_sample_is_finite(self):
+        # The zero-capacity sentinel used to be utilization=inf, which
+        # leaked into fleet-wide numpy aggregates and turned means into
+        # inf/NaN.  It must be finite, sit on the model's latency
+        # curve, and still read as fully saturated.
+        env = ProductionEnvironment(CassandraService(), CloudProvider())
+        env.apply(Allocation(count=10, itype=LARGE), t=0.0)
+        sample = env.performance_at(WORKLOAD, t=0.0)  # all VMs warming
+        model = env.service.model
+        assert math.isfinite(sample.utilization)
+        assert sample.utilization == model.saturated_utilization
+        assert sample.latency_ms == model.max_latency_ms
+        # The sentinel pair lies on the model's own curve: evaluating
+        # latency at that utilization reproduces the cap.
+        capacity = 1.0
+        assert model.latency_ms(
+            model.saturated_utilization * capacity, capacity
+        ) == pytest.approx(model.max_latency_ms)
+        # And it aggregates cleanly.
+        healthy = env.performance_at(WORKLOAD, t=60.0)
+        mean = np.mean([sample.utilization, healthy.utilization])
+        assert math.isfinite(mean)
+
+    def test_saturated_utilization_is_minimal(self):
+        # saturated_utilization is the *smallest* capped utilization:
+        # a hair below it the latency is still under the cap.
+        model = CassandraService().model
+        rho = model.saturated_utilization
+        assert model.latency_ms(rho, 1.0) == model.max_latency_ms
+        assert model.latency_ms(rho * (1.0 - 1e-6), 1.0) < model.max_latency_ms

@@ -14,7 +14,20 @@ import pytest
 
 from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
 from repro.sim.fleet import FleetResult
-from repro.sim.shard import merge_fleet_results, partition_lanes
+from repro.sim.shard import merge_fleet_results, partition_lanes, run_sharded
+
+
+def _worker_failing_after_first(spec, lane_lo, lane_hi, result_path):
+    """Persists shard 0, then dies — leaves an orphan unless cleaned up."""
+    if lane_lo > 0:
+        raise RuntimeError("worker crashed mid-sweep")
+    FleetResult(
+        label="shard-0",
+        lane_labels=tuple(f"svc-{i}" for i in range(lane_lo, lane_hi)),
+        times=np.array([0.0]),
+        matrices={"m": np.zeros((1, lane_hi - lane_lo))},
+    ).to_npz(result_path)
+    return {}
 
 HOURS = 6.0
 
@@ -200,6 +213,63 @@ class TestMerge:
         with pytest.raises(ValueError, match="step times"):
             merge_fleet_results([a, b])
 
+    def test_times_mismatch_diagnostic_names_both_parts(self):
+        # Mismatched step counts (a shard from a different sweep) must
+        # say which parts disagree and by how much — not just "differ".
+        a = FleetResult(
+            label="shard-a", lane_labels=("svc-0",),
+            times=np.array([0.0, 60.0]),
+            matrices={"m": np.array([[1.0], [2.0]])},
+        )
+        b = FleetResult(
+            label="shard-b", lane_labels=("svc-1",),
+            times=np.array([0.0, 60.0, 120.0]),
+            matrices={"m": np.array([[1.0], [2.0], [3.0]])},
+        )
+        with pytest.raises(ValueError) as excinfo:
+            merge_fleet_results([a, b])
+        message = str(excinfo.value)
+        assert "shard-a" in message and "shard-b" in message
+        assert "3" in message and "2" in message
+
+    def test_merge_rejects_out_of_order_shards(self):
+        # Column merging trusts part order; a swapped pair would
+        # silently misalign every per-lane series, so the numeric lane
+        # labels are checked for ascending global order.
+        parts = [
+            FleetResult(
+                label=f"shard-{k}",
+                lane_labels=(f"svc-{2 * k}", f"svc-{2 * k + 1}"),
+                times=np.array([0.0]),
+                matrices={"m": np.array([[float(k), float(k)]])},
+            )
+            for k in range(2)
+        ]
+        with pytest.raises(ValueError, match="out of global lane order"):
+            merge_fleet_results([parts[1], parts[0]])
+
+    def test_merge_rejects_duplicate_lane_labels(self):
+        part = FleetResult(
+            label="shard-0", lane_labels=("svc-0",), times=np.array([0.0]),
+            matrices={"m": np.array([[1.0]])},
+        )
+        with pytest.raises(ValueError, match="duplicate lane labels"):
+            merge_fleet_results([part, part])
+
+    def test_free_form_labels_skip_the_order_check(self):
+        # Hand-built results with non-numeric labels (like the ones in
+        # this file) merge in whatever order they are given.
+        a = FleetResult(
+            label="a", lane_labels=("x",), times=np.array([0.0]),
+            matrices={"m": np.array([[1.0]])},
+        )
+        b = FleetResult(
+            label="b", lane_labels=("y",), times=np.array([0.0]),
+            matrices={"m": np.array([[2.0]])},
+        )
+        merged = merge_fleet_results([b, a])
+        assert merged.lane_labels == ("y", "x")
+
     def test_merge_requires_parts(self):
         with pytest.raises(ValueError):
             merge_fleet_results([])
@@ -260,6 +330,21 @@ class TestShardedStudy:
         assert files == ["shard_000.npz", "shard_001.npz"]
         part = FleetResult.from_npz(tmp_path / "shard_000.npz")
         assert part.n_lanes == 2
+
+    def test_failing_worker_leaves_no_orphan_npz(self, tmp_path):
+        # A mid-sweep worker failure used to strand the completed
+        # shards' .npz files in a caller-provided shard_dir; the sweep
+        # must clean up everything it wrote before re-raising.
+        with pytest.raises(RuntimeError, match="crashed mid-sweep"):
+            run_sharded(
+                _worker_failing_after_first,
+                spec=None,
+                n_lanes=4,
+                shards=2,
+                workers=0,
+                shard_dir=str(tmp_path),
+            )
+        assert list(tmp_path.glob("*.npz")) == []
 
     def test_events_preserve_per_lane_ordering(self):
         sharded = run_fleet_multiplexing_study(

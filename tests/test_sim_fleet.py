@@ -338,6 +338,37 @@ class TestProfilingQueue:
         assert not second.accepted
         assert third.wait_seconds == 0.0
 
+    def test_no_pending_overcount_at_large_time_boundaries(self):
+        # At t ~ 1e9 s the rounding error of (free - t) is a few ulp
+        # of t — far above any absolute epsilon.  With the old fixed
+        # 1e-12 tolerance an exact service-multiple boundary rounded
+        # *up*, pending_at overcounted, and a bounded queue rejected
+        # requests it had room for.  The tolerance must scale with the
+        # clock magnitude.
+        t0 = 1.0e9 + 0.25
+        queue = ProfilingQueue(slots=1, service_seconds=0.1, max_pending=2)
+        first, second, third = (queue.request(t0) for _ in range(3))
+        # The old code overcounted the two stacked services ahead of
+        # the third request as three waiters and spuriously rejected
+        # it despite max_pending having room.
+        assert first.accepted and second.accepted and third.accepted
+        # First done, second in service: exactly one waiter.
+        assert queue.pending_at(first.finish_at) == 1
+        fourth = queue.request(first.finish_at)
+        assert fourth.accepted
+        assert queue.rejected == 0
+        # Fully drained at the last boundary.
+        assert queue.pending_at(fourth.finish_at) == 0
+
+    def test_small_time_boundaries_stay_exact(self):
+        # The relative tolerance must not loosen the small-t behavior
+        # the other tests pin: just *before* a boundary the request is
+        # still outstanding, at the boundary it is gone.
+        queue = ProfilingQueue(slots=1, service_seconds=10.0)
+        grant = queue.request(0.0)
+        assert queue.depth_at(grant.finish_at - 1e-9) == 1
+        assert queue.depth_at(grant.finish_at) == 0
+
     def test_time_cannot_rewind(self):
         queue = ProfilingQueue()
         queue.request(10.0)
