@@ -15,8 +15,16 @@ cost as a fraction of fleet spend.  The paper's amortization argument
 next to 200 lanes of production capacity, so the frontier says where
 waiting stops hurting, not where profiling starts costing.
 
+``--policies`` adds the second, smarter axis the profiling economy
+opened: the same slot sweep under each admission policy (``fifo`` and
+``priority``).  Where extra slots buy SLO headroom with dollars,
+priority admission buys it with *ordering* — escalation probes and
+violation-triggered adaptations jump routine re-signature traffic — so
+the frontier shows how many slots smarter admission saves.
+
     python examples/profiling_slots_frontier.py
     python examples/profiling_slots_frontier.py --lanes 400 --shards 4
+    python examples/profiling_slots_frontier.py --policies fifo priority
 """
 
 import argparse
@@ -38,6 +46,22 @@ def main() -> None:
         "--slots", type=int, nargs="+", default=[1, 2, 4, 8]
     )
     parser.add_argument(
+        "--policies",
+        nargs="+",
+        choices=["fifo", "priority"],
+        default=["fifo"],
+        help="admission policies to sweep (the second frontier axis: "
+        "priority lets SLO-saving work outbid routine traffic at "
+        "equal slot count)",
+    )
+    parser.add_argument(
+        "--resignature-every",
+        type=float,
+        default=None,
+        help="routine re-signature period in seconds (background "
+        "traffic the priority policy can shed; default off)",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -52,40 +76,47 @@ def main() -> None:
         f"{args.hours:.0f} h, hourly adaptation waves"
     )
     header = (
-        f"{'slots':>5}  {'mean wait':>9}  {'max wait':>8}  {'depth':>5}  "
-        f"{'deferred':>8}  {'SLO viol.':>9}  {'util.':>6}  {'cost share':>10}"
+        f"{'policy':>8}  {'slots':>5}  {'mean wait':>9}  {'max wait':>8}  "
+        f"{'depth':>5}  {'deferred':>8}  {'evicted':>7}  {'SLO viol.':>9}  "
+        f"{'util.':>6}  {'cost share':>10}"
     )
     print(header)
     print("-" * len(header))
     frontier = []
-    for slots in args.slots:
-        study = run_fleet_multiplexing_study(
-            n_lanes=args.lanes,
-            hours=args.hours,
-            profiling_slots=slots,
-            shards=args.shards,
-            workers=args.workers,
-        )
-        frontier.append((slots, study))
-        print(
-            f"{slots:>5}  {study.mean_queue_wait_seconds:>8.0f}s  "
-            f"{study.max_queue_wait_seconds:>7.0f}s  "
-            f"{study.max_queue_depth:>5}  "
-            f"{study.deferred_adaptations:>8}  "
-            f"{study.violation_fraction:>9.2%}  "
-            f"{study.profiler_utilization:>6.1%}  "
-            f"{study.amortized_profiling_fraction:>10.3%}"
-        )
+    for policy in args.policies:
+        for slots in args.slots:
+            study = run_fleet_multiplexing_study(
+                n_lanes=args.lanes,
+                hours=args.hours,
+                profiling_slots=slots,
+                queue_policy=policy,
+                resignature_every_seconds=args.resignature_every,
+                shards=args.shards,
+                workers=args.workers,
+            )
+            frontier.append((policy, slots, study))
+            print(
+                f"{policy:>8}  {slots:>5}  "
+                f"{study.mean_queue_wait_seconds:>8.0f}s  "
+                f"{study.max_queue_wait_seconds:>7.0f}s  "
+                f"{study.max_queue_depth:>5}  "
+                f"{study.deferred_adaptations:>8}  "
+                f"{study.evicted_profiles:>7}  "
+                f"{study.violation_fraction:>9.2%}  "
+                f"{study.profiler_utilization:>6.1%}  "
+                f"{study.amortized_profiling_fraction:>10.3%}"
+            )
 
     # The knee: the smallest slot count whose extra slot no longer buys
-    # a meaningful SLO improvement.
-    best = min(frontier, key=lambda pair: pair[1].violation_fraction)
-    baseline = frontier[0][1]
+    # a meaningful SLO improvement (best across policies).
+    best = min(frontier, key=lambda row: row[2].violation_fraction)
+    baseline = frontier[0][2]
     print(
         f"\nfrontier: {baseline.violation_fraction:.2%} violations at "
-        f"{frontier[0][0]} slot(s) -> {best[1].violation_fraction:.2%} at "
-        f"{best[0]} slot(s); profiling environment stays "
-        f"{best[1].amortized_profiling_fraction:.2%} of fleet spend "
+        f"{frontier[0][1]} slot(s) ({frontier[0][0]}) -> "
+        f"{best[2].violation_fraction:.2%} at {best[1]} slot(s) "
+        f"({best[0]}); profiling environment stays "
+        f"{best[2].amortized_profiling_fraction:.2%} of fleet spend "
         f"(the Sec. 5 amortization claim at fleet scale)"
     )
 

@@ -7,6 +7,7 @@
     python -m repro.cli fleet --lanes 8 --mix mixed --hosts 4
     python -m repro.cli fleet --lanes 50 --hosts 10 --placement first_fit_decreasing
     python -m repro.cli fleet --lanes 400 --shards 4 --workers 4
+    python -m repro.cli fleet --lanes 12 --queue-policy priority --resignature-every 600
     python -m repro.cli placement --lanes 50 --hosts 10
     python -m repro.cli scenario list
     python -m repro.cli scenario run scenarios/SYN-lane-ramp.yaml
@@ -22,6 +23,10 @@ queue (Sec. 5).  ``--mix`` picks the composition — ``scaleout``
 places the lanes onto that many shared simulated hosts so co-located
 services steal capacity from each other and interference-band
 escalation fires across lanes (Sec. 3.6 at fleet scale).
+``--queue-policy priority`` turns the shared profiling queue into an
+admission market (escalations outbid routine re-signatures; watermarks
+shed; queued low-value work is evictable) — the default ``fifo`` keeps
+the original bounded queue bit for bit.
 ``--placement`` selects the policy that packs lanes onto those hosts
 (``repro.sim.placement``: round_robin, block, first_fit_decreasing,
 best_fit).  ``--shards``/``--workers`` partition the fleet into
@@ -198,6 +203,10 @@ def _fleet_rows(args) -> list[str]:
         hours=args.hours,
         step_seconds=args.step,
         profiling_slots=args.slots,
+        queue_policy=args.queue_policy,
+        queue_high_watermark=args.high_watermark,
+        queue_low_watermark=args.low_watermark,
+        resignature_every_seconds=args.resignature_every,
         seed=args.seed,
         mix=args.mix,
         n_hosts=args.hosts if args.hosts > 0 else None,
@@ -228,11 +237,16 @@ def _fleet_rows(args) -> list[str]:
         f"learning phases paid: {study.learning_runs} "
         f"({study.tuning_invocations} tuner runs, amortized fleet-wide)",
         f"shared-repository hit rate: {study.hit_rate:.1%}",
-        f"profiling queue ({args.slots} slot(s)): mean wait "
+        f"profiling queue ({args.slots} slot(s), {study.queue_policy} "
+        f"admission): mean wait "
         f"{study.mean_queue_wait_seconds:.0f} s, max wait "
         f"{study.max_queue_wait_seconds:.0f} s, peak depth "
         f"{study.max_queue_depth}, utilization "
         f"{study.profiler_utilization:.1%}",
+        f"queue outcomes: {study.accepted_profiles} accepted, "
+        f"{study.rejected_profiles} rejected, "
+        f"{study.evicted_profiles} evicted, "
+        f"{study.shed_profiles} shed",
         f"fleet production spend: ${study.fleet_hourly_cost:,.2f}/h; "
         f"profiling environment adds "
         f"{study.amortized_profiling_fraction:.2%} of that",
@@ -309,6 +323,37 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--hours", type=float, default=24.0)
     fleet.add_argument("--step", type=float, default=300.0)
     fleet.add_argument("--slots", type=int, default=1)
+    fleet.add_argument(
+        "--queue-policy",
+        choices=["fifo", "priority"],
+        default="fifo",
+        help="profiling-queue admission discipline: fifo (the original "
+        "bounded queue) or priority (escalation probes and "
+        "violation-triggered adaptations outbid routine re-signatures "
+        "and relearn sweeps; queued low-value work is evictable)",
+    )
+    fleet.add_argument(
+        "--high-watermark",
+        type=_nonnegative_int,
+        default=None,
+        help="pending depth at which the priority queue starts shedding "
+        "low-priority requests (requires --queue-policy priority and "
+        "--low-watermark)",
+    )
+    fleet.add_argument(
+        "--low-watermark",
+        type=_nonnegative_int,
+        default=None,
+        help="pending depth at which watermark shedding stops again",
+    )
+    fleet.add_argument(
+        "--resignature-every",
+        type=_positive_float,
+        default=None,
+        help="give every lane a routine re-signature stream with this "
+        "period in seconds (lowest priority: the background traffic "
+        "the admission market sheds first)",
+    )
     fleet.add_argument("--seed", type=int, default=0)
     fleet.add_argument(
         "--mix",

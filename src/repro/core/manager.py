@@ -16,6 +16,7 @@ This is the controller the paper's Figure 3 sketches:
 from __future__ import annotations
 
 import copy
+import math
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -34,6 +35,13 @@ from repro.core.signature import SignatureSchema, Standardizer
 from repro.core.tuner import LinearSearchTuner
 from repro.sim.clock import HOUR
 from repro.sim.engine import StepContext
+from repro.sim.fleet import (
+    PRIORITY_ADAPTATION,
+    PRIORITY_ESCALATION,
+    PRIORITY_RELEARN,
+    PRIORITY_ROUTINE,
+    ProfilingGrant,
+)
 from repro.workloads.request_mix import Workload
 
 #: Sentinel distinguishing "no prefetched repository entry" from a
@@ -107,6 +115,17 @@ class DejaVuConfig:
     mid-interval ("on-demand, e.g. upon a violation of an SLO",
     Sec. 3.3).  Used by the adaptation-time study."""
 
+    resignature_every_seconds: float | None = None
+    """Charge a routine background re-signature against the shared
+    profiling queue every this many seconds — accounting-only traffic
+    at the lowest priority class, modeling the fleet's steady
+    signature-refresh load on the clone VMs.  A priority queue sheds
+    or evicts these first; on a contended FIFO queue they delay SLO
+    -driven work behind them.  None (the default) disables the stream;
+    the scalar/batched bit-identity pins rely on the default, because
+    steps where only part of a fleet is due an adaptation order this
+    traffic differently around the batched wave."""
+
     seed: int = 0
 
 
@@ -143,6 +162,11 @@ class _PendingDeployment:
     workload: Workload
     workload_class: int | None
     run_interference_check: bool
+    grant: ProfilingGrant | None = None
+    """The signature run this decision waits on.  A priority queue can
+    revise the grant's schedule after the decision (later high bidders
+    push it back) or evict it outright; the flush re-reads the grant so
+    deployment follows true queue residency."""
 
 
 @dataclass
@@ -226,10 +250,24 @@ class DejaVuManager:
         self.profiling_queue = None
         self.deferred_adaptations = 0
         self.superseded_deployments = 0
+        self.evicted_adaptations = 0
+        self.resignature_requests = 0
         self.pending_deployment: _PendingDeployment | None = None
         self._pending_wait = 0.0
+        self._pending_grant: ProfilingGrant | None = None
         self._batch_classifier: BatchClassifier | None = None
         self._schema_columns: np.ndarray | None = None
+        # Relearn gating: a re-learned model computed while its learning
+        # sweep is still queued is *staged* — the old model keeps
+        # serving until the burst's last grant finishes.
+        self._staged_model: dict | None = None
+        self._staged_burst: tuple[ProfilingGrant, ...] = ()
+        self.model_available_at = 0.0
+        self._next_resignature = (
+            0.0
+            if self.config.resignature_every_seconds is not None
+            else math.inf
+        )
 
     # ------------------------------------------------------------------
     # Learning phase (Sec. 3.3-3.4)
@@ -401,23 +439,57 @@ class DejaVuManager:
         """
         self.profiling_queue = queue
 
-    def _charge_profiling(self, t: float, *, bounded: bool = True) -> float | None:
-        """Charge one profiling run; returns the queue wait, or None if
-        the bounded queue rejected the request."""
+    def _charge_profiling(
+        self,
+        t: float,
+        *,
+        bounded: bool = True,
+        priority: int = PRIORITY_ADAPTATION,
+        kind: str = "adapt",
+    ) -> ProfilingGrant | None:
+        """Charge one profiling run; returns the grant, or None if the
+        bounded queue turned the request away (rejected or shed).
+
+        Without a queue the run is free and instantaneous: a synthetic
+        zero-wait grant is returned so callers need no special case.
+        """
         if self.profiling_queue is None:
-            return 0.0
-        grant = self.profiling_queue.request(t, bounded=bounded)
+            return ProfilingGrant(
+                requested_at=t,
+                start_at=t,
+                finish_at=t,
+                priority=priority,
+                kind=kind,
+            )
+        grant = self.profiling_queue.request(
+            t, bounded=bounded, priority=priority, kind=kind
+        )
         if not grant.accepted:
             return None
-        return grant.wait_seconds
+        return grant
 
     def _flush_pending_deployment(self, t: float) -> None:
         """Deploy a queue-delayed decision once its signature is in."""
         pending = self.pending_deployment
-        if pending is None or t + 1e-9 < pending.apply_at:
+        if pending is None:
+            return
+        grant = pending.grant
+        if grant is not None and grant.outcome == "evicted":
+            # The signature run this decision waited on was displaced
+            # by a higher bidder: the decision never lands, the old
+            # allocation keeps serving until the next periodic check.
+            self.pending_deployment = None
+            self.evicted_adaptations += 1
+            return
+        apply_at = pending.apply_at
+        if grant is not None and grant.revised:
+            # Priority scheduling moved the signature after the
+            # decision was made; deploy at the revised finish-of-wait.
+            apply_at = grant.start_at
+        if t + 1e-9 < apply_at:
             return
         self.pending_deployment = None
-        self.production.apply(pending.allocation, pending.apply_at)
+        self.production.apply(pending.allocation, apply_at)
         hit = pending.workload_class is not None
         self._deployed_class = pending.workload_class
         self._deployed_band = 0 if hit else None
@@ -436,14 +508,36 @@ class DejaVuManager:
             )
 
     def poll_pending_deployment(self, t: float) -> None:
-        """Deploy any due queue-delayed decision; cheap no-op otherwise.
+        """Per-step housekeeping for steps the engine handles itself.
 
         The batched fleet engine calls this on steps where it bypasses
-        :meth:`on_step` (it runs the periodic check itself), so delayed
-        deployments still land on time.
+        :meth:`on_step` (it runs the periodic check itself): land any
+        due queue-delayed deployment, swap in a staged re-learned model
+        once its sweep drains, and keep routine re-signature traffic
+        flowing.
         """
+        self._poll_staged_model(t)
         if self.pending_deployment is not None:
             self._flush_pending_deployment(t)
+        self._maybe_resignature(t)
+
+    def _maybe_resignature(self, t: float) -> None:
+        """Charge routine background re-signature traffic (lowest bid).
+
+        Accounting-only: the grant's outcome does not change behavior —
+        its role is to occupy (or be shed from) the shared profiler so
+        SLO-driven work has something to outbid.
+        """
+        every = self.config.resignature_every_seconds
+        if every is None or t + 1e-9 < self._next_resignature:
+            return
+        self._next_resignature = t + every
+        if self.profiling_queue is None:
+            return
+        self.profiling_queue.request(
+            t, priority=PRIORITY_ROUTINE, kind="resignature"
+        )
+        self.resignature_requests += 1
 
     def on_step(self, ctx: StepContext) -> None:
         """Engine hook: adapt periodically, and on SLO violations when
@@ -451,9 +545,14 @@ class DejaVuManager:
 
         An adaptation whose profiling request was rejected by a bounded
         shared queue returns no event; the check is then retried on the
-        next step instead of waiting a full interval.
+        next step instead of waiting a full interval.  Violation
+        -triggered adaptations bid at :data:`PRIORITY_ESCALATION` — the
+        SLO is already burning, so they outrank periodic work on a
+        priority queue.
         """
+        self._poll_staged_model(ctx.t)
         self._flush_pending_deployment(ctx.t)
+        self._maybe_resignature(ctx.t)
         if ctx.t + 1e-9 >= self._next_check:
             if self.adapt(ctx) is not None:
                 self._next_check = ctx.t + self.config.check_interval_seconds
@@ -466,7 +565,7 @@ class DejaVuManager:
             return
         sample = self.production.performance_at(ctx.workload, ctx.t)
         if not self.production.service.slo_met(sample):
-            if self.adapt(ctx) is not None:
+            if self.adapt(ctx, priority=PRIORITY_ESCALATION) is not None:
                 self._next_check = ctx.t + self.config.check_interval_seconds
                 self._last_adapt = ctx.t
 
@@ -518,50 +617,161 @@ class DejaVuManager:
             raise ValueError(
                 "re-learning needs recent workloads; none were observed"
             )
-        self._charge_relearn_sweep(now, len(workloads))
-        report = self.learn(workloads, now=now)
+        burst = self._charge_relearn_sweep(now, len(workloads))
+        if burst:
+            report = self._stage_relearn(now, workloads, burst)
+        else:
+            report = self.learn(workloads, now=now)
         self.relearn_count += 1
         return report
 
-    def _charge_relearn_sweep(self, now: float, n_workloads: int) -> None:
+    def _charge_relearn_sweep(
+        self, now: float, n_workloads: int
+    ) -> tuple[ProfilingGrant, ...]:
         """Charge a re-learn's profiling burst to the shared queue.
 
         The sweep re-profiles every retained workload
         ``trials_per_workload`` times — a burst that previously bypassed
         the :class:`~repro.sim.fleet.ProfilingQueue` entirely, making
         reported contention a lower bound.  The burst is a scheduled
-        sweep, not an online arrival, so it stacks FIFO past any
-        ``max_pending`` bound instead of being rejected.
+        sweep, not an online arrival, so it stacks past any
+        ``max_pending`` bound instead of being rejected; under a
+        priority queue it bids at :data:`PRIORITY_RELEARN`, so later
+        SLO-driven arrivals overtake its unstarted remainder.
+
+        Returns the burst's grants (empty without a queue): their queue
+        residency gates the re-learned model's availability.
         """
         if self.profiling_queue is None:
+            return ()
+        return tuple(
+            self.profiling_queue.request(
+                now, bounded=False, priority=PRIORITY_RELEARN, kind="relearn"
+            )
+            for _ in range(n_workloads * self.config.trials_per_workload)
+        )
+
+    #: Everything that constitutes the serving model: swapping these
+    #: fields atomically is what "deploying a re-learned model" means.
+    _MODEL_STATE_FIELDS = (
+        "repository",
+        "_repository_external",
+        "_repository_fleet_shared",
+        "schema",
+        "standardizer",
+        "clustering",
+        "classifier",
+        "_novelty_radii",
+        "_class_workloads",
+        "learning_report",
+        "_batch_classifier",
+        "_schema_columns",
+    )
+
+    def _capture_model_state(self) -> dict:
+        return {
+            name: getattr(self, name) for name in self._MODEL_STATE_FIELDS
+        }
+
+    def _restore_model_state(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    @property
+    def relearn_pending(self) -> bool:
+        """A re-learned model is staged behind its queued sweep."""
+        return self._staged_model is not None
+
+    def _stage_relearn(
+        self,
+        now: float,
+        workloads: list[Workload],
+        burst: tuple[ProfilingGrant, ...],
+    ) -> LearningReport:
+        """Compute the new model but withhold it until the sweep drains.
+
+        The learning sweep occupies real queue residency; installing
+        the re-learned model the instant :meth:`learn` returns would
+        mean the profiler produced a model before running its trials.
+        The new model is computed eagerly (its clustering is
+        deterministic given the workloads) but *staged*: the old model
+        keeps serving — classifications, batch grouping, repository
+        lookups all against the pre-relearn state — until the burst's
+        last grant finishes, when :meth:`_poll_staged_model` swaps it
+        in.
+        """
+        serving = self._capture_model_state()
+        # learn() mutates the standardizer, repository and class map in
+        # place; hand it fresh objects so the serving model survives
+        # the restore below.  A fleet-shared repository detaches inside
+        # learn() itself and needs no fresh object here.
+        self.standardizer = Standardizer()
+        self._class_workloads = {}
+        if not self._repository_fleet_shared:
+            self.repository = AllocationRepository()
+            self._repository_external = False
+        report = self.learn(workloads, now=now)
+        self._staged_model = self._capture_model_state()
+        self._staged_burst = burst
+        self.model_available_at = max(g.finish_at for g in burst)
+        self._restore_model_state(serving)
+        return report
+
+    def _poll_staged_model(self, t: float) -> None:
+        """Swap in a staged re-learned model once its sweep drains.
+
+        A priority queue may push the burst's projected finishes later
+        as higher bidders arrive, so availability is re-read from the
+        burst's grants rather than frozen at relearn time.
+        """
+        if self._staged_model is None:
             return
-        for _ in range(n_workloads * self.config.trials_per_workload):
-            self.profiling_queue.request(now, bounded=False)
+        available = max(g.finish_at for g in self._staged_burst)
+        self.model_available_at = available
+        if t + 1e-9 < available:
+            return
+        self._restore_model_state(self._staged_model)
+        self._staged_model = None
+        self._staged_burst = ()
 
     def _maybe_auto_relearn(self, ctx: StepContext) -> bool:
         """Run an automatic re-learn when flagged and enough history."""
         if not (self.config.auto_relearn and self.relearn_requested):
+            return False
+        if self._staged_model is not None:
+            # A previous re-learn's model is still gated behind its
+            # sweep; don't stack another burst on top of it.
             return False
         if len(self.workload_history) < self.config.min_relearn_history:
             return False
         self.relearn(now=ctx.t)
         return True
 
-    def adapt(self, ctx: StepContext) -> AdaptationEvent | None:
+    def adapt(
+        self, ctx: StepContext, priority: int | None = None
+    ) -> AdaptationEvent | None:
         """One adaptation: profile, classify, redeploy (Sec. 3.5).
 
         With a shared profiling queue attached, the signature collection
         is charged first: a rejected request defers the whole adaptation
         (returns None), and a waited-for request delays the deployment
         by the wait (the decision is made on a stale signature).
+        ``priority`` is the queue bid; periodic checks use the default
+        :data:`PRIORITY_ADAPTATION`, violation-triggered callers pass
+        :data:`PRIORITY_ESCALATION`.
         """
         self.workload_history.append((ctx.t, ctx.workload))
-        wait = self._charge_profiling(ctx.t)
-        if wait is None:
+        grant = self._charge_profiling(
+            ctx.t,
+            priority=PRIORITY_ADAPTATION if priority is None else priority,
+        )
+        if grant is None:
             self.deferred_adaptations += 1
             return None
         label, certainty, _xz = self.classify(ctx.workload)
-        return self._finish_adapt(ctx, label, certainty, wait=wait)
+        return self._finish_adapt(
+            ctx, label, certainty, wait=grant.wait_seconds, grant=grant
+        )
 
     def _finish_adapt(
         self,
@@ -570,6 +780,7 @@ class DejaVuManager:
         certainty: float,
         wait: float,
         prefetched=_UNRESOLVED,
+        grant: ProfilingGrant | None = None,
     ) -> AdaptationEvent:
         """Everything after classification: lookup, deploy, escalate.
 
@@ -600,15 +811,20 @@ class DejaVuManager:
             allocation = self._full_capacity()
             if self._consecutive_misses >= self.config.relearn_after_misses:
                 self.relearn_requested = True
-                if self._maybe_auto_relearn(ctx):
-                    # The clustering changed; classify this workload
-                    # against the fresh model before deploying.  The
-                    # extra collection is charged like any other; if the
-                    # queue rejects it, deploy the full-capacity
-                    # fallback without re-classifying.
-                    extra = self._charge_profiling(ctx.t)
+                if self._maybe_auto_relearn(ctx) and self._staged_model is None:
+                    # The relearn was immediate (no queue): classify
+                    # this workload against the fresh model before
+                    # deploying.  The extra collection is charged like
+                    # any other; if the queue rejects it, deploy the
+                    # full-capacity fallback without re-classifying.
+                    # When the new model is *staged* behind its queued
+                    # sweep instead, the old model keeps serving and
+                    # this adaptation deploys the fallback as-is.
+                    extra = self._charge_profiling(
+                        ctx.t, priority=PRIORITY_RELEARN, kind="reclassify"
+                    )
                     if extra is not None:
-                        wait += extra
+                        wait += extra.wait_seconds
                         label, certainty, _xz = self.classify(ctx.workload)
                         if certainty >= self.config.certainty_threshold:
                             entry = self.repository.lookup(label, 0)
@@ -633,6 +849,7 @@ class DejaVuManager:
                 run_interference_check=(
                     hit and self.config.enable_interference_detection
                 ),
+                grant=grant,
             )
         else:
             self.production.apply(allocation, ctx.t)
@@ -683,8 +900,13 @@ class DejaVuManager:
             # The isolated run is a real profiling pass on the clone:
             # charge it to the shared queue.  A rejection means the
             # profiler is saturated and blame cannot be attributed now —
-            # the escalation attempt is abandoned, not free.
-            if self._charge_profiling(ctx.t) is None:
+            # the escalation attempt is abandoned, not free.  Probes bid
+            # at the top class: an un-attributed interference band keeps
+            # violating the SLO every step it goes undiagnosed.
+            probe = self._charge_profiling(
+                ctx.t, priority=PRIORITY_ESCALATION, kind="probe"
+            )
+            if probe is None:
                 break
             iso = self.profiler.isolated_performance(ctx.workload, allocation)
             estimate = self.estimator.estimate(
@@ -795,14 +1017,18 @@ class DejaVuManager:
         """
         if self.schema is None or self.classifier is None or self.clustering is None:
             raise RuntimeError("DejaVu used online before learning")
+        self._poll_staged_model(ctx.t)
         self._flush_pending_deployment(ctx.t)
+        self._maybe_resignature(ctx.t)
         self.workload_history.append((ctx.t, ctx.workload))
-        wait = self._charge_profiling(ctx.t)
-        if wait is None:
+        grant = self._charge_profiling(ctx.t)
+        if grant is None:
             self.deferred_adaptations += 1
             self._pending_wait = 0.0
+            self._pending_grant = None
             return False
-        self._pending_wait = wait
+        self._pending_wait = grant.wait_seconds
+        self._pending_grant = grant
         return True
 
     def signature_row(self, vector: np.ndarray) -> np.ndarray:
@@ -837,6 +1063,7 @@ class DejaVuManager:
             float(certainty),
             wait=self._pending_wait,
             prefetched=prefetched,
+            grant=self._pending_grant,
         )
         self._next_check = ctx.t + self.config.check_interval_seconds
         self._last_adapt = ctx.t

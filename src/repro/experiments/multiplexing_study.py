@@ -231,6 +231,24 @@ class FleetMultiplexingStudy:
     """Per-lane peak-demand multipliers (cycled over the fleet) that
     made the lanes heterogeneous in size; empty = uniform demand."""
 
+    queue_policy: str = "fifo"
+    """Admission policy of the shared profiling queue: ``fifo`` (the
+    original bounded queue) or ``priority`` (the admission market —
+    escalations outbid routine traffic, watermarks shed, queued work is
+    evictable)."""
+
+    accepted_profiles: int = 0
+    """Profiling requests the shared queue accepted (the denominator
+    behind ``mean_queue_wait_seconds``)."""
+
+    evicted_profiles: int = 0
+    """Queued-but-unstarted requests bumped by a higher-priority bidder
+    (priority policy only)."""
+
+    shed_profiles: int = 0
+    """Low-priority requests shed at the high watermark before the hard
+    ``max_pending`` cliff (priority policy only)."""
+
     @property
     def lane_steps_per_second(self) -> float:
         """Engine throughput: lane-steps per wall-clock second.
@@ -322,6 +340,10 @@ class FleetStudySpec:
     host_demand: str = "allocation"
     migration: MigrationPolicy | None = None
     demand_factors: tuple[float, ...] | None = None
+    queue_policy: str = "fifo"
+    queue_high_watermark: int | None = None
+    queue_low_watermark: int | None = None
+    resignature_every_seconds: float | None = None
 
 
 def _event_log(manager) -> tuple:
@@ -367,6 +389,7 @@ def _run_fleet_slice(
     # Imported here: repro.experiments.setup imports the manager layer,
     # which this module must not pull in at import time for the
     # register-multiplexing study alone.
+    from repro.core.manager import DejaVuConfig
     from repro.experiments.setup import (
         DEFAULT_PEAK_DEMAND,
         SCALE_UP_PEAK_DEMAND,
@@ -408,6 +431,12 @@ def _run_fleet_slice(
                 else None
             ),
         )
+        if spec.resignature_every_seconds is not None:
+            # Only override the manager config when the knob is set so
+            # default fleets keep the builders' config=None path.
+            common["config"] = DejaVuConfig(
+                resignature_every_seconds=spec.resignature_every_seconds
+            )
         if spec.demand_factors:
             # Heterogeneously sized lanes: scale each lane's trace peak
             # by its cycled factor (1.0 factors reproduce the defaults
@@ -509,6 +538,9 @@ def _run_fleet_slice(
         slots=spec.profiling_slots,
         service_seconds=setups[0].profiler.signature_seconds,
         max_pending=spec.max_pending,
+        queue_policy=spec.queue_policy,
+        high_watermark=spec.queue_high_watermark,
+        low_watermark=spec.queue_low_watermark,
     )
     lanes = [
         FleetLane(
@@ -577,6 +609,8 @@ def _run_fleet_slice(
         "queue_wait_max": queue.max_wait_seconds,
         "queue_depth_max": queue.max_depth,
         "queue_rejected": queue.rejected,
+        "queue_evicted": queue.evicted,
+        "queue_shed": queue.shed,
         "queue_utilization": queue.utilization(duration),
         "clone_hourly_cost": setups[0].profiler.clone_allocation.hourly_cost,
         "lane_events": [_event_log(s.manager) for s in setups],
@@ -676,6 +710,10 @@ def _merged_study(
         host_demand=spec.host_demand,
         migrations=host["migrations"] if host else 0,
         demand_factors=spec.demand_factors or (),
+        queue_policy=spec.queue_policy,
+        accepted_profiles=accepted,
+        evicted_profiles=sum(p["queue_evicted"] for p in payloads),
+        shed_profiles=sum(p["queue_shed"] for p in payloads),
     )
 
 
@@ -685,6 +723,10 @@ def run_fleet_multiplexing_study(
     step_seconds: float = 300.0,
     profiling_slots: int = 1,
     max_pending: int | None = None,
+    queue_policy: str = "fifo",
+    queue_high_watermark: int | None = None,
+    queue_low_watermark: int | None = None,
+    resignature_every_seconds: float | None = None,
     lane_seed_stride: int = 1,
     trace_name: str = "messenger",
     seed: int = 0,
@@ -709,7 +751,18 @@ def run_fleet_multiplexing_study(
     phase per family regardless of size.  All lanes — across families —
     ride one :class:`ProfilingQueue` with ``profiling_slots`` clone
     VMs, so each online signature collection contends for the shared
-    profiler.  ``lane_seed_stride`` controls workload diversity:
+    profiler.  ``queue_policy`` selects its admission discipline:
+    ``"fifo"`` (default, bit-identical to the original bounded queue)
+    or ``"priority"`` — the admission market where escalation probes
+    and violation-triggered adaptations outbid routine re-signatures
+    and relearn sweeps, ``queue_high_watermark``/``queue_low_watermark``
+    shed low-priority work before the ``max_pending`` rejection cliff,
+    and queued low-value work is evictable by a higher bidder.
+    ``resignature_every_seconds`` gives every lane a routine
+    re-signature stream (lowest priority) so the market has background
+    traffic to outbid; ``None`` (default) keeps the original request
+    pattern bit for bit.  ``lane_seed_stride`` controls workload
+    diversity:
     stride 0 gives every lane the identical trace (useful for
     determinism properties), stride 1 gives each lane its own phase
     wander and jitter.
@@ -801,6 +854,20 @@ def run_fleet_multiplexing_study(
             f"use one of {FLEET_HOST_DEMANDS}"
         )
     make_policy(placement)  # unknown policy names fail loudly, up front
+    if resignature_every_seconds is not None and resignature_every_seconds <= 0:
+        raise ValueError(
+            f"need a positive re-signature period: {resignature_every_seconds}"
+        )
+    # Reuse the queue's own validation so a bad policy name or watermark
+    # combination fails here, not inside a shard worker.
+    ProfilingQueue(
+        slots=profiling_slots,
+        service_seconds=1.0,
+        max_pending=max_pending,
+        queue_policy=queue_policy,
+        high_watermark=queue_high_watermark,
+        low_watermark=queue_low_watermark,
+    )
     factors = tuple(float(f) for f in demand_factors) if demand_factors else None
     if factors and any(f <= 0 for f in factors):
         raise ValueError(f"demand factors must be positive: {factors}")
@@ -847,6 +914,10 @@ def run_fleet_multiplexing_study(
         host_demand=host_demand,
         migration=migration,
         demand_factors=factors,
+        queue_policy=queue_policy,
+        queue_high_watermark=queue_high_watermark,
+        queue_low_watermark=queue_low_watermark,
+        resignature_every_seconds=resignature_every_seconds,
     )
     if shards == 1:
         result, payload = _run_fleet_slice(spec, 0, n_lanes)

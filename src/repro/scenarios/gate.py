@@ -72,7 +72,10 @@ EXACT_METRICS = frozenset(
     {
         "n_steps",
         "max_queue_depth",
+        "accepted_profiles",
         "rejected_profiles",
+        "evicted_profiles",
+        "shed_profiles",
         "deferred_adaptations",
         "interference_escalations",
         "learning_runs",
@@ -88,11 +91,13 @@ DEFAULT_RELATIVE_TOLERANCE = 1e-9
 BASELINE_FORMAT = "repro-scenario-baseline"
 DEFAULT_BASELINE = "BENCH_scenarios.json"
 
-#: One SYN-* and one RL-* document: the CI smoke and the no-argument
-#: ``scripts/check_bench.py`` run (paths relative to the repo root).
+#: The CI smoke and the no-argument ``scripts/check_bench.py`` run
+#: (paths relative to the repo root): one SYN-* ramp, one RL-* replay,
+#: and the profiling-economy market (fifo vs priority admission).
 SMOKE_SCENARIOS = (
     "scenarios/SYN-lane-ramp.yaml",
     "scenarios/RL-diurnal-spikes.yaml",
+    "scenarios/SYN-profiler-market.yaml",
 )
 
 

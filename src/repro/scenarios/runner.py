@@ -41,7 +41,10 @@ STUDY_METRICS = (
     "mean_queue_wait_seconds",
     "max_queue_wait_seconds",
     "max_queue_depth",
+    "accepted_profiles",
     "rejected_profiles",
+    "evicted_profiles",
+    "shed_profiles",
     "profiler_utilization",
     "amortized_profiling_fraction",
     "deferred_adaptations",

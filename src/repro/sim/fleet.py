@@ -12,10 +12,16 @@ Four pieces:
 * :class:`FleetLane` — one (workload, controller, observation) triple,
   exactly the contract the single-service engine had.
 * :class:`ProfilingQueue` — the shared profiling environment modeled as
-  a bounded multi-slot FIFO queue.  Lanes that want to collect a
-  signature in the same step contend for slots; the queue reports
-  per-request waiting time, peak depth, and utilization — the price of
-  multiplexing one profiler across hundreds of services.
+  a bounded multi-slot queue.  Lanes that want to collect a signature
+  in the same step contend for slots; the queue reports per-request
+  waiting time, peak depth, and utilization — the price of
+  multiplexing one profiler across hundreds of services.  The default
+  ``queue_policy="fifo"`` serves in arrival order; ``"priority"`` turns
+  the queue into an admission market (mempool idiom): requests carry a
+  priority derived from expected SLO benefit, watermark admission
+  sheds low-value work before the hard ``max_pending`` cliff, and
+  queued-but-unstarted low bidders are evictable when a higher bidder
+  arrives.
 * :class:`FleetEngine` / :class:`FleetResult` — the stepped loop and its
   batched recording.  Fleets are **heterogeneous**: each lane's first
   observation fixes *that lane's* series schema, and lanes sharing a
@@ -99,14 +105,55 @@ class BatchObserver(Protocol):
 # ----------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+#: Priority classes for the shared profiling environment; higher wins.
+#: The ordering encodes expected SLO benefit (the clone VMs are scarce,
+#: Sec. 3.2.2): interference-escalation probes and violation-triggered
+#: adaptations outbid periodic adaptation signatures, which outbid
+#: re-learn sweeps, which outbid routine background re-signatures.
+PRIORITY_ROUTINE = 0
+PRIORITY_RELEARN = 1
+PRIORITY_ADAPTATION = 2
+PRIORITY_ESCALATION = 3
+
+#: Admission policies a :class:`ProfilingQueue` understands.
+QUEUE_POLICIES = ("fifo", "priority")
+
+#: Every way a request can leave the queue.
+GRANT_OUTCOMES = ("accepted", "rejected", "shed", "evicted")
+
+
+@dataclass
 class ProfilingGrant:
-    """Outcome of one profiling request against the shared environment."""
+    """Outcome of one profiling request against the shared environment.
+
+    ``outcome`` distinguishes how the request left the queue:
+    ``"accepted"`` (scheduled, possibly after a wait), ``"rejected"``
+    (bounded queue full on arrival), ``"shed"`` (turned away by
+    watermark admission control while the backlog drains), and
+    ``"evicted"`` (admitted, then displaced by a higher-priority
+    arrival before starting).  Only accepted grants carry meaningful
+    ``start_at``/``finish_at`` times and enter the wait/utilization
+    aggregates; everything else pins ``start_at == requested_at`` so
+    ``wait_seconds`` reads 0 but is excluded from the statistics.
+
+    Under ``queue_policy="priority"`` an accepted-but-unstarted grant's
+    schedule is a *projection* that later, higher-priority arrivals may
+    push back; ``revised`` records that the schedule moved after issue,
+    so feedback consumers (queue-delayed deployments) re-read
+    ``start_at`` instead of trusting the wait quoted at request time.
+    """
 
     requested_at: float
     start_at: float
     finish_at: float
-    accepted: bool = True
+    outcome: str = "accepted"
+    priority: int = PRIORITY_ADAPTATION
+    kind: str = "adapt"
+    revised: bool = False
+
+    @property
+    def accepted(self) -> bool:
+        return self.outcome == "accepted"
 
     @property
     def wait_seconds(self) -> float:
@@ -115,7 +162,7 @@ class ProfilingGrant:
 
 
 class ProfilingQueue:
-    """A contended profiling environment: ``slots`` clone VMs, FIFO order.
+    """A contended profiling environment: ``slots`` clone VMs.
 
     Each profiling run (signature collection) occupies one slot for
     ``service_seconds``.  Requests arriving while all slots are busy
@@ -124,6 +171,26 @@ class ProfilingQueue:
     — the bounded-queue back-pressure a real shared profiler would
     apply.  Time never rewinds: requests must arrive in non-decreasing
     time order, as the fleet engine guarantees.
+
+    ``queue_policy`` selects the admission discipline:
+
+    ``"fifo"`` (default)
+        Arrival order, priorities recorded but ignored — bit-identical
+        to the pre-market queue, which the scalar == batched == sharded
+        equivalence pins rely on.
+
+    ``"priority"``
+        An admission market on the mempool idiom.  Slots serve the
+        highest-priority queued request first (FIFO within a class).
+        When the backlog reaches ``high_watermark`` entries, arrivals
+        below ``shed_below`` priority are *shed* until it drains back
+        to ``low_watermark`` — load-shedding before the hard
+        ``max_pending`` rejection cliff.  At the cliff itself, a new
+        arrival may *evict* the lowest-priority queued (not yet
+        started) entry strictly below its own bid instead of being
+        rejected.  ``bounded=False`` bursts are never shed, rejected
+        or evicted, but their (low) priority still lets later high
+        bidders overtake their unstarted remainder.
     """
 
     def __init__(
@@ -131,6 +198,10 @@ class ProfilingQueue:
         slots: int = 1,
         service_seconds: float = 10.0,
         max_pending: int | None = None,
+        queue_policy: str = "fifo",
+        high_watermark: int | None = None,
+        low_watermark: int | None = None,
+        shed_below: int = PRIORITY_ADAPTATION,
     ) -> None:
         if slots < 1:
             raise ValueError(f"need at least one profiling slot: {slots}")
@@ -138,9 +209,29 @@ class ProfilingQueue:
             raise ValueError(f"service time must be positive: {service_seconds}")
         if max_pending is not None and max_pending < 0:
             raise ValueError(f"bad queue bound: {max_pending}")
+        if queue_policy not in QUEUE_POLICIES:
+            raise ValueError(
+                f"unknown queue policy {queue_policy!r}; have {QUEUE_POLICIES}"
+            )
+        if (high_watermark is None) != (low_watermark is None):
+            raise ValueError("high and low watermarks must be set together")
+        if high_watermark is not None:
+            if queue_policy != "priority":
+                raise ValueError(
+                    "watermark shedding needs queue_policy='priority'"
+                )
+            if low_watermark < 0 or high_watermark <= low_watermark:
+                raise ValueError(
+                    "need 0 <= low_watermark < high_watermark: "
+                    f"{low_watermark}, {high_watermark}"
+                )
         self.slots = slots
         self.service_seconds = float(service_seconds)
         self.max_pending = max_pending
+        self.queue_policy = queue_policy
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.shed_below = shed_below
         # Plain Python floats: a fleet-wide adaptation wave charges one
         # request per lane, and at a few machine slots the list
         # arithmetic is several times cheaper than numpy round-trips.
@@ -148,8 +239,14 @@ class ProfilingQueue:
         self._last_request_at = float("-inf")
         self.grants: list[ProfilingGrant] = []
         self.rejected = 0
+        self.evicted = 0
+        self.shed = 0
         self.max_depth = 0
         self.busy_seconds = 0.0
+        # Priority mode keeps the admitted-but-unstarted backlog
+        # explicit (arrival order); fifo folds it into _slot_free.
+        self._pending: list[ProfilingGrant] = []
+        self._shedding = False
 
     def _outstanding_per_slot(self, t: float) -> list[int]:
         """Unfinished requests stacked on each slot at time ``t``.
@@ -177,6 +274,8 @@ class ProfilingQueue:
 
     def pending_at(self, t: float) -> int:
         """Requests granted but not yet *started* at time ``t``."""
+        if self.queue_policy == "priority":
+            return self._virtual_state(t)[1]
         return sum(
             outstanding - 1
             for outstanding in self._outstanding_per_slot(t)
@@ -185,21 +284,39 @@ class ProfilingQueue:
 
     def depth_at(self, t: float) -> int:
         """Requests queued or in service at time ``t``."""
+        if self.queue_policy == "priority":
+            sim, queued = self._virtual_state(t)
+            return sum(1 for free in sim if free > t) + queued
         return sum(self._outstanding_per_slot(t))
 
-    def request(self, t: float, *, bounded: bool = True) -> ProfilingGrant:
+    def request(
+        self,
+        t: float,
+        *,
+        bounded: bool = True,
+        priority: int = PRIORITY_ADAPTATION,
+        kind: str = "adapt",
+    ) -> ProfilingGrant:
         """Ask for one profiling run starting no earlier than ``t``.
 
-        ``bounded=False`` bypasses the ``max_pending`` rejection check:
-        scheduled bursts (an auto-relearn's learning sweep) stack FIFO
-        behind the backlog instead of being turned away like online
-        arrivals.  They still occupy slots and count toward utilization.
+        ``bounded=False`` bypasses the admission controls (``max_pending``
+        rejection, watermark shedding, eviction): scheduled bursts (an
+        auto-relearn's learning sweep) stack behind the backlog instead
+        of being turned away like online arrivals.  They still occupy
+        slots and count toward utilization.
+
+        ``priority`` and ``kind`` are recorded on the grant; under
+        ``queue_policy="fifo"`` they do not influence scheduling.
         """
         if t < self._last_request_at:
             raise ValueError(
                 f"profiling requests must not rewind: t={t} < {self._last_request_at}"
             )
         self._last_request_at = t
+        if self.queue_policy == "priority":
+            return self._request_priority(t, bounded, priority, kind)
+        # FIFO: the pre-market queue, arithmetic untouched (the scalar
+        # == batched == sharded pins rely on bit-identical schedules).
         slot_free = self._slot_free
         slot = min(range(self.slots), key=slot_free.__getitem__)
         free = slot_free[slot]
@@ -212,7 +329,12 @@ class ProfilingQueue:
         ):
             self.rejected += 1
             grant = ProfilingGrant(
-                requested_at=t, start_at=t, finish_at=t, accepted=False
+                requested_at=t,
+                start_at=t,
+                finish_at=t,
+                outcome="rejected",
+                priority=priority,
+                kind=kind,
             )
             self.grants.append(grant)
             return grant
@@ -223,9 +345,201 @@ class ProfilingQueue:
         depth = self.depth_at(t)
         if depth > self.max_depth:
             self.max_depth = depth
-        grant = ProfilingGrant(requested_at=t, start_at=start, finish_at=finish)
+        grant = ProfilingGrant(
+            requested_at=t,
+            start_at=start,
+            finish_at=finish,
+            priority=priority,
+            kind=kind,
+        )
         self.grants.append(grant)
         return grant
+
+    # -- priority-mode scheduling (the admission market) ---------------
+
+    def _request_priority(
+        self, t: float, bounded: bool, priority: int, kind: str
+    ) -> ProfilingGrant:
+        self._drain(t)
+        slot_free = self._slot_free
+        slot = min(range(self.slots), key=slot_free.__getitem__)
+        free = slot_free[slot]
+        if free <= t:
+            # An idle slot: start immediately, no market involved.
+            finish = t + self.service_seconds
+            slot_free[slot] = finish
+            self.busy_seconds += self.service_seconds
+            grant = ProfilingGrant(
+                requested_at=t,
+                start_at=t,
+                finish_at=finish,
+                priority=priority,
+                kind=kind,
+            )
+            self.grants.append(grant)
+            self._note_depth(t)
+            return grant
+        if bounded:
+            if self._shedding and priority < self.shed_below:
+                self.shed += 1
+                grant = ProfilingGrant(
+                    requested_at=t,
+                    start_at=t,
+                    finish_at=t,
+                    outcome="shed",
+                    priority=priority,
+                    kind=kind,
+                )
+                self.grants.append(grant)
+                return grant
+            if (
+                self.max_pending is not None
+                and len(self._pending) >= self.max_pending
+            ):
+                victim = self._evictable(priority)
+                if victim is None:
+                    self.rejected += 1
+                    grant = ProfilingGrant(
+                        requested_at=t,
+                        start_at=t,
+                        finish_at=t,
+                        outcome="rejected",
+                        priority=priority,
+                        kind=kind,
+                    )
+                    self.grants.append(grant)
+                    return grant
+                self._evict(victim)
+        grant = ProfilingGrant(
+            requested_at=t,
+            start_at=t,
+            finish_at=t,
+            priority=priority,
+            kind=kind,
+        )
+        self._pending.append(grant)
+        self.busy_seconds += self.service_seconds
+        self._project()
+        self._update_shedding()
+        self.grants.append(grant)
+        self._note_depth(t)
+        return grant
+
+    def _service_order(self) -> list[ProfilingGrant]:
+        """Pending grants in the order slots will serve them: priority
+        descending, FIFO within a class (the sort is stable over the
+        arrival-ordered backlog)."""
+        return sorted(self._pending, key=lambda g: -g.priority)
+
+    def _drain(self, t: float) -> None:
+        """Commit queued grants whose slots free up by ``t``.
+
+        Priority mode schedules lazily: a queued grant's slot
+        assignment is final only once the clock passes its start — a
+        higher bidder arriving before then overtakes it.  Committed
+        starts are back-to-back on the earliest-free slot, matching the
+        fifo arithmetic exactly when all priorities are equal.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        slot_free = self._slot_free
+        while pending:
+            slot = min(range(self.slots), key=slot_free.__getitem__)
+            free = slot_free[slot]
+            if free > t:
+                break
+            best = 0
+            for i in range(1, len(pending)):
+                if pending[i].priority > pending[best].priority:
+                    best = i
+            grant = pending.pop(best)
+            grant.start_at = free
+            grant.finish_at = free + self.service_seconds
+            slot_free[slot] = grant.finish_at
+        self._update_shedding()
+
+    def _project(self) -> None:
+        """(Re)project start/finish times for every pending grant.
+
+        Runs after each queue mutation so ``wait_seconds`` is readable
+        the moment a grant is issued; a later mutation that moves an
+        already-issued grant's schedule marks it ``revised``.
+        """
+        if not self._pending:
+            return
+        sim = list(self._slot_free)
+        service = self.service_seconds
+        for grant in self._service_order():
+            slot = min(range(self.slots), key=sim.__getitem__)
+            start = sim[slot]
+            sim[slot] = start + service
+            # A freshly admitted grant still carries its placeholder
+            # (finish == requested): its first projection is the issued
+            # schedule, not a revision.
+            if (
+                grant.start_at != start
+                and grant.finish_at > grant.requested_at
+            ):
+                grant.revised = True
+            grant.start_at = start
+            grant.finish_at = start + service
+
+    def _virtual_state(self, t: float) -> tuple[list[float], int]:
+        """Slot-free times and un-started backlog at ``t``, without
+        mutating (the non-committing view behind ``pending_at``)."""
+        sim = list(self._slot_free)
+        waiting = self._service_order()
+        started = 0
+        for grant in waiting:
+            slot = min(range(self.slots), key=sim.__getitem__)
+            if sim[slot] > t:
+                break
+            sim[slot] += self.service_seconds
+            started += 1
+        return sim, len(waiting) - started
+
+    def _evictable(self, priority: int) -> int | None:
+        """Backlog index a ``priority`` arrival may displace: the
+        lowest-priority entry strictly below the bidder, the youngest
+        among equals (earlier work keeps its place)."""
+        pending = self._pending
+        best = None
+        for i, grant in enumerate(pending):
+            if grant.priority >= priority:
+                continue
+            if best is None or grant.priority <= pending[best].priority:
+                best = i
+        return best
+
+    def _evict(self, index: int) -> None:
+        grant = self._pending.pop(index)
+        grant.outcome = "evicted"
+        grant.start_at = grant.requested_at
+        grant.finish_at = grant.requested_at
+        grant.revised = True
+        self.evicted += 1
+        # The admission charge is refunded: the run never happens.
+        self.busy_seconds -= self.service_seconds
+        self._project()
+
+    def _update_shedding(self) -> None:
+        if self.high_watermark is None:
+            return
+        n = len(self._pending)
+        if self._shedding:
+            if n <= self.low_watermark:
+                self._shedding = False
+        elif n >= self.high_watermark:
+            self._shedding = True
+
+    def _note_depth(self, t: float) -> None:
+        depth = (
+            sum(1 for free in self._slot_free if free > t)
+            + len(self._pending)
+        )
+        if depth > self.max_depth:
+            self.max_depth = depth
 
     @property
     def accepted_grants(self) -> list[ProfilingGrant]:
@@ -234,6 +548,14 @@ class ProfilingQueue:
     @property
     def total_requests(self) -> int:
         return len(self.grants)
+
+    def outcome_counts(self) -> dict[str, int]:
+        """Requests by outcome; the four counts sum to
+        :attr:`total_requests` (the conservation invariant)."""
+        counts = dict.fromkeys(GRANT_OUTCOMES, 0)
+        for grant in self.grants:
+            counts[grant.outcome] += 1
+        return counts
 
     @property
     def mean_wait_seconds(self) -> float:
@@ -299,7 +621,13 @@ class QueuedController:
         before = self._profiling_runs()
         self.inner.on_step(ctx)
         for _ in range(self._profiling_runs() - before):
-            self.grants.append(self.queue.request(ctx.t))
+            # Accounting-only third-party traffic bids at the lowest
+            # class: a priority queue sheds or evicts it first.
+            self.grants.append(
+                self.queue.request(
+                    ctx.t, priority=PRIORITY_ROUTINE, kind="resignature"
+                )
+            )
 
 
 # ----------------------------------------------------------------------
@@ -577,7 +905,9 @@ class FleetEngine:
         wave: interference-escalation probes, ``adapt_on_violation``
         DejaVu lanes (scalar fallback, stepped after the wave),
         auto-relearn sweeps and post-relearn re-classifications
-        (charged in the wave's finish phase), and profiling by
+        (charged in the wave's finish phase), routine re-signature
+        traffic on steps where only some candidates are due
+        (``resignature_every_seconds``), and profiling by
         :class:`QueuedController`-wrapped third-party controllers.
         With an uncontended queue (or none) all of these coincide and
         the bit-identical guarantee holds unconditionally.
@@ -841,8 +1171,9 @@ class FleetEngine:
         Returns the lane indices the wave took responsibility for this
         step — due lanes (adapted, or deferred by queue rejection and
         retried next step, exactly like a scalar rejected adaptation)
-        plus idle batchable lanes, whose only per-step duty (flushing a
-        queue-delayed deployment) is handled inline.  The engine skips
+        plus idle batchable lanes, whose per-step duties (flushing a
+        queue-delayed deployment, swapping in a relearn-staged model,
+        routine re-signatures) are handled inline.  The engine skips
         ``on_step`` for all of them.
         """
         handled = set()
@@ -860,7 +1191,11 @@ class FleetEngine:
                         ),
                     )
                 )
-            elif controller.pending_deployment is not None:
+            else:
+                # Not due this step: per-step housekeeping only — land a
+                # queue-delayed deployment, swap in a relearn-staged
+                # model once its sweep drains, keep routine re-signature
+                # traffic flowing.
                 controller.poll_pending_deployment(t)
         if not due:
             return handled

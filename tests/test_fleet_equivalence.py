@@ -128,13 +128,16 @@ def test_one_lane_fleet_matches_reference(policy):
 # ----------------------------------------------------------------------
 
 
-def build_mixed_fleet(profiling_slots: int | None):
+def build_mixed_fleet(profiling_slots: int | None, queue_policy: str = "fifo"):
     """An 8-lane mixed fleet exercising all four controller families.
 
     Lane layout: DejaVu leaders for each service family, DejaVu
     adoptees sharing their trained models (the batched groups), and the
     three baselines.  Rebuilt from scratch per call so batched and
-    scalar runs start from identical state.
+    scalar runs start from identical state.  ``queue_policy`` selects
+    the shared queue's admission discipline (every request this fleet
+    issues bids at the same priority class, so the two policies are in
+    the equivalence regime).
     """
     from repro.core.repository import AllocationRepository
     from repro.experiments.setup import (
@@ -199,7 +202,11 @@ def build_mixed_fleet(profiling_slots: int | None):
         up_lane(2, Overprovision(up_setups[2].production), "overprovision"),
     ]
     queue = (
-        ProfilingQueue(slots=profiling_slots, service_seconds=10.0)
+        ProfilingQueue(
+            slots=profiling_slots,
+            service_seconds=10.0,
+            queue_policy=queue_policy,
+        )
         if profiling_slots is not None
         else None
     )
@@ -274,6 +281,122 @@ def test_batched_is_the_study_default():
 
     study = run_fleet_multiplexing_study(n_lanes=2, hours=2.0)
     assert study.batched
+
+
+# ----------------------------------------------------------------------
+# Priority admission in the equivalence regime (the economy's pin)
+# ----------------------------------------------------------------------
+#
+# The profiling economy's contract: with every request bidding the same
+# priority class and watermarks disabled, ``queue_policy="priority"``
+# degenerates to FIFO *bit-for-bit* — same grants, same stats, same
+# fleet series.  This mixed fleet is naturally in that regime: the
+# managers charge periodic adaptations at PRIORITY_ADAPTATION, and with
+# default configs there are no escalation probes (``adapt_on_violation``
+# off), no relearn sweeps, and no routine re-signature stream to bid a
+# different class.  The tests below assert that flatness rather than
+# assuming it.
+
+
+@pytest.mark.parametrize("batched", [True, False], ids=["batched", "scalar"])
+def test_flat_priority_fleet_matches_fifo_fleet(batched):
+    """Scalar/batched engine paths: fifo vs priority, grant-for-grant."""
+    from repro.sim.fleet import PRIORITY_ADAPTATION
+
+    results = {}
+    events = {}
+    queues = {}
+    for queue_policy in ("fifo", "priority"):
+        lanes, queue, managers, _providers = build_mixed_fleet(
+            1, queue_policy=queue_policy
+        )
+        engine = FleetEngine(
+            lanes,
+            step_seconds=STEP,
+            profiling_queue=queue,
+            batched=batched,
+        )
+        results[queue_policy] = engine.run(6 * HOUR)
+        events[queue_policy] = [list(m.adaptation_events) for m in managers]
+        queues[queue_policy] = queue
+
+    fifo_q, prio_q = queues["fifo"], queues["priority"]
+    # The regime must hold or the equivalence claim is vacuous: every
+    # bid at one class, real contention, nothing shed or evicted.
+    assert all(g.priority == PRIORITY_ADAPTATION for g in prio_q.grants)
+    assert fifo_q.mean_wait_seconds > 0.0
+    assert prio_q.evicted == 0 and prio_q.shed == 0
+
+    def grant_tuples(queue):
+        return [
+            (g.outcome, g.kind, g.requested_at, g.start_at, g.finish_at)
+            for g in queue.grants
+        ]
+
+    assert grant_tuples(prio_q) == grant_tuples(fifo_q)
+    assert prio_q.rejected == fifo_q.rejected
+    assert prio_q.max_depth == fifo_q.max_depth
+    assert prio_q.busy_seconds == fifo_q.busy_seconds
+    assert prio_q.mean_wait_seconds == fifo_q.mean_wait_seconds
+    assert prio_q.max_wait_seconds == fifo_q.max_wait_seconds
+
+    fifo_result, prio_result = results["fifo"], results["priority"]
+    assert prio_result.series_names() == fifo_result.series_names()
+    assert prio_result.n_steps > 0
+    for name in fifo_result.series_names():
+        np.testing.assert_array_equal(
+            prio_result.matrix(name), fifo_result.matrix(name),
+            strict=True, err_msg=name,
+        )
+    assert events["priority"] == events["fifo"]
+    assert any(events["fifo"])
+
+
+@pytest.mark.parametrize("shards", [1, 2], ids=["merged-1", "sharded-2"])
+def test_flat_priority_study_matches_fifo_study(shards):
+    """Study/sharded path: fifo vs priority on the contended sweep."""
+    from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+
+    studies = {
+        queue_policy: run_fleet_multiplexing_study(
+            n_lanes=8,
+            mix="mixed",
+            hours=6.0,
+            profiling_slots=1,
+            queue_policy=queue_policy,
+            shards=shards,
+            workers=0,
+        )
+        for queue_policy in ("fifo", "priority")
+    }
+    fifo, prio = studies["fifo"], studies["priority"]
+    assert fifo.queue_policy == "fifo" and prio.queue_policy == "priority"
+    # Honesty guards: contention is real, and nothing in a default
+    # config bids outside the flat class (no escalations, no relearns,
+    # so nothing to evict or shed).
+    assert fifo.mean_queue_wait_seconds > 0.0
+    assert fifo.interference_escalations == 0
+    assert prio.evicted_profiles == 0 and prio.shed_profiles == 0
+
+    assert prio.n_steps == fifo.n_steps
+    assert prio.accepted_profiles == fifo.accepted_profiles
+    assert prio.rejected_profiles == fifo.rejected_profiles
+    assert prio.deferred_adaptations == fifo.deferred_adaptations
+    assert prio.mean_queue_wait_seconds == fifo.mean_queue_wait_seconds
+    assert prio.max_queue_wait_seconds == fifo.max_queue_wait_seconds
+    assert prio.max_queue_depth == fifo.max_queue_depth
+    assert prio.profiler_utilization == fifo.profiler_utilization
+    assert prio.violation_fraction == fifo.violation_fraction
+    assert prio.fleet_hourly_cost == fifo.fleet_hourly_cost
+    assert prio.lane_events == fifo.lane_events
+    assert any(prio.lane_events)
+    assert prio.result.schemas == fifo.result.schemas
+    assert prio.result.n_steps > 0
+    for name in fifo.result.series_names():
+        np.testing.assert_array_equal(
+            prio.result.matrix(name), fifo.result.matrix(name),
+            strict=True, err_msg=f"shards={shards}:{name}",
+        )
 
 
 # ----------------------------------------------------------------------
