@@ -31,7 +31,11 @@ the original bounded queue bit for bit.
 (``repro.sim.placement``: round_robin, block, first_fit_decreasing,
 best_fit).  ``--shards``/``--workers`` partition the fleet into
 contiguous lane-range shards run by worker processes and merged exactly
-(``repro.sim.shard``); ``--rng-mode`` picks counter-mode telemetry
+(``repro.sim.shard``); with ``--hosts`` the shards stay host-coupled
+through the cross-shard demand exchange (``repro.sim.exchange``,
+``--exchange-every`` paces the barrier) and ``--wave-workers`` overlaps
+independent control-plane waves inside each engine.
+``--rng-mode`` picks counter-mode telemetry
 streams (default; signature collection vectorizes across lanes) or the
 legacy sequential generators.  ``placement`` runs the
 placement-sensitivity study: the *same* fleet under each policy,
@@ -221,6 +225,9 @@ def _fleet_rows(args) -> list[str]:
         rng_mode=args.rng_mode,
         shards=args.shards,
         workers=args.workers,
+        shard_dir=args.shard_dir,
+        exchange_every=args.exchange_every,
+        wave_workers=args.wave_workers,
     )
     path = "batched" if study.batched else "scalar"
     engine_label = (
@@ -424,7 +431,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes executing the shards (default "
-        "min(shards, cpus); 0 runs shards inline in this process)",
+        "min(shards, cpus), or the shard count on host-coupled "
+        "sweeps; 0 runs shards inline in this process)",
+    )
+    fleet.add_argument(
+        "--shard-dir",
+        default=None,
+        help="keep the per-shard .npz result files in this directory "
+        "(default: a temporary directory, cleaned up)",
+    )
+    fleet.add_argument(
+        "--exchange-every",
+        type=int,
+        default=1,
+        help="steps between cross-shard demand exchanges on a "
+        "host-coupled sharded sweep (1 = every step, bit-identical to "
+        "single-process; larger periods approximate)",
+    )
+    fleet.add_argument(
+        "--wave-workers",
+        type=_nonnegative_int,
+        default=0,
+        help="threads overlapping independent control-plane waves "
+        "inside each engine (0 = serial reference path, bit-identical "
+        "either way)",
     )
     placement = subparsers.add_parser(
         "placement",
@@ -562,6 +592,22 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(
                 "--migration has no effect without shared hosts; "
                 "pass --hosts N (>= 1)"
+            )
+        if args.shards == 1 and args.workers is not None:
+            parser.error(
+                f"--workers {args.workers} has no effect without "
+                "sharding; pass --shards N (>= 2)"
+            )
+        if args.shards == 1 and args.shard_dir is not None:
+            parser.error(
+                f"--shard-dir {args.shard_dir} has no effect without "
+                "sharding; pass --shards N (>= 2)"
+            )
+        if args.exchange_every != 1 and (args.shards == 1 or args.hosts == 0):
+            parser.error(
+                f"--exchange-every {args.exchange_every} paces the "
+                "cross-shard demand exchange; pass --shards N (>= 2) "
+                "and --hosts M (>= 1)"
             )
         print(f"== fleet: {args.lanes}-service multiplexing study")
         for row in _fleet_rows(args):

@@ -38,12 +38,15 @@ from repro.core.repository import AllocationRepository
 from repro.services.slo import LatencySLO
 from repro.sim.clock import HOUR
 from repro.sim.fleet import FleetEngine, FleetLane, FleetResult, ProfilingQueue
+from repro.sim.exchange import DemandExchange, ExchangeSpec, ShardHostView
 from repro.sim.hosts import HostMap, allocation_demand
 from repro.sim.placement import (
     MigrationPolicy,
     PlacementPolicy,
     build_host_map,
+    make_hosts,
     make_policy,
+    resolve_placement,
 )
 from repro.telemetry.counters import HARDWARE_REGISTERS, HPCSampler
 from repro.telemetry.events import TABLE1_EVENTS
@@ -249,6 +252,14 @@ class FleetMultiplexingStudy:
     """Low-priority requests shed at the high watermark before the hard
     ``max_pending`` cliff (priority policy only)."""
 
+    exchange_every: int = 1
+    """Steps between cross-shard demand exchanges on a host-coupled
+    sharded sweep (1 = every step, the bit-identical default)."""
+
+    wave_workers: int = 0
+    """Threads overlapping independent control-plane waves inside each
+    engine (0 = the serial reference path)."""
+
     @property
     def lane_steps_per_second(self) -> float:
         """Engine throughput: lane-steps per wall-clock second.
@@ -309,6 +320,56 @@ def lane_families(
     )
 
 
+def _placement_estimates(
+    n_lanes: int,
+    mix: str,
+    factors: tuple[float, ...] | None,
+    trace_name: str,
+    seed: int,
+    lane_seed_stride: int,
+) -> list[float]:
+    """Every lane's placement-time demand estimate, traces only.
+
+    Reproduces exactly the estimate :func:`_run_fleet_slice` computes
+    from a built setup — each lane's peak learning-day offered demand —
+    but via :func:`~repro.experiments.setup.make_trace` alone (no
+    managers, no learning), so the parent of a sharded sweep can
+    resolve the global placement in milliseconds before dispatching
+    workers.
+    """
+    from repro.experiments.setup import (
+        DEFAULT_PEAK_DEMAND,
+        SCALE_UP_PEAK_DEMAND,
+        make_trace,
+    )
+    from repro.workloads.request_mix import SPECWEB_SUPPORT
+
+    estimates = []
+    for lane, kind in enumerate(lane_kinds(n_lanes, mix)):
+        factor = lane_demand_factor(lane, factors)
+        if kind == "scaleout":
+            peak = DEFAULT_PEAK_DEMAND * factor
+            request_mix = CASSANDRA_UPDATE_HEAVY
+        else:
+            base = SCALE_UP_PEAK_DEMAND.get(trace_name)
+            if base is None:
+                raise ValueError(
+                    f"no default scale-up demand for {trace_name!r}"
+                )
+            peak = base * factor
+            request_mix = SPECWEB_SUPPORT
+        trace = make_trace(
+            trace_name,
+            request_mix,
+            peak,
+            seed=seed + lane * lane_seed_stride,
+        )
+        estimates.append(
+            max(w.demand_units for w in trace.hourly_workloads(day=0))
+        )
+    return estimates
+
+
 @dataclass(frozen=True)
 class FleetStudySpec:
     """Everything a worker process needs to rebuild its fleet shard.
@@ -318,9 +379,11 @@ class FleetStudySpec:
     have built at those global indices: per-lane trace seeds, sampler
     seeds/stream keys, and family leadership are all keyed by global
     lane index, so a lane's simulation does not depend on which process
-    runs it.  (Host coupling is deliberately absent: sharded sweeps
-    model dedicated hardware, since round-robin host placement couples
-    lanes across shard boundaries.)
+    runs it.  Host coupling crosses shard boundaries, so for sharded
+    hosts the parent resolves the *global* lane→host assignment once
+    (``host_placement``) and every worker rebuilds the identical global
+    :class:`~repro.sim.hosts.HostMap`, synchronizing per-step demands
+    through the cross-shard exchange (:mod:`repro.sim.exchange`).
     """
 
     n_lanes: int
@@ -344,6 +407,9 @@ class FleetStudySpec:
     queue_high_watermark: int | None = None
     queue_low_watermark: int | None = None
     resignature_every_seconds: float | None = None
+    exchange_every: int = 1
+    wave_workers: int = 0
+    host_placement: "tuple[int | None, ...] | None" = None
 
 
 def _event_log(manager) -> tuple:
@@ -366,6 +432,7 @@ def _run_fleet_slice(
     spec: FleetStudySpec,
     lane_lo: int,
     lane_hi: int,
+    exchange: DemandExchange | None = None,
 ) -> tuple[FleetResult, dict]:
     """Build and run global lanes ``[lane_lo, lane_hi)`` of the fleet.
 
@@ -375,11 +442,15 @@ def _run_fleet_slice(
     *phantom* setup (identical seeds, deterministic learning) so
     adoptees share bit-identical state with the leader's own shard.
 
-    When the spec carries hosts, the slice builds the
-    :class:`~repro.sim.hosts.HostMap` itself (host coupling implies a
-    single full-fleet slice): the placement policy packs each lane's
-    *peak learning-day demand* onto the hosts, and the lanes'
-    production environments are wired to the map's interference feeds.
+    When the spec carries hosts, a full-fleet slice builds the
+    :class:`~repro.sim.hosts.HostMap` itself: the placement policy
+    packs each lane's *peak learning-day demand* onto the hosts, and
+    the lanes' production environments are wired to the map's
+    interference feeds.  A proper sub-slice instead receives a
+    :class:`~repro.sim.exchange.DemandExchange` handle, rebuilds the
+    identical *global* map from the spec's pre-resolved
+    ``host_placement``, and couples to the other shards through a
+    :class:`~repro.sim.exchange.ShardHostView`.
 
     Returns the slice's :class:`FleetResult` plus a payload dict of raw
     aggregates (queue stats, hit/miss counts, violations, host/theft
@@ -471,28 +542,47 @@ def _run_fleet_slice(
     # Shared hosts: pack placement-time demand estimates (each lane's
     # peak learning-day offered demand) under the spec's policy, then
     # wire every lane's production environment to its interference
-    # feed.  Host coupling implies a single full-fleet slice, so local
-    # offsets are global lane indices.  Feeds attach *before* the
+    # feed.  A full-fleet slice builds and packs the map itself; a
+    # shard slice rebuilds the *global* map from the parent's resolved
+    # placement and wraps it in a ShardHostView, so its lanes' feeds
+    # bind to their global slots and per-step demands synchronize
+    # through the cross-shard exchange.  Feeds attach *before* the
     # vectorized observers are built — the observers snapshot each
     # production's injector at construction.
-    host_map: HostMap | None = None
+    host_map = None
     if spec.n_hosts is not None:
-        estimates = [
-            max(w.demand_units for w in setup.trace.hourly_workloads(day=0))
-            for setup in setups
-        ]
-        host_map = build_host_map(
-            spec.placement,
-            estimates,
-            n_hosts=spec.n_hosts,
-            capacity_units=spec.host_capacity_units,
-            demand_fn=(
-                allocation_demand
-                if spec.host_demand == "allocation"
-                else None
-            ),
-            migration=spec.migration,
+        demand_fn = (
+            allocation_demand if spec.host_demand == "allocation" else None
         )
+        if exchange is not None:
+            if spec.host_placement is None:
+                raise ValueError(
+                    "a sharded host-coupled slice needs the parent's "
+                    "resolved host_placement in the spec"
+                )
+            full_map = HostMap(
+                make_hosts(spec.n_hosts, spec.host_capacity_units),
+                list(spec.host_placement),
+                demand_fn=demand_fn,
+                migration=spec.migration,
+            )
+            host_map = ShardHostView(full_map, lane_lo, lane_hi, exchange)
+        else:
+            estimates = [
+                max(
+                    w.demand_units
+                    for w in setup.trace.hourly_workloads(day=0)
+                )
+                for setup in setups
+            ]
+            host_map = build_host_map(
+                spec.placement,
+                estimates,
+                n_hosts=spec.n_hosts,
+                capacity_units=spec.host_capacity_units,
+                demand_fn=demand_fn,
+                migration=spec.migration,
+            )
         for offset, setup in enumerate(setups):
             setup.production.injector = host_map.feed(offset)
 
@@ -533,6 +623,13 @@ def _run_fleet_slice(
             family_tuning[family] = leader.learning_report.tuning_invocations
         if setup.manager is not leader:
             setup.manager.adopt_trained_state(leader)
+    # Strong references to each family's shared repository as adopted:
+    # a leader that later re-learns detaches onto a private fork, but
+    # escalations accounting must still recognise the original shared
+    # object followers keep using.
+    family_repos = {
+        family: leader.repository for family, leader in leaders.items()
+    }
 
     queue = ProfilingQueue(
         slots=spec.profiling_slots,
@@ -559,6 +656,7 @@ def _run_fleet_slice(
         profiling_queue=queue,
         host_map=host_map,
         batched=spec.batched,
+        wave_workers=spec.wave_workers,
     )
     duration = spec.hours * HOUR
     engine_start = time.perf_counter()
@@ -578,15 +676,28 @@ def _run_fleet_slice(
             violations += int(np.sum(values < slo.floor_percent))
 
     # Escalation-tuned entries live at band > 0 (only band 0 is
-    # pretuned); count them across every distinct repository, including
-    # private forks created by a re-learning manager.
+    # pretuned).  Family-shared repositories are rebuilt per slice
+    # (phantom leaders re-derive them), so the same escalated entry can
+    # appear in several shards' copies; report those as
+    # (family, class, band) keys and let the merge deduplicate, so
+    # sharded counts match the single-process run exactly.  Private
+    # forks created by a re-learning manager belong to one local lane
+    # and count directly.
+    shared_ids = {id(repo): family for family, repo in family_repos.items()}
     distinct = {id(s.manager.repository): s.manager.repository for s in setups}
-    escalations = sum(
-        1
-        for repo in distinct.values()
-        for entry in repo.entries()
-        if entry.interference_band > 0
-    )
+    escalated: set[tuple[str, int, int]] = set()
+    escalations = 0
+    for repo_id, repo in distinct.items():
+        family = shared_ids.get(repo_id)
+        for entry in repo.entries():
+            if entry.interference_band <= 0:
+                continue
+            if family is None:
+                escalations += 1
+            else:
+                escalated.add(
+                    (family, entry.workload_class, entry.interference_band)
+                )
 
     accepted = queue.accepted_grants
     payload = {
@@ -601,6 +712,7 @@ def _run_fleet_slice(
         "misses": sum(repo.stats.misses for repo in repositories.values()),
         "violations": violations,
         "escalations": escalations,
+        "escalated": sorted(escalated),
         "deferred": sum(s.manager.deferred_adaptations for s in setups),
         "queue_accepted": len(accepted),
         "queue_wait_sum": float(
@@ -630,12 +742,22 @@ def _run_fleet_slice(
 
 
 def _shard_worker(
-    spec: FleetStudySpec, lane_lo: int, lane_hi: int, result_path: str
+    spec: FleetStudySpec,
+    lane_lo: int,
+    lane_hi: int,
+    result_path: str,
+    exchange: DemandExchange | None = None,
 ) -> dict:
     """One worker process's job: run a slice, persist it, return stats."""
-    result, payload = _run_fleet_slice(spec, lane_lo, lane_hi)
-    result.to_npz(result_path)
-    return payload
+    try:
+        result, payload = _run_fleet_slice(
+            spec, lane_lo, lane_hi, exchange=exchange
+        )
+        result.to_npz(result_path)
+        return payload
+    finally:
+        if exchange is not None:
+            exchange.close()
 
 
 def _merged_study(
@@ -666,10 +788,18 @@ def _merged_study(
     lane_events = tuple(
         tuple(log) for payload in payloads for log in payload["lane_events"]
     )
-    # Host coupling implies a single full-fleet slice, so host stats
-    # (None on dedicated hardware and in every sharded payload) come
-    # from the one payload that owns the map.
+    # Host stats come from the first payload that carries them: the
+    # single full-fleet slice, or — under the cross-shard exchange —
+    # any shard, since every worker runs the identical global theft
+    # pass and accumulates identical map statistics.
     host = payloads[0].get("host")
+    # Family-shared escalations arrive as (family, class, band) keys —
+    # shards spanning the same family each carry a copy of its
+    # repository, so the union (not the sum) is the fleet-wide count.
+    escalated = {
+        tuple(key) for payload in payloads for key in payload["escalated"]
+    }
+    escalations = len(escalated) + sum(p["escalations"] for p in payloads)
     placement = (
         spec.placement
         if isinstance(spec.placement, str)
@@ -699,7 +829,7 @@ def _merged_study(
         host_overload_fraction=host["overload_fraction"] if host else 0.0,
         mean_host_theft=host["mean_theft"] if host else 0.0,
         peak_host_theft=host["peak_theft"] if host else 0.0,
-        interference_escalations=sum(p["escalations"] for p in payloads),
+        interference_escalations=escalations,
         deferred_adaptations=sum(p["deferred"] for p in payloads),
         result=result,
         rng_mode=spec.rng_mode,
@@ -714,6 +844,8 @@ def _merged_study(
         accepted_profiles=accepted,
         evicted_profiles=sum(p["queue_evicted"] for p in payloads),
         shed_profiles=sum(p["queue_shed"] for p in payloads),
+        exchange_every=spec.exchange_every,
+        wave_workers=spec.wave_workers,
     )
 
 
@@ -742,6 +874,8 @@ def run_fleet_multiplexing_study(
     shards: int = 1,
     workers: int | None = None,
     shard_dir: str | None = None,
+    exchange_every: int = 1,
+    wave_workers: int = 0,
 ) -> FleetMultiplexingStudy:
     """Run ``n_lanes`` co-hosted services against one shared DejaVu.
 
@@ -825,10 +959,32 @@ def run_fleet_multiplexing_study(
     ``profiling_slots`` clone VMs) *per shard*: with an uncontended
     queue the merged result is bit-identical to the single-process run,
     while under contention per-shard queues legitimately wait less than
-    one fleet-wide queue would.  Host coupling (``n_hosts`` and with it
-    ``placement``/``migration``) is incompatible with sharding — any
-    placement of shared hosts couples lanes across shard boundaries —
-    and raises a :class:`ValueError` at call time.
+    one fleet-wide queue would.
+
+    Host coupling *crosses* shard boundaries, so sharded sweeps with
+    ``n_hosts`` run a cross-shard demand exchange
+    (:mod:`repro.sim.exchange`): the parent resolves the global
+    placement once, every worker rebuilds the identical global
+    :class:`~repro.sim.hosts.HostMap`, and each step the workers
+    synchronize their lanes' demand contributions through a
+    shared-memory block and step barrier before computing the global
+    theft pass locally — the merged result stays bit-identical to the
+    single-process host-coupled run (pinned in
+    ``tests/test_fleet_shard.py``).  Because every shard must reach
+    the barrier each step, ``workers=None`` defaults to ``shards``
+    (undersized pools are rejected) and ``workers=0`` runs the shards
+    as threads.  ``exchange_every`` paces the barrier: 1 (default)
+    exchanges every step and preserves bit-identicality; larger
+    periods let workers run ahead on cached remote demands between
+    barriers — an approximation — with migrations committing only at
+    exchange steps so workers' plans cannot diverge.
+
+    ``wave_workers`` overlaps independent batched-control-plane waves
+    (per-family signature collection, per-group classification,
+    per-observer recording) on a thread pool inside each engine; 0
+    (default) keeps the serial reference path, and both produce
+    bit-identical results (pinned in
+    ``tests/test_fleet_equivalence.py``).
 
     The default 5-minute step keeps adaptation hourly (the managers'
     check interval) while sampling performance between adaptations, so
@@ -890,11 +1046,30 @@ def run_fleet_multiplexing_study(
         raise ValueError(f"need at least one shard: {shards}")
     if shards > n_lanes:
         raise ValueError(f"cannot cut {n_lanes} lanes into {shards} shards")
-    if shards > 1 and n_hosts is not None:
+    if wave_workers < 0:
+        raise ValueError(f"wave_workers must be >= 0: {wave_workers}")
+    if exchange_every < 1:
         raise ValueError(
-            "sharded sweeps model dedicated hardware; host coupling "
-            "(n_hosts, and with it placement/migration) crosses shard "
-            "boundaries — run with shards=1"
+            f"exchange period must be >= 1 step: {exchange_every}"
+        )
+    if exchange_every != 1 and (shards == 1 or n_hosts is None):
+        raise ValueError(
+            "exchange_every paces the cross-shard demand exchange; it "
+            "needs shards > 1 and n_hosts"
+        )
+    # Host coupling crosses shard boundaries: resolve the global
+    # placement up front (policies see the whole fleet's demand
+    # estimates, which no single shard holds) so every worker rebuilds
+    # the identical global map.
+    host_placement = None
+    if shards > 1 and n_hosts is not None:
+        host_placement = resolve_placement(
+            placement,
+            _placement_estimates(
+                n_lanes, mix, factors, trace_name, seed, lane_seed_stride
+            ),
+            n_hosts=n_hosts,
+            capacity_units=host_capacity_units,
         )
     spec = FleetStudySpec(
         n_lanes=n_lanes,
@@ -918,6 +1093,9 @@ def run_fleet_multiplexing_study(
         queue_high_watermark=queue_high_watermark,
         queue_low_watermark=queue_low_watermark,
         resignature_every_seconds=resignature_every_seconds,
+        exchange_every=exchange_every,
+        wave_workers=wave_workers,
+        host_placement=host_placement,
     )
     if shards == 1:
         result, payload = _run_fleet_slice(spec, 0, n_lanes)
@@ -932,12 +1110,21 @@ def run_fleet_multiplexing_study(
 
     from repro.sim.shard import run_sharded
 
-    # The pool never exceeds the shard count; record the size that ran.
-    effective_workers = (
-        min(shards, os.cpu_count() or 1)
-        if workers is None
-        else min(workers, shards)
+    exchange = (
+        ExchangeSpec(exchange_every=exchange_every)
+        if n_hosts is not None
+        else None
     )
+    # The pool never exceeds the shard count; record the size that ran.
+    # A host-coupled sweep must run every shard concurrently (each step
+    # ends at a barrier), so its default is the full shard count and
+    # run_sharded rejects undersized pools.
+    if workers is None:
+        effective_workers = (
+            shards if exchange is not None else min(shards, os.cpu_count() or 1)
+        )
+    else:
+        effective_workers = min(workers, shards)
     merged, payloads, wall_seconds = run_sharded(
         _shard_worker,
         spec,
@@ -946,6 +1133,7 @@ def run_fleet_multiplexing_study(
         workers=effective_workers,
         shard_dir=shard_dir,
         label=f"fleet-{n_lanes}",
+        exchange=exchange,
     )
     return _merged_study(
         spec,

@@ -98,6 +98,7 @@ SMOKE_SCENARIOS = (
     "scenarios/SYN-lane-ramp.yaml",
     "scenarios/RL-diurnal-spikes.yaml",
     "scenarios/SYN-profiler-market.yaml",
+    "scenarios/RL-shard-sweep-hosts.yaml",
 )
 
 

@@ -1,0 +1,357 @@
+"""Cross-shard demand exchange: host coupling across worker processes.
+
+Sharded sweeps (:mod:`repro.sim.shard`) historically modeled dedicated
+hardware: any placement of shared hosts couples lanes across shard
+boundaries, so ``n_hosts`` with ``shards > 1`` was rejected at call
+time.  This module closes that gap with the parallel-rollout idiom —
+independent shards that synchronize only at exchange points:
+
+* every shard worker rebuilds the *same global*
+  :class:`~repro.sim.hosts.HostMap` from the spec (placement is
+  resolved once, up front, from deterministic demand estimates);
+* each step, every worker writes its lanes' demand contributions into
+  one shared-memory numpy block (``multiprocessing.shared_memory``,
+  spawn-safe) and waits on a step barrier;
+* each worker then copies the now-complete global demand vector and
+  runs the *global* theft pass locally — the exact
+  ``HostMap.apply_step`` arithmetic over all lanes — reading back only
+  its own lanes' theft slots.
+
+Because every worker computes the same global vector, thefts,
+migration plans and host statistics are bit-identical across workers
+and identical to the single-process run (pinned in
+``tests/test_fleet_shard.py`` and ``tests/test_host_exchange.py``).
+
+:class:`DemandExchange` is one shard's handle: in **process mode** it
+carries the shared-memory block's name plus a
+``multiprocessing.Manager`` barrier proxy (both picklable through the
+``spawn`` pool), attaching lazily on first use; in **thread mode**
+(``workers=0``) it holds the block array and a ``threading.Barrier``
+directly.  :class:`ShardHostView` adapts the global map to the fleet
+engine's host contract for one lane slice.
+
+``exchange_every > 1`` trades fidelity for barrier traffic: between
+exchanges a worker folds only its *own* lanes' fresh demand into the
+cached global vector (remote lanes go stale), and migrations commit
+only at exchange steps so every worker keeps planning from identical
+vectors.  That mode is a documented approximation — only
+``exchange_every=1`` preserves the bit-identical merge guarantee.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.hosts import HostMap
+
+#: Wall-clock bound on one barrier wait; a dead or wedged worker breaks
+#: the barrier for everyone within this window instead of hanging the
+#: sweep forever.
+DEFAULT_BARRIER_TIMEOUT_SECONDS = 120.0
+
+
+@dataclass(frozen=True)
+class ExchangeSpec:
+    """Configuration of a sharded sweep's demand exchange.
+
+    ``exchange_every`` is the step period between barrier syncs (1 =
+    every step, the bit-identical default); ``barrier_timeout_seconds``
+    bounds each wait so a crashed worker fails the sweep instead of
+    deadlocking it.
+    """
+
+    exchange_every: int = 1
+    barrier_timeout_seconds: float = DEFAULT_BARRIER_TIMEOUT_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.exchange_every < 1:
+            raise ValueError(
+                f"exchange period must be >= 1 step: {self.exchange_every}"
+            )
+        if self.barrier_timeout_seconds <= 0:
+            raise ValueError(
+                f"barrier timeout must be positive: "
+                f"{self.barrier_timeout_seconds}"
+            )
+
+
+def _attach_block(name: str, n_lanes: int):
+    """Attach to the named shared-memory block as a float64 vector."""
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    block = np.ndarray((n_lanes,), dtype=np.float64, buffer=segment.buf)
+    return segment, block
+
+
+class DemandExchange:
+    """One shard worker's handle on the shared per-lane demand block.
+
+    The block is a float64 vector of length ``n_lanes`` (global);
+    this handle owns the ``[lane_lo, lane_hi)`` slice.  Exactly one of
+    ``shm_name`` (process mode — attach lazily, so the handle pickles
+    through the spawn pool) or ``block`` (thread mode — the array is
+    shared directly) must be given.  ``barrier`` is a
+    ``threading.Barrier``-shaped object whose party count is the shard
+    count; Manager barrier proxies satisfy the contract across
+    processes.
+    """
+
+    def __init__(
+        self,
+        n_lanes: int,
+        lane_lo: int,
+        lane_hi: int,
+        barrier,
+        exchange_every: int = 1,
+        timeout_seconds: float = DEFAULT_BARRIER_TIMEOUT_SECONDS,
+        shm_name: str | None = None,
+        block: np.ndarray | None = None,
+    ) -> None:
+        if not 0 <= lane_lo < lane_hi <= n_lanes:
+            raise ValueError(
+                f"lane slice [{lane_lo}, {lane_hi}) out of [0, {n_lanes})"
+            )
+        if exchange_every < 1:
+            raise ValueError(
+                f"exchange period must be >= 1 step: {exchange_every}"
+            )
+        if (shm_name is None) == (block is None):
+            raise ValueError(
+                "pass exactly one of shm_name (process mode) or "
+                "block (thread mode)"
+            )
+        if block is not None and block.shape != (n_lanes,):
+            raise ValueError(
+                f"demand block holds {block.shape} values for "
+                f"{n_lanes} lanes"
+            )
+        self.n_lanes = n_lanes
+        self.lane_lo = lane_lo
+        self.lane_hi = lane_hi
+        self.exchange_every = exchange_every
+        self.timeout_seconds = float(timeout_seconds)
+        self._barrier = barrier
+        self._shm_name = shm_name
+        self._segment = None
+        self._block = block
+
+    def __getstate__(self):
+        if self._shm_name is None:
+            raise TypeError(
+                "a thread-mode DemandExchange shares its block by "
+                "reference and cannot cross a process boundary"
+            )
+        state = self.__dict__.copy()
+        # The attachment is per-process; the worker re-attaches lazily.
+        state["_segment"] = None
+        state["_block"] = None
+        return state
+
+    @property
+    def block(self) -> np.ndarray:
+        """The full global demand vector (attaching on first use)."""
+        if self._block is None:
+            self._segment, self._block = _attach_block(
+                self._shm_name, self.n_lanes
+            )
+        return self._block
+
+    def _wait(self) -> None:
+        self._barrier.wait(self.timeout_seconds)
+
+    def exchange(self, local_demands: np.ndarray) -> np.ndarray:
+        """Publish this shard's demands; return the global vector.
+
+        Two barrier phases bracket the copy: the first guarantees every
+        shard's slice is written before anyone reads, the second keeps
+        a fast shard's *next* write from racing a slow shard's read.
+        Raises ``threading.BrokenBarrierError`` when a peer died or a
+        wait timed out (the barrier breaks for every participant, so
+        the whole sweep fails fast).
+        """
+        if len(local_demands) != self.lane_hi - self.lane_lo:
+            raise ValueError(
+                f"expected {self.lane_hi - self.lane_lo} local demands, "
+                f"got {len(local_demands)}"
+            )
+        block = self.block
+        block[self.lane_lo : self.lane_hi] = local_demands
+        self._wait()
+        full = block.copy()
+        self._wait()
+        return full
+
+    def close(self) -> None:
+        """Detach from the shared block (process mode; thread no-op).
+
+        The parent owns the segment's lifetime and unlinks it; workers
+        only drop their mapping.
+        """
+        self._block = None if self._shm_name is not None else self._block
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+
+def make_exchange_handles(
+    n_lanes: int,
+    ranges: list[range],
+    spec: ExchangeSpec,
+    barrier,
+    shm_name: str | None = None,
+    block: np.ndarray | None = None,
+) -> list[DemandExchange]:
+    """One :class:`DemandExchange` handle per shard range, in order."""
+    return [
+        DemandExchange(
+            n_lanes=n_lanes,
+            lane_lo=lanes.start,
+            lane_hi=lanes.stop,
+            barrier=barrier,
+            exchange_every=spec.exchange_every,
+            timeout_seconds=spec.barrier_timeout_seconds,
+            shm_name=shm_name,
+            block=block,
+        )
+        for lanes in ranges
+    ]
+
+
+class ShardHostView:
+    """One shard's host-coupled view of the global :class:`HostMap`.
+
+    Implements the fleet engine's host contract (``n_lanes``,
+    ``allocation_aware``, ``feed``, ``apply_step``) for the slice
+    ``[lane_lo, lane_hi)`` of a *global* map every worker rebuilt
+    identically.  ``apply_step`` computes the slice's demand
+    contributions, synchronizes them through the exchange, and runs the
+    global theft pass locally — so feeds, migration plans and host
+    statistics come out exactly as the single-process map's would.
+
+    Only the built-in demand footprints (offered / allocation) are
+    supported: a custom ``demand_fn`` receives lane indices, which
+    under sharding would be local to the slice and silently wrong.
+    """
+
+    def __init__(
+        self,
+        host_map: HostMap,
+        lane_lo: int,
+        lane_hi: int,
+        exchange: DemandExchange,
+    ) -> None:
+        if not 0 <= lane_lo < lane_hi <= host_map.n_lanes:
+            raise ValueError(
+                f"lane slice [{lane_lo}, {lane_hi}) out of "
+                f"[0, {host_map.n_lanes})"
+            )
+        if (exchange.n_lanes, exchange.lane_lo, exchange.lane_hi) != (
+            host_map.n_lanes,
+            lane_lo,
+            lane_hi,
+        ):
+            raise ValueError(
+                f"exchange covers lanes [{exchange.lane_lo}, "
+                f"{exchange.lane_hi}) of {exchange.n_lanes}; the view "
+                f"needs [{lane_lo}, {lane_hi}) of {host_map.n_lanes}"
+            )
+        if host_map._demand_mode not in ("offered", "allocation"):
+            raise ValueError(
+                "sharded host coupling supports the built-in offered/"
+                "allocation footprints; a custom demand_fn would "
+                "receive shard-local lane indices"
+            )
+        self.map = host_map
+        self.lane_lo = lane_lo
+        self.lane_hi = lane_hi
+        self.exchange_handle = exchange
+        self._steps_seen = 0
+        self._cached = np.zeros(host_map.n_lanes, dtype=float)
+
+    @property
+    def n_lanes(self) -> int:
+        """Lanes in this shard's slice (the engine's fleet size)."""
+        return self.lane_hi - self.lane_lo
+
+    @property
+    def allocation_aware(self) -> bool:
+        return self.map.allocation_aware
+
+    def feed(self, lane: int):
+        """The *global* map's feed for a shard-local lane offset."""
+        if not 0 <= lane < self.n_lanes:
+            raise IndexError(
+                f"lane {lane} out of range [0, {self.n_lanes})"
+            )
+        return self.map.feed(self.lane_lo + lane)
+
+    def apply_step(self, t, workloads, capacities=None) -> np.ndarray:
+        """Global theft pass fed by this slice's demands + the exchange.
+
+        On exchange steps (every ``exchange_every``-th step, counted
+        from 0 so the first step always synchronizes) the global demand
+        vector comes fresh off the barrier and migrations may commit;
+        in between, only the local slice is refreshed in the cached
+        vector (remote lanes stale) and rebalancing is suppressed so
+        workers' plans cannot diverge.  Returns the slice's theft
+        fractions.
+        """
+        if len(workloads) != self.n_lanes:
+            raise ValueError(
+                f"expected {self.n_lanes} workloads, got {len(workloads)}"
+            )
+        local = self.map._demands(
+            t, workloads, capacities, count=self.n_lanes
+        )
+        if local.size and float(local.min()) < 0.0:
+            raise ValueError("lane demand cannot be negative")
+        step = self._steps_seen
+        self._steps_seen += 1
+        exchanged = step % self.exchange_handle.exchange_every == 0
+        if exchanged:
+            self._cached = self.exchange_handle.exchange(local)
+        else:
+            self._cached[self.lane_lo : self.lane_hi] = local
+        thefts = self.map._apply_demands(
+            t, self._cached, rebalance=exchanged
+        )
+        return thefts[self.lane_lo : self.lane_hi]
+
+    # -- statistics passthroughs (payload assembly) --------------------
+
+    @property
+    def n_hosts(self) -> int:
+        return self.map.n_hosts
+
+    @property
+    def overload_fraction(self) -> float:
+        return self.map.overload_fraction
+
+    @property
+    def mean_theft(self) -> float:
+        return self.map.mean_theft
+
+    @property
+    def peak_theft(self) -> float:
+        return self.map.peak_theft
+
+    @property
+    def migrations(self) -> int:
+        return self.map.migrations
+
+
+def make_thread_exchange(
+    n_lanes: int, ranges: list[range], spec: ExchangeSpec
+) -> list[DemandExchange]:
+    """Thread-mode exchange: one in-process block + barrier, one handle
+    per shard.  The ``workers=0`` path of :func:`repro.sim.shard.
+    run_sharded` runs shards as threads against these handles."""
+    barrier = threading.Barrier(len(ranges))
+    block = np.zeros(n_lanes, dtype=np.float64)
+    return make_exchange_handles(
+        n_lanes, ranges, spec, barrier, block=block
+    )

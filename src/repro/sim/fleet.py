@@ -45,7 +45,9 @@ fleet, so every existing experiment exercises this code path.
 
 from __future__ import annotations
 
+import functools
 import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Protocol
@@ -911,6 +913,19 @@ class FleetEngine:
         :class:`QueuedController`-wrapped third-party controllers.
         With an uncontended queue (or none) all of these coincide and
         the bit-identical guarantee holds unconditionally.
+    wave_workers:
+        Overlap independent batched-control-plane waves on a thread
+        pool of this size (0, the default, keeps the serial reference
+        path).  Three per-step sections fan out, each joining before
+        the next phase: per-family signature collection (disjoint
+        monitor families), per-group ``classify_matrix`` passes (pure
+        snapshot classification; the shared-repository lookups stay
+        serial in group order), and per-observer ``fill_rows`` blocks
+        (disjoint observers writing disjoint columns).  Results are
+        bit-identical to serial stepping (pinned in
+        ``tests/test_fleet_equivalence.py``): every parallel unit
+        touches only its own state and outputs land in submission
+        order.
     """
 
     def __init__(
@@ -921,11 +936,14 @@ class FleetEngine:
         profiling_queue: ProfilingQueue | None = None,
         host_map: HostMap | None = None,
         batched: bool = True,
+        wave_workers: int = 0,
     ) -> None:
         if not lanes:
             raise ValueError("a fleet needs at least one lane")
         if step_seconds <= 0:
             raise ValueError(f"step must be positive, got {step_seconds}")
+        if wave_workers < 0:
+            raise ValueError(f"wave_workers must be >= 0: {wave_workers}")
         if host_map is not None and host_map.n_lanes != len(lanes):
             raise ValueError(
                 f"host map places {host_map.n_lanes} lanes but the fleet "
@@ -937,6 +955,8 @@ class FleetEngine:
         self.profiling_queue = profiling_queue
         self.host_map = host_map
         self.batched = bool(batched)
+        self.wave_workers = int(wave_workers)
+        self._wave_pool = None
         # The caller's FleetLane objects are left untouched; queue
         # wrappers live in the engine's own controller list.  Managers
         # that understand the shared profiler are handed the queue
@@ -1150,6 +1170,19 @@ class FleetEngine:
 
     # -- batched control plane -----------------------------------------
 
+    def _wave_map(self, thunks: list) -> list:
+        """Run independent wave thunks; results in submission order.
+
+        Serial (the reference path) when no wave pool is live or there
+        is nothing to overlap; otherwise submit-all + join, which
+        preserves output order regardless of completion order — the
+        per-step barrier the overlapped waves synchronize on.
+        """
+        if self._wave_pool is None or len(thunks) <= 1:
+            return [thunk() for thunk in thunks]
+        futures = [self._wave_pool.submit(thunk) for thunk in thunks]
+        return [future.result() for future in futures]
+
     def _batched_adapt_wave(
         self, t: float, hour: int, day: int, workloads: list[Workload]
     ):
@@ -1215,9 +1248,20 @@ class FleetEngine:
             for (i, _ctx), row in zip(gated, rows):
                 key = self.controllers[i].batch_group_key()
                 by_key.setdefault(key, []).append((i, row))
+            # Classification is a pure snapshot pass per shared-model
+            # group, so groups may overlap (wave_workers); repository
+            # lookups mutate shared stats and stay serial, resolved in
+            # group insertion order either way.
+            group_list = list(by_key.values())
+            results = self._wave_map(
+                [
+                    functools.partial(self._classify_matrix, members)
+                    for members in group_list
+                ]
+            )
             finish: dict[int, tuple] = {}
-            for members in by_key.values():
-                self._classify_group(members, finish)
+            for members, result in zip(group_list, results):
+                self._resolve_group(members, result, finish)
             for i, ctx in gated:
                 label, certainty, entry = finish[i]
                 self.controllers[i].complete_batched_adapt(
@@ -1250,7 +1294,10 @@ class FleetEngine:
         for position, monitor in enumerate(monitors):
             groups.setdefault(monitor.batch_key(), []).append(position)
         rows: list[np.ndarray | None] = [None] * len(gated)
-        for positions in groups.values():
+
+        def collect_family(positions: list[int]) -> None:
+            # One monitor family: disjoint monitors, disjoint output
+            # slots — families may overlap under wave_workers.
             group_monitors = [monitors[p] for p in positions]
             matrix = group_monitors[0].collect_matrix(
                 [gated[p][1].workload for p in positions],
@@ -1258,19 +1305,40 @@ class FleetEngine:
             )
             for r, p in enumerate(positions):
                 rows[p] = self.controllers[gated[p][0]].signature_row(matrix[r])
+
+        self._wave_map(
+            [
+                functools.partial(collect_family, positions)
+                for positions in groups.values()
+            ]
+        )
         return rows
 
-    def _classify_group(
-        self,
-        members: list[tuple[int, np.ndarray]],
-        finish: dict[int, tuple],
-    ) -> None:
-        """One shared-model group: classify the stacked signature matrix
-        and prefetch band-0 entries for the certain lanes."""
+    def _classify_matrix(self, members: list[tuple[int, np.ndarray]]):
+        """One shared-model group's stacked classification pass.
+
+        Pure with respect to shared state (the classifier snapshots its
+        trained model), so groups can run concurrently; each group's
+        leader controller belongs to exactly that group, keeping the
+        lazily-built batch classifier single-threaded.
+        """
         leader = self.controllers[members[0][0]]
         batch = leader.batch_classifier()
         X = np.vstack([row for _i, row in members])
-        result = batch.classify_matrix(X)
+        return batch.classify_matrix(X)
+
+    def _resolve_group(
+        self,
+        members: list[tuple[int, np.ndarray]],
+        result,
+        finish: dict[int, tuple],
+    ) -> None:
+        """Prefetch band-0 entries for the group's certain lanes.
+
+        Serial: ``lookup_batch`` accumulates repository statistics, and
+        repositories may be shared across groups.
+        """
+        leader = self.controllers[members[0][0]]
         hits = [
             j
             for j, (i, _row) in enumerate(members)
@@ -1384,6 +1452,27 @@ class FleetEngine:
         observer_batches: list[tuple] = []
         times: list[float] = []
         n_lanes = len(self._lanes)
+        pool = (
+            ThreadPoolExecutor(
+                max_workers=self.wave_workers,
+                thread_name_prefix=f"{self._label}-wave",
+            )
+            if self.wave_workers > 0 and self.batched
+            else None
+        )
+        self._wave_pool = pool
+        try:
+            return self._run_loop(
+                clock, end, groups, slots, observer_batches, times, n_lanes
+            )
+        finally:
+            self._wave_pool = None
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+    def _run_loop(
+        self, clock, end, groups, slots, observer_batches, times, n_lanes
+    ) -> FleetResult:
         while clock.now < end:
             t, hour, day = clock.now, clock.hour, clock.day
             workloads = [lane.workload_fn(t) for lane in self._lanes]
@@ -1465,7 +1554,11 @@ class FleetEngine:
                         )
                         step_contexts[i] = ctx
                         self.controllers[i].on_step(ctx)
-                for observer, lane_indices, target, scatter in observer_batches:
+                # Observers are disjoint (distinct objects, distinct
+                # lane columns), so their fill_rows blocks may overlap
+                # under wave_workers.
+                def observe_batch(entry: tuple) -> None:
+                    observer, lane_indices, target, scatter = entry
                     observer.fill_rows(
                         t, [workloads[i] for i in lane_indices], target
                     )
@@ -1474,6 +1567,13 @@ class FleetEngine:
                         row[:, columns] = (
                             target if perm is None else target[perm]
                         )
+
+                self._wave_map(
+                    [
+                        functools.partial(observe_batch, entry)
+                        for entry in observer_batches
+                    ]
+                )
                 for i in self._dict_lanes:
                     ctx = step_contexts.get(i) or StepContext(
                         t=t, workload=workloads[i], hour=hour, day=day

@@ -397,8 +397,22 @@ class HostMap:
         t: float,
         workloads: Sequence[Workload],
         capacities: Sequence[float] | None,
+        count: int | None = None,
     ) -> np.ndarray:
+        """Per-lane demand vector for ``workloads``.
+
+        ``count`` overrides the expected lane count for shard-slice
+        callers (:class:`~repro.sim.exchange.ShardHostView`) computing
+        only their own lanes' contributions; the custom ``demand_fn``
+        footprints stay full-fleet because they key on lane index.
+        """
         mode = self._demand_mode
+        n = self.n_lanes if count is None else count
+        if count is not None and mode not in ("offered", "allocation"):
+            raise ValueError(
+                "partial demand vectors support only the built-in "
+                "offered/allocation footprints"
+            )
         if mode in ("allocation", "custom_allocation"):
             if capacities is None:
                 raise ValueError(
@@ -406,14 +420,13 @@ class HostMap:
                     "capacities; the fleet engine supplies them via "
                     "apply_step(..., capacities=...)"
                 )
-            if len(capacities) != self.n_lanes:
+            if len(capacities) != n:
                 raise ValueError(
-                    f"expected {self.n_lanes} capacities, got {len(capacities)}"
+                    f"expected {n} capacities, got {len(capacities)}"
                 )
         # The two built-in footprints are on the per-step hot path of
         # 200-lane fleets: np.fromiter over the raw attributes skips
         # one property call per lane-step versus Workload.demand_units.
-        n = self.n_lanes
         if mode == "offered":
             return np.fromiter(
                 (w.volume * w.mix.demand_per_client for w in workloads),
@@ -465,7 +478,26 @@ class HostMap:
         demands = self._demands(t, workloads, capacities)
         if demands.size and float(demands.min()) < 0.0:
             raise ValueError("lane demand cannot be negative")
-        self._maybe_rebalance(t, demands)
+        return self._apply_demands(t, demands)
+
+    def _apply_demands(
+        self, t: float, demands: np.ndarray, rebalance: bool = True
+    ) -> np.ndarray:
+        """The global theft pass over a full per-lane demand vector.
+
+        Factored out of :meth:`apply_step` so a sharded worker's
+        :class:`~repro.sim.exchange.ShardHostView` can run the exact
+        same arithmetic on the exchanged global vector.  ``rebalance``
+        gates migration planning: sharded workers suppress it between
+        exchange barriers, where their cached vectors carry stale
+        remote lanes and plans could diverge.
+        """
+        if len(demands) != self.n_lanes:
+            raise ValueError(
+                f"expected {self.n_lanes} demands, got {len(demands)}"
+            )
+        if rebalance:
+            self._maybe_rebalance(t, demands)
         thefts = self.last_thefts
         thefts[:] = 0.0
         idx = self._placed_idx

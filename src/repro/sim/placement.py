@@ -322,6 +322,33 @@ class MigrationPolicy:
         return moves
 
 
+def make_hosts(n_hosts: int, capacity_units: float) -> list[SimHost]:
+    """``n_hosts`` equal hosts with the canonical ``host-<h>`` labels."""
+    if n_hosts < 1:
+        raise ValueError(f"need at least one host: {n_hosts}")
+    return [
+        SimHost(capacity_units=capacity_units, label=f"host-{h}")
+        for h in range(n_hosts)
+    ]
+
+
+def resolve_placement(
+    policy: "str | PlacementPolicy",
+    demands: Sequence[float],
+    n_hosts: int,
+    capacity_units: float,
+) -> tuple[int | None, ...]:
+    """The lane→host assignment a policy produces for equal hosts.
+
+    Shared by :func:`build_host_map` and the sharded study path, where
+    the parent resolves the *global* placement once (policies see the
+    whole fleet's demand estimates, which no single shard holds) and
+    ships the assignment to every worker through the spec.
+    """
+    hosts = make_hosts(n_hosts, capacity_units)
+    return tuple(make_policy(policy).place(demands, hosts))
+
+
 def build_host_map(
     policy: "str | PlacementPolicy",
     demands: Sequence[float],
@@ -334,11 +361,6 @@ def build_host_map(
     Extra keyword arguments (``demand_fn``, ``max_theft``,
     ``migration``) pass through to :class:`~repro.sim.hosts.HostMap`.
     """
-    if n_hosts < 1:
-        raise ValueError(f"need at least one host: {n_hosts}")
-    hosts = [
-        SimHost(capacity_units=capacity_units, label=f"host-{h}")
-        for h in range(n_hosts)
-    ]
+    hosts = make_hosts(n_hosts, capacity_units)
     placement = make_policy(policy).place(demands, hosts)
     return HostMap(hosts, placement, **kwargs)

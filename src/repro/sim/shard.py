@@ -11,11 +11,14 @@ every shard's :class:`~repro.sim.fleet.FleetResult` numpy blocks to an
 back into one fleet-wide result.
 
 The merge is exact, not approximate: lane simulations in this codebase
-interact only through the profiling queue and shared hosts, so a shard
-spec that scopes both to the shard (one profiling environment per
-shard, dedicated hosts) makes every lane's series independent of the
-partition — with counter-mode telemetry streams the merged result is
-bit-identical to the single-process run (pinned in
+interact only through the profiling queue and shared hosts.  The
+profiling queue is scoped to the shard (one profiling environment per
+shard); shared hosts couple lanes *across* shards, so host-coupled
+sweeps pass an :class:`~repro.sim.exchange.ExchangeSpec` and every
+worker synchronizes its lanes' demand contributions through a
+shared-memory block and step barrier before computing the global theft
+pass locally.  Either way, with counter-mode telemetry streams the
+merged result is bit-identical to the single-process run (pinned in
 ``tests/test_fleet_shard.py``).
 
 The module is deliberately generic: it knows how to partition, execute,
@@ -29,16 +32,32 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 import time
+import uuid
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from multiprocessing import get_context
 from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
 
+from repro.sim.exchange import (
+    ExchangeSpec,
+    make_exchange_handles,
+    make_thread_exchange,
+)
 from repro.sim.fleet import FleetResult
+
+#: Prefix of the shared-memory segments backing demand exchanges; the
+#: cleanup regression test globs for it.
+SHM_PREFIX = "fleet-demand"
 
 
 def partition_lanes(n_lanes: int, shards: int) -> list[range]:
@@ -173,6 +192,33 @@ def merge_fleet_results(
     )
 
 
+def _drain_exchange_futures(futures: list, barrier) -> list[dict]:
+    """Collect exchange-coupled worker results, failing fast on crash.
+
+    A worker that dies outside a barrier wait leaves its peers blocked
+    at the barrier until the wait times out; aborting the barrier as
+    soon as the first failure lands breaks every pending and future
+    wait immediately.  The first *root-cause* exception (anything that
+    is not the induced ``BrokenBarrierError``) is re-raised.
+    """
+    done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+    if not_done and any(f.exception() is not None for f in done):
+        try:
+            barrier.abort()
+        except Exception:
+            # The barrier may be unreachable (manager already dead);
+            # the waits still unblock via their timeouts.
+            pass
+    wait(futures)
+    errors = [f.exception() for f in futures if f.exception() is not None]
+    for error in errors:
+        if not isinstance(error, threading.BrokenBarrierError):
+            raise error
+    if errors:
+        raise errors[0]
+    return [future.result() for future in futures]
+
+
 def run_sharded(
     worker: Callable[..., dict],
     spec: Any,
@@ -181,6 +227,7 @@ def run_sharded(
     workers: int | None = None,
     shard_dir: str | Path | None = None,
     label: str = "fleet",
+    exchange: ExchangeSpec | None = None,
 ) -> tuple[FleetResult, list[dict], float]:
     """Execute a sharded sweep and merge the persisted shard results.
 
@@ -198,14 +245,35 @@ def run_sharded(
     ``.npz`` files (for archival or out-of-band merging); by default a
     temporary directory is used and cleaned up.
 
+    ``exchange`` couples the shards through a cross-shard demand
+    exchange (shared hosts): the worker gains a fifth positional
+    argument, a :class:`~repro.sim.exchange.DemandExchange` handle on
+    one shared-memory demand block, and every shard must run
+    *concurrently* because each step ends at a barrier.  Consequently
+    ``workers`` defaults to ``shards`` (not the CPU count — an
+    undersized pool would deadlock at the first barrier, so ``0 <
+    workers < shards`` is rejected) and ``workers=0`` runs the shards
+    as threads instead of inline.  The block and barrier are
+    guaranteed released/unlinked on any exit, including worker crashes
+    and barrier timeouts.
+
     Returns ``(merged_result, payloads_in_shard_order, wall_seconds)``
     where ``wall_seconds`` covers dispatch through merge.
     """
     ranges = partition_lanes(n_lanes, shards)
     if workers is None:
-        workers = min(shards, os.cpu_count() or 1)
+        workers = shards if exchange is not None else min(
+            shards, os.cpu_count() or 1
+        )
     if workers < 0:
         raise ValueError(f"workers must be >= 0: {workers}")
+    if exchange is not None and 0 < workers < shards:
+        raise ValueError(
+            f"a demand exchange synchronizes all {shards} shard(s) at a "
+            f"step barrier; a pool of {workers} worker(s) would deadlock "
+            f"at the first wait — pass workers >= {shards}, or workers=0 "
+            "to run the shards as threads"
+        )
     own_tmp = None
     if shard_dir is None:
         own_tmp = tempfile.TemporaryDirectory(prefix="fleet-shards-")
@@ -220,14 +288,70 @@ def run_sharded(
         ]
         start = time.perf_counter()
         if workers == 0:
-            payloads = [worker(*job) for job in jobs]
-        else:
+            if exchange is None:
+                payloads = [worker(*job) for job in jobs]
+            else:
+                # Sequential execution would deadlock at the first
+                # barrier, so the inline path runs shards as threads:
+                # same process, same determinism guarantees (each
+                # shard's simulation state is thread-local).
+                handles = make_thread_exchange(n_lanes, ranges, exchange)
+                with ThreadPoolExecutor(max_workers=shards) as pool:
+                    futures = [
+                        pool.submit(worker, *job, handle)
+                        for job, handle in zip(jobs, handles)
+                    ]
+                    payloads = _drain_exchange_futures(
+                        futures, handles[0]._barrier
+                    )
+        elif exchange is None:
             with ProcessPoolExecutor(
                 max_workers=min(workers, shards),
                 mp_context=get_context("spawn"),
             ) as pool:
                 futures = [pool.submit(worker, *job) for job in jobs]
                 payloads = [future.result() for future in futures]
+        else:
+            from multiprocessing import shared_memory
+
+            ctx = get_context("spawn")
+            segment = shared_memory.SharedMemory(
+                create=True,
+                size=n_lanes * np.dtype(np.float64).itemsize,
+                name=f"{SHM_PREFIX}-{os.getpid()}-{uuid.uuid4().hex[:8]}",
+            )
+            manager = None
+            try:
+                np.ndarray(
+                    (n_lanes,), dtype=np.float64, buffer=segment.buf
+                )[:] = 0.0
+                manager = ctx.Manager()
+                barrier = manager.Barrier(shards)
+                handles = make_exchange_handles(
+                    n_lanes, ranges, exchange, barrier,
+                    shm_name=segment.name,
+                )
+                with ProcessPoolExecutor(
+                    max_workers=shards, mp_context=ctx
+                ) as pool:
+                    futures = [
+                        pool.submit(worker, *job, handle)
+                        for job, handle in zip(jobs, handles)
+                    ]
+                    payloads = _drain_exchange_futures(futures, barrier)
+            finally:
+                # The parent owns the segment: close the mapping and
+                # unlink the name no matter how the sweep ended, so a
+                # crashed worker or timed-out barrier cannot leak
+                # /dev/shm blocks.  FileNotFoundError is tolerated in
+                # case a resource tracker got there first.
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+                if manager is not None:
+                    manager.shutdown()
         parts = [FleetResult.from_npz(job[3]) for job in jobs]
         merged = merge_fleet_results(parts, label=label)
         wall_seconds = time.perf_counter() - start

@@ -205,6 +205,52 @@ class TestMain:
         assert excinfo.value.code == 2
         assert "--hosts" in capsys.readouterr().err
 
+    def test_run_fleet_hosts_with_shards(self, capsys):
+        # Host-coupled sharding end to end: two thread shards exchange
+        # demands per step and report fleet-wide host stats.
+        assert (
+            main(
+                [
+                    "fleet", "--lanes", "4", "--hours", "2",
+                    "--mix", "mixed", "--hosts", "2",
+                    "--host-capacity", "6", "--shards", "2",
+                    "--workers", "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "shared hosts" in out
+        assert "2 shards" in out
+
+    def test_fleet_workers_without_shards_fails_loudly(self, capsys):
+        # --workers sized a pool that a one-shard sweep never built;
+        # it was silently ignored instead of failing like --placement
+        # without --hosts.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--workers", "4"])
+        assert excinfo.value.code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_fleet_shard_dir_without_shards_fails_loudly(
+        self, capsys, tmp_path
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--shard-dir", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_fleet_exchange_every_needs_shards_and_hosts(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--exchange-every", "4"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--shards" in err and "--hosts" in err
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--shards", "2", "--exchange-every", "4"])
+        assert excinfo.value.code == 2
+        assert "--hosts" in capsys.readouterr().err
+
     def test_run_fleet_with_migration(self, capsys):
         assert (
             main(

@@ -4,17 +4,28 @@ The contract under test: a fleet cut into contiguous shards — each run
 by a worker process against its own profiling environment, persisted
 via ``FleetResult.to_npz`` and merged by the parent — produces the
 same ``FleetResult``, per-lane rows, and per-lane adaptation-event
-ordering as the single-process run, bit for bit, whenever lanes do not
-interact (uncontended queue, dedicated hosts, counter or legacy
-streams).
+ordering as the single-process run, bit for bit — for non-interacting
+lanes (uncontended queue, counter or legacy streams) and for
+host-coupled fleets, where shards synchronize per-step demand
+contributions through the cross-shard exchange before computing the
+global theft pass.
 """
+
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+from repro.sim.exchange import ExchangeSpec
 from repro.sim.fleet import FleetResult
-from repro.sim.shard import merge_fleet_results, partition_lanes, run_sharded
+from repro.sim.placement import MigrationPolicy
+from repro.sim.shard import (
+    SHM_PREFIX,
+    merge_fleet_results,
+    partition_lanes,
+    run_sharded,
+)
 
 
 def _worker_failing_after_first(spec, lane_lo, lane_hi, result_path):
@@ -27,6 +38,19 @@ def _worker_failing_after_first(spec, lane_lo, lane_hi, result_path):
         times=np.array([0.0]),
         matrices={"m": np.zeros((1, lane_hi - lane_lo))},
     ).to_npz(result_path)
+    return {}
+
+
+def _exchange_worker_crashing(spec, lane_lo, lane_hi, result_path, exchange):
+    """Shard 0 publishes and waits at the barrier; every other shard
+    dies first — the parent must abort the barrier (so shard 0 is not
+    stuck until the timeout) and release the shared block."""
+    if lane_lo > 0:
+        raise RuntimeError("exchange worker crashed before the barrier")
+    try:
+        exchange.exchange(np.zeros(lane_hi - lane_lo))
+    finally:
+        exchange.close()
     return {}
 
 HOURS = 6.0
@@ -362,32 +386,166 @@ class TestShardedStudy:
         with pytest.raises(ValueError, match="cannot cut"):
             run_fleet_multiplexing_study(n_lanes=2, hours=1.0, shards=4)
 
-    def test_hosts_with_shards_fails_loudly_at_call_time(self):
-        # Host coupling crosses shard boundaries under any placement,
-        # so the study must refuse up front — before building a single
-        # lane — with a message that names both the restriction and the
-        # fix.  (A 10,000-hour sweep must fail in microseconds, not
-        # after the first shard ran.)
-        import time
+class TestHostCoupledShards:
+    """Shared hosts couple lanes *across* shards: every shard worker
+    publishes its lanes' per-step demand contributions into one shared
+    block, synchronizes at a step barrier, and computes the global
+    theft pass locally — so theft, overload and migrations are decided
+    against the whole fleet and the merge stays bit-identical.
+    """
 
-        start = time.perf_counter()
-        with pytest.raises(
-            ValueError,
-            match=r"sharded sweeps model dedicated hardware; host "
-            r"coupling \(n_hosts, and with it placement/migration\) "
-            r"crosses shard boundaries — run with shards=1",
-        ):
+    # Two hosts at 6 capacity units under the mixed 8-lane fleet are
+    # genuinely contended from hour ~7 on (mean theft ~0.19, overload
+    # fraction 0.5) — without contention the equality gates below would
+    # be vacuous.
+    KWARGS = dict(
+        n_lanes=8,
+        hours=12.0,
+        profiling_slots=8,
+        mix="mixed",
+        n_hosts=2,
+        host_capacity_units=6.0,
+        placement="first_fit_decreasing",
+        seed=3,
+    )
+
+    def assert_same_hosts(self, single, sharded):
+        assert_same_fleet(single, sharded)
+        assert sharded.mean_host_theft == single.mean_host_theft
+        assert sharded.peak_host_theft == single.peak_host_theft
+        assert (
+            sharded.host_overload_fraction == single.host_overload_fraction
+        )
+        assert sharded.migrations == single.migrations
+        assert sharded.violation_fraction == single.violation_fraction
+        # Escalated entries are deduplicated across the per-shard
+        # family-repository copies, so the fleet-wide count matches.
+        assert (
+            sharded.interference_escalations
+            == single.interference_escalations
+        )
+
+    def test_thread_shards_match_single_process_under_contention(self):
+        single = run_fleet_multiplexing_study(**self.KWARGS)
+        assert single.mean_host_theft > 0.0
+        assert single.host_overload_fraction > 0.0
+        sharded = run_fleet_multiplexing_study(
+            shards=2, workers=0, **self.KWARGS
+        )
+        assert sharded.shards == 2 and sharded.workers == 0
+        self.assert_same_hosts(single, sharded)
+
+    def test_uneven_shards_also_match(self):
+        # 8 lanes over 3 shards: ranges (0-2, 3-5, 6-7) exercise the
+        # slice geometry of the exchange block for unequal slices.
+        single = run_fleet_multiplexing_study(**self.KWARGS)
+        sharded = run_fleet_multiplexing_study(
+            shards=3, workers=0, **self.KWARGS
+        )
+        self.assert_same_hosts(single, sharded)
+
+    def test_worker_processes_match_single_process(self):
+        # The real spawn path: each worker attaches the shared-memory
+        # block by name and synchronizes on the manager barrier proxy.
+        single = run_fleet_multiplexing_study(**self.KWARGS)
+        sharded = run_fleet_multiplexing_study(
+            shards=2, workers=2, **self.KWARGS
+        )
+        self.assert_same_hosts(single, sharded)
+
+    def test_migrations_commit_identically_across_shards(self):
+        # Round-robin spreads the heavy lanes badly enough that the
+        # rebalancer actually moves one; the move must land on the same
+        # host at the same step whether sharded or not.
+        kwargs = dict(
+            n_lanes=8,
+            hours=8.0,
+            profiling_slots=8,
+            mix="mixed",
+            n_hosts=3,
+            host_capacity_units=6.0,
+            placement="round_robin",
+            migration=MigrationPolicy(rebalance_every=4, max_moves=2),
+            seed=3,
+        )
+        single = run_fleet_multiplexing_study(**kwargs)
+        assert single.migrations > 0
+        sharded = run_fleet_multiplexing_study(shards=2, workers=0, **kwargs)
+        self.assert_same_hosts(single, sharded)
+
+    def test_coarser_exchange_cadence_runs_and_merges(self):
+        # exchange_every > 1 trades fidelity for fewer barriers; the
+        # sweep must still merge cleanly and aggregate host stats.
+        sharded = run_fleet_multiplexing_study(
+            shards=2, workers=0, exchange_every=3, **self.KWARGS
+        )
+        assert sharded.result.n_steps > 0
+        assert sharded.mean_host_theft >= 0.0
+        assert sharded.host_overload_fraction >= 0.0
+
+    def test_exchange_every_requires_shards_and_hosts(self):
+        with pytest.raises(ValueError, match="exchange_every"):
             run_fleet_multiplexing_study(
-                n_lanes=4, hours=10_000.0, shards=2, n_hosts=2
+                n_lanes=4, hours=1.0, exchange_every=2
             )
-        assert time.perf_counter() - start < 1.0
-
-    def test_placement_with_shards_also_rejected(self):
-        with pytest.raises(ValueError, match="dedicated hardware"):
+        with pytest.raises(ValueError, match="exchange_every"):
             run_fleet_multiplexing_study(
+                n_lanes=4, hours=1.0, shards=2, exchange_every=2
+            )
+
+    def test_undersized_pool_rejected(self):
+        # 0 < workers < shards would deadlock at the first barrier wait.
+        with pytest.raises(ValueError, match="deadlock"):
+            run_fleet_multiplexing_study(shards=2, workers=1, **self.KWARGS)
+        with pytest.raises(ValueError, match="deadlock"):
+            run_sharded(
+                _worker_failing_after_first,
+                spec=None,
                 n_lanes=4,
-                hours=1.0,
                 shards=2,
-                n_hosts=2,
-                placement="first_fit_decreasing",
+                workers=1,
+                exchange=ExchangeSpec(),
             )
+
+    def test_crashed_thread_worker_aborts_barrier_and_cleans_up(
+        self, tmp_path
+    ):
+        # Shard 0 is blocked at the barrier when shard 1 dies; the
+        # parent must abort the barrier (fast failure, not a timeout)
+        # and remove every shard file.
+        with pytest.raises(RuntimeError, match="before the barrier"):
+            run_sharded(
+                _exchange_worker_crashing,
+                spec=None,
+                n_lanes=4,
+                shards=2,
+                workers=0,
+                shard_dir=str(tmp_path),
+                exchange=ExchangeSpec(),
+            )
+        assert list(tmp_path.glob("*.npz")) == []
+
+    def test_crashed_worker_process_unlinks_shared_memory(self, tmp_path):
+        # Same crash through the spawn pool: the parent owns the
+        # /dev/shm segment and must unlink it even though the sweep
+        # died mid-exchange.
+        shm_dir = Path("/dev/shm")
+        before = (
+            {p.name for p in shm_dir.glob(f"{SHM_PREFIX}-*")}
+            if shm_dir.is_dir()
+            else set()
+        )
+        with pytest.raises(RuntimeError, match="before the barrier"):
+            run_sharded(
+                _exchange_worker_crashing,
+                spec=None,
+                n_lanes=4,
+                shards=2,
+                workers=2,
+                shard_dir=str(tmp_path),
+                exchange=ExchangeSpec(barrier_timeout_seconds=60.0),
+            )
+        assert list(tmp_path.glob("*.npz")) == []
+        if shm_dir.is_dir():
+            after = {p.name for p in shm_dir.glob(f"{SHM_PREFIX}-*")}
+            assert after <= before
