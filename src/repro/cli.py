@@ -8,6 +8,7 @@
     python -m repro.cli fleet --lanes 50 --hosts 10 --placement first_fit_decreasing
     python -m repro.cli fleet --lanes 400 --shards 4 --workers 4
     python -m repro.cli fleet --lanes 12 --queue-policy priority --resignature-every 600
+    python -m repro.cli fleet --lanes 8 --hosts 3 --faults "host:0@40+30,profiler@30+18"
     python -m repro.cli placement --lanes 50 --hosts 10
     python -m repro.cli scenario list
     python -m repro.cli scenario run scenarios/SYN-lane-ramp.yaml
@@ -27,6 +28,13 @@ escalation fires across lanes (Sec. 3.6 at fleet scale).
 admission market (escalations outbid routine re-signatures; watermarks
 shed; queued low-value work is evictable) — the default ``fifo`` keeps
 the original bounded queue bit for bit.
+``--faults`` injects a deterministic fault schedule
+(``repro.sim.faults`` DSL): scripted or seeded host deaths trigger an
+emergency evacuation paying the Sec. 3 VM-cloning blackout, and
+profiler outages revoke in-flight signature runs, which the managers
+survive via bounded retry-with-backoff plus a last-known-good degraded
+fallback (``--no-fault-recovery`` keeps the faults but disables the
+responses — the baseline arm).
 ``--placement`` selects the policy that packs lanes onto those hosts
 (``repro.sim.placement``: round_robin, block, first_fit_decreasing,
 best_fit).  ``--shards``/``--workers`` partition the fleet into
@@ -228,6 +236,7 @@ def _fleet_rows(args) -> list[str]:
         shard_dir=args.shard_dir,
         exchange_every=args.exchange_every,
         wave_workers=args.wave_workers,
+        faults=getattr(args, "fault_schedule", None),
     )
     path = "batched" if study.batched else "scalar"
     engine_label = (
@@ -273,6 +282,17 @@ def _fleet_rows(args) -> list[str]:
             f"{study.mean_host_theft:.1%} (peak {study.peak_host_theft:.1%}), "
             f"{study.interference_escalations} interference-band "
             f"escalation(s)"
+        )
+    if study.host_failures or study.revoked_profiles:
+        rows.append(
+            f"faults: {study.host_failures} host failure(s) / "
+            f"{study.host_recoveries} recovery(ies), "
+            f"{study.evacuations} evacuation(s) "
+            f"({study.unplaced_evacuations} unplaceable), "
+            f"{study.revoked_profiles} grant(s) revoked -> "
+            f"{study.profiling_retries} retry(ies), "
+            f"{study.degraded_adaptations} degraded fallback(s), "
+            f"{study.revoked_adaptations} abandoned"
         )
     return rows
 
@@ -456,6 +476,44 @@ def build_parser() -> argparse.ArgumentParser:
         "inside each engine (0 = serial reference path, bit-identical "
         "either way)",
     )
+    fleet.add_argument(
+        "--faults",
+        default=None,
+        help="deterministic fault schedule (repro.sim.faults DSL): "
+        "'host:1@40+30' kills host 1 at step 40 for 30 steps, "
+        "'profiler@30+18' takes the shared profiler dark, "
+        "'random:3@7' adds 3 seeded host faults; knobs like "
+        "'retries=2', 'blackout=300', 'recovery=off' ride in the "
+        "same comma-separated string (host faults require --hosts)",
+    )
+    fleet.add_argument(
+        "--fault-blackout",
+        type=_positive_float,
+        default=None,
+        help="blackout seconds charged to each evacuated lane, "
+        "overriding the schedule's blackout= knob (requires --faults)",
+    )
+    fleet.add_argument(
+        "--fault-residual",
+        type=float,
+        default=None,
+        help="residual capacity rate in [0, 1) for dead-host lanes no "
+        "survivor could absorb (requires --faults)",
+    )
+    fleet.add_argument(
+        "--fault-retries",
+        type=_nonnegative_int,
+        default=None,
+        help="revocation retry budget per adaptation decision "
+        "(requires --faults)",
+    )
+    fleet.add_argument(
+        "--no-fault-recovery",
+        action="store_true",
+        help="keep the fault timeline but disable the recovery "
+        "responses — evacuation, retries, degraded fallback — the "
+        "no-recovery baseline arm (requires --faults)",
+    )
     placement = subparsers.add_parser(
         "placement",
         help="placement-sensitivity study: same fleet, different packings "
@@ -609,6 +667,48 @@ def main(argv: list[str] | None = None) -> int:
                 "cross-shard demand exchange; pass --shards N (>= 2) "
                 "and --hosts M (>= 1)"
             )
+        args.fault_schedule = None
+        knobs = [
+            name
+            for name, given in (
+                ("--fault-blackout", args.fault_blackout is not None),
+                ("--fault-residual", args.fault_residual is not None),
+                ("--fault-retries", args.fault_retries is not None),
+                ("--no-fault-recovery", args.no_fault_recovery),
+            )
+            if given
+        ]
+        if args.faults is None:
+            if knobs:
+                parser.error(
+                    f"{', '.join(knobs)} tune(s) a fault schedule; "
+                    "pass --faults SPEC"
+                )
+        else:
+            from dataclasses import replace as _replace
+
+            from repro.sim.faults import parse_faults
+
+            try:
+                schedule = parse_faults(args.faults)
+                overrides = {}
+                if args.fault_blackout is not None:
+                    overrides["blackout_seconds"] = args.fault_blackout
+                if args.fault_residual is not None:
+                    overrides["residual_rate"] = args.fault_residual
+                if args.fault_retries is not None:
+                    overrides["retry_limit"] = args.fault_retries
+                if args.no_fault_recovery:
+                    overrides["recovery"] = False
+                if overrides:
+                    schedule = _replace(schedule, **overrides)
+            except ValueError as exc:
+                parser.error(f"invalid --faults schedule: {exc}")
+            if schedule.any_host_faults and args.hosts == 0:
+                parser.error(
+                    "--faults kills shared hosts; pass --hosts N (>= 1)"
+                )
+            args.fault_schedule = schedule
         print(f"== fleet: {args.lanes}-service multiplexing study")
         for row in _fleet_rows(args):
             print(f"   {row}")

@@ -18,7 +18,7 @@ from __future__ import annotations
 import copy
 import math
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -126,6 +126,25 @@ class DejaVuConfig:
     steps where only part of a fleet is due an adaptation order this
     traffic differently around the batched wave."""
 
+    profiling_retry_limit: int = 0
+    """How many times a queue-delayed decision whose in-flight signature
+    run was *revoked* by a profiler outage is re-charged against the
+    queue before being abandoned.  0 (the default) abandons immediately
+    — the no-recovery baseline a fault study compares against."""
+
+    profiling_retry_backoff_seconds: float = 600.0
+    """Base of the exponential backoff between revocation retries: the
+    k-th retry waits ``backoff * 2**k`` seconds after the revocation
+    before re-charging the queue (bounded, so a flapping profiler can
+    never wedge the adaptation loop)."""
+
+    degraded_fallback: bool = False
+    """When a revoked decision exhausts its retries, deploy the
+    last-known-good repository allocation the decision already resolved
+    (DejaVu's Sec. 3 claim: the cached repository keeps serving when
+    fresh profiling is unavailable) instead of dropping the adaptation
+    outright."""
+
     seed: int = 0
 
 
@@ -167,6 +186,12 @@ class _PendingDeployment:
     revise the grant's schedule after the decision (later high bidders
     push it back) or evict it outright; the flush re-reads the grant so
     deployment follows true queue residency."""
+
+    retries: int = 0
+    """Revocation retries already charged (profiler-outage recovery)."""
+
+    retry_at: float | None = None
+    """When the next revocation retry may be charged (backoff gate)."""
 
 
 @dataclass
@@ -252,6 +277,9 @@ class DejaVuManager:
         self.superseded_deployments = 0
         self.evicted_adaptations = 0
         self.resignature_requests = 0
+        self.profiling_retries = 0
+        self.revoked_adaptations = 0
+        self.degraded_adaptations = 0
         self.pending_deployment: _PendingDeployment | None = None
         self._pending_wait = 0.0
         self._pending_grant: ProfilingGrant | None = None
@@ -474,6 +502,53 @@ class DejaVuManager:
         if pending is None:
             return
         grant = pending.grant
+        if grant is not None and grant.outcome == "revoked":
+            # A profiler outage destroyed the signature run this
+            # decision waited on.  Bounded retry-with-backoff: after the
+            # backoff elapses, re-charge the queue; once retries are
+            # exhausted either serve the last-known-good repository
+            # allocation the decision already resolved (degraded mode)
+            # or abandon the adaptation (the no-recovery baseline).
+            if pending.retries < self.config.profiling_retry_limit:
+                if pending.retry_at is None:
+                    backoff = self.config.profiling_retry_backoff_seconds
+                    self.pending_deployment = replace(
+                        pending,
+                        retry_at=t + backoff * (2.0 ** pending.retries),
+                    )
+                    return
+                if t + 1e-9 < pending.retry_at:
+                    return
+                self.profiling_retries += 1
+                retry = self._charge_profiling(
+                    t, priority=PRIORITY_ADAPTATION, kind="retry"
+                )
+                if retry is None:
+                    # The queue turned the retry away (bounded reject /
+                    # shed): the attempt is burnt, back off again.
+                    self.pending_deployment = replace(
+                        pending, retries=pending.retries + 1, retry_at=None
+                    )
+                    return
+                self.pending_deployment = replace(
+                    pending,
+                    retries=pending.retries + 1,
+                    retry_at=None,
+                    grant=retry,
+                    apply_at=retry.start_at,
+                )
+                return
+            self.pending_deployment = None
+            if self.config.degraded_fallback and self.is_trained:
+                self.degraded_adaptations += 1
+                self.production.apply(pending.allocation, t)
+                self._deployed_class = pending.workload_class
+                self._deployed_band = (
+                    0 if pending.workload_class is not None else None
+                )
+            else:
+                self.revoked_adaptations += 1
+            return
         if grant is not None and grant.outcome == "evicted":
             # The signature run this decision waited on was displaced
             # by a higher bidder: the decision never lands, the old

@@ -33,6 +33,12 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    missed_keys: dict[tuple[int, int], int] = field(default_factory=dict)
+    """Miss count per (class, band) key.  Sharded fleet sweeps replay a
+    family's repository per shard, so a merge needs to know *which*
+    keys missed: a miss that a tuning run immediately back-filled is a
+    one-per-fleet event (every replica pays it locally), while misses
+    on keys nothing ever stored repeat per lookup in every arm."""
 
     @property
     def hit_rate(self) -> float:
@@ -78,6 +84,10 @@ class AllocationRepository:
         entry = self._entries.get((workload_class, interference_band))
         if entry is None:
             self.stats.misses += 1
+            key = (workload_class, interference_band)
+            self.stats.missed_keys[key] = (
+                self.stats.missed_keys.get(key, 0) + 1
+            )
         else:
             self.stats.hits += 1
         return entry
@@ -102,6 +112,10 @@ class AllocationRepository:
             entry = resolved[key]
             if entry is None:
                 self.stats.misses += 1
+                missed = (key, interference_band)
+                self.stats.missed_keys[missed] = (
+                    self.stats.missed_keys.get(missed, 0) + 1
+                )
             else:
                 self.stats.hits += 1
             entries.append(entry)

@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.repository import AllocationRepository
 from repro.services.slo import LatencySLO
 from repro.sim.clock import HOUR
+from repro.sim.faults import FaultSchedule, parse_faults
 from repro.sim.fleet import FleetEngine, FleetLane, FleetResult, ProfilingQueue
 from repro.sim.exchange import DemandExchange, ExchangeSpec, ShardHostView
 from repro.sim.hosts import HostMap, allocation_demand
@@ -260,6 +261,35 @@ class FleetMultiplexingStudy:
     """Threads overlapping independent control-plane waves inside each
     engine (0 = the serial reference path)."""
 
+    host_failures: int = 0
+    """Host-death fault events the run committed (``faults=``)."""
+
+    host_recoveries: int = 0
+    """Host-recovery fault events the run committed."""
+
+    evacuations: int = 0
+    """Tenants emergency-replaced off a dying host onto survivors (each
+    paid the migration blackout window — the Sec. 3 VM-cloning cost)."""
+
+    unplaced_evacuations: int = 0
+    """Tenants of a dead host no survivor could absorb; they ran
+    degraded at the schedule's residual rate until recovery."""
+
+    revoked_profiles: int = 0
+    """In-flight profiling grants destroyed by profiler outages."""
+
+    profiling_retries: int = 0
+    """Revocation retries the managers charged back to the queue
+    (bounded retry-with-backoff)."""
+
+    revoked_adaptations: int = 0
+    """Adaptations abandoned after a revoked signature exhausted its
+    retries with ``recovery=off`` (the no-recovery baseline)."""
+
+    degraded_adaptations: int = 0
+    """Adaptations that exhausted retries and fell back to deploying
+    the last-known-good repository allocation (degraded mode)."""
+
     @property
     def lane_steps_per_second(self) -> float:
         """Engine throughput: lane-steps per wall-clock second.
@@ -410,6 +440,10 @@ class FleetStudySpec:
     exchange_every: int = 1
     wave_workers: int = 0
     host_placement: "tuple[int | None, ...] | None" = None
+    faults: "FaultSchedule | None" = None
+    """A *resolved* fault schedule (generators already expanded by the
+    parent), so every shard worker replays the identical fault
+    timeline."""
 
 
 def _event_log(manager) -> tuple:
@@ -502,12 +536,25 @@ def _run_fleet_slice(
                 else None
             ),
         )
+        config_kwargs = {}
         if spec.resignature_every_seconds is not None:
-            # Only override the manager config when the knob is set so
-            # default fleets keep the builders' config=None path.
-            common["config"] = DejaVuConfig(
-                resignature_every_seconds=spec.resignature_every_seconds
+            config_kwargs["resignature_every_seconds"] = (
+                spec.resignature_every_seconds
             )
+        if spec.faults is not None:
+            config_kwargs["profiling_retry_limit"] = (
+                spec.faults.manager_retry_limit
+            )
+            config_kwargs["profiling_retry_backoff_seconds"] = (
+                spec.faults.retry_backoff_seconds
+            )
+            config_kwargs["degraded_fallback"] = (
+                spec.faults.manager_degraded_fallback
+            )
+        if config_kwargs:
+            # Only override the manager config when a knob is set so
+            # default fleets keep the builders' config=None path.
+            common["config"] = DejaVuConfig(**config_kwargs)
         if spec.demand_factors:
             # Heterogeneously sized lanes: scale each lane's trace peak
             # by its cycled factor (1.0 factors reproduce the defaults
@@ -566,6 +613,8 @@ def _run_fleet_slice(
                 demand_fn=demand_fn,
                 migration=spec.migration,
             )
+            if spec.faults is not None and spec.faults.any_host_faults:
+                full_map.attach_faults(spec.faults)
             host_map = ShardHostView(full_map, lane_lo, lane_hi, exchange)
         else:
             estimates = [
@@ -583,6 +632,8 @@ def _run_fleet_slice(
                 demand_fn=demand_fn,
                 migration=spec.migration,
             )
+            if spec.faults is not None and spec.faults.any_host_faults:
+                host_map.attach_faults(spec.faults)
         for offset, setup in enumerate(setups):
             setup.production.injector = host_map.feed(offset)
 
@@ -630,6 +681,18 @@ def _run_fleet_slice(
     family_repos = {
         family: leader.repository for family, leader in leaders.items()
     }
+    # Online-phase hit/miss baseline: learning (and each shard's phantom
+    # -leader re-learning) performs repository lookups of its own, and a
+    # shard re-runs its families' learning even when the leader lane
+    # lives elsewhere.  Counting from here makes the merged numerator
+    # and denominator global online-phase counts, so sharded hit_rate
+    # equals the single-process run exactly.
+    base_hits = sum(repo.stats.hits for repo in repositories.values())
+    base_misses = sum(repo.stats.misses for repo in repositories.values())
+    base_missed_keys = {
+        family: dict(repo.stats.missed_keys)
+        for family, repo in repositories.items()
+    }
 
     queue = ProfilingQueue(
         slots=spec.profiling_slots,
@@ -639,6 +702,10 @@ def _run_fleet_slice(
         high_watermark=spec.queue_high_watermark,
         low_watermark=spec.queue_low_watermark,
     )
+    if spec.faults is not None:
+        fault_windows = spec.faults.profiler_windows(spec.step_seconds)
+        if fault_windows:
+            queue.attach_faults(fault_windows)
     lanes = [
         FleetLane(
             workload_fn=setup.trace.workload_at,
@@ -699,6 +766,25 @@ def _run_fleet_slice(
                     (family, entry.workload_class, entry.interference_band)
                 )
 
+    # Online-phase misses, classified for the global merge: a miss a
+    # tuning run immediately back-filled (the key exists now) is one
+    # fleet-wide event that every shard's repository replica pays
+    # locally — the merge deduplicates those by (family, class, band) —
+    # while misses on keys nothing ever stored repeat per lookup in
+    # every arm and sum exactly.
+    missed_stored: list[tuple[str, int, int]] = []
+    misses_unstored = 0
+    for family, repo in repositories.items():
+        base_keys = base_missed_keys.get(family, {})
+        for key, count in repo.stats.missed_keys.items():
+            delta = count - base_keys.get(key, 0)
+            if delta <= 0:
+                continue
+            if repo.contains(*key):
+                missed_stored.append((family, key[0], key[1]))
+            else:
+                misses_unstored += delta
+
     accepted = queue.accepted_grants
     payload = {
         "lane_lo": lane_lo,
@@ -708,8 +794,16 @@ def _run_fleet_slice(
         "families": list(leaders),
         "family_tuning": family_tuning,
         "relearns": sum(s.manager.relearn_count for s in setups),
-        "hits": sum(repo.stats.hits for repo in repositories.values()),
-        "misses": sum(repo.stats.misses for repo in repositories.values()),
+        "hits": (
+            sum(repo.stats.hits for repo in repositories.values())
+            - base_hits
+        ),
+        "misses": (
+            sum(repo.stats.misses for repo in repositories.values())
+            - base_misses
+        ),
+        "missed_stored": sorted(missed_stored),
+        "misses_unstored": misses_unstored,
         "violations": violations,
         "escalations": escalations,
         "escalated": sorted(escalated),
@@ -723,6 +817,14 @@ def _run_fleet_slice(
         "queue_rejected": queue.rejected,
         "queue_evicted": queue.evicted,
         "queue_shed": queue.shed,
+        "queue_revoked": queue.revoked,
+        "retries": sum(s.manager.profiling_retries for s in setups),
+        "revoked_adaptations": sum(
+            s.manager.revoked_adaptations for s in setups
+        ),
+        "degraded_adaptations": sum(
+            s.manager.degraded_adaptations for s in setups
+        ),
         "queue_utilization": queue.utilization(duration),
         "clone_hourly_cost": setups[0].profiler.clone_allocation.hourly_cost,
         "lane_events": [_event_log(s.manager) for s in setups],
@@ -735,6 +837,10 @@ def _run_fleet_slice(
                 "mean_theft": host_map.mean_theft,
                 "peak_theft": host_map.peak_theft,
                 "migrations": host_map.migrations,
+                "host_failures": host_map.host_failures,
+                "host_recoveries": host_map.host_recoveries,
+                "evacuations": host_map.evacuations,
+                "unplaced_evacuations": host_map.unplaced_evacuations,
             }
         ),
     }
@@ -776,8 +882,17 @@ def _merged_study(
             if kind not in families:
                 families.append(kind)
                 tuning += payload["family_tuning"][kind]
-    hits = sum(p["hits"] for p in payloads)
-    misses = sum(p["misses"] for p in payloads)
+    # Global online-phase hit rate.  Lookup *totals* are per-lane
+    # deterministic and sum exactly; misses need the shard-replica
+    # dedup — a back-filled (stored) miss is one fleet-wide event every
+    # replica paid locally, so the union over (family, class, band)
+    # keys is the global count, while never-stored misses sum.
+    lookups = sum(p["hits"] + p["misses"] for p in payloads)
+    missed_stored = {
+        tuple(key) for payload in payloads for key in payload["missed_stored"]
+    }
+    misses = len(missed_stored) + sum(p["misses_unstored"] for p in payloads)
+    hits = lookups - misses
     accepted = sum(p["queue_accepted"] for p in payloads)
     wait_sum = sum(p["queue_wait_sum"] for p in payloads)
     violations = sum(p["violations"] for p in payloads)
@@ -846,6 +961,14 @@ def _merged_study(
         shed_profiles=sum(p["queue_shed"] for p in payloads),
         exchange_every=spec.exchange_every,
         wave_workers=spec.wave_workers,
+        host_failures=host["host_failures"] if host else 0,
+        host_recoveries=host["host_recoveries"] if host else 0,
+        evacuations=host["evacuations"] if host else 0,
+        unplaced_evacuations=host["unplaced_evacuations"] if host else 0,
+        revoked_profiles=sum(p["queue_revoked"] for p in payloads),
+        profiling_retries=sum(p["retries"] for p in payloads),
+        revoked_adaptations=sum(p["revoked_adaptations"] for p in payloads),
+        degraded_adaptations=sum(p["degraded_adaptations"] for p in payloads),
     )
 
 
@@ -876,6 +999,7 @@ def run_fleet_multiplexing_study(
     shard_dir: str | None = None,
     exchange_every: int = 1,
     wave_workers: int = 0,
+    faults=None,
 ) -> FleetMultiplexingStudy:
     """Run ``n_lanes`` co-hosted services against one shared DejaVu.
 
@@ -986,6 +1110,22 @@ def run_fleet_multiplexing_study(
     bit-identical results (pinned in
     ``tests/test_fleet_equivalence.py``).
 
+    ``faults`` injects a deterministic fault timeline
+    (:mod:`repro.sim.faults`): a :class:`~repro.sim.faults.FaultSchedule`,
+    a DSL string (``"host:1@40+30,profiler@30+18,retries=2"``), or a
+    list of such tokens.  Host deaths zero a host's capacity and
+    trigger an emergency evacuation onto survivors (each evacuee pays
+    the migration blackout window; unplaceable lanes run degraded at
+    the schedule's residual rate), profiler outages revoke in-flight
+    grants and take queue slots offline for the window, and the
+    managers recover via bounded retry-with-backoff plus the
+    last-known-good degraded fallback (``recovery=off`` disables the
+    responses but not the faults — the baseline arm).  Fault events
+    are a pure function of the schedule and commit at the same points
+    migrations do, so scalar == batched == sharded stays bit-identical
+    (in sharded runs they commit at exchange barriers).  Host faults
+    require ``n_hosts``.
+
     The default 5-minute step keeps adaptation hourly (the managers'
     check interval) while sampling performance between adaptations, so
     the VM warm-up transient right after a reallocation is weighted as
@@ -1057,6 +1197,19 @@ def run_fleet_multiplexing_study(
             "exchange_every paces the cross-shard demand exchange; it "
             "needs shards > 1 and n_hosts"
         )
+    # Fault injection: parse/validate the schedule and expand any
+    # seeded generators *here*, so every shard worker replays one
+    # identical resolved timeline and a bad spec fails before any
+    # worker is dispatched.
+    fault_schedule = parse_faults(faults)
+    if fault_schedule is not None:
+        if fault_schedule.any_host_faults and n_hosts is None:
+            raise ValueError(
+                "host faults kill shared hosts; pass n_hosts"
+            )
+        fault_schedule = fault_schedule.resolve(
+            int(round(hours * HOUR / step_seconds)), n_hosts or 0
+        )
     # Host coupling crosses shard boundaries: resolve the global
     # placement up front (policies see the whole fleet's demand
     # estimates, which no single shard holds) so every worker rebuilds
@@ -1096,6 +1249,7 @@ def run_fleet_multiplexing_study(
         exchange_every=exchange_every,
         wave_workers=wave_workers,
         host_placement=host_placement,
+        faults=fault_schedule,
     )
     if shards == 1:
         result, payload = _run_fleet_slice(spec, 0, n_lanes)

@@ -81,6 +81,14 @@ EXACT_METRICS = frozenset(
         "learning_runs",
         "tuning_invocations",
         "migrations",
+        "host_failures",
+        "host_recoveries",
+        "evacuations",
+        "unplaced_evacuations",
+        "revoked_profiles",
+        "profiling_retries",
+        "revoked_adaptations",
+        "degraded_adaptations",
     }
 )
 
@@ -99,6 +107,8 @@ SMOKE_SCENARIOS = (
     "scenarios/RL-diurnal-spikes.yaml",
     "scenarios/SYN-profiler-market.yaml",
     "scenarios/RL-shard-sweep-hosts.yaml",
+    "scenarios/SYN-host-outage.yaml",
+    "scenarios/RL-profiler-brownout.yaml",
 )
 
 

@@ -55,6 +55,14 @@ STUDY_METRICS = (
     "peak_host_theft",
     "host_overload_fraction",
     "migrations",
+    "host_failures",
+    "host_recoveries",
+    "evacuations",
+    "unplaced_evacuations",
+    "revoked_profiles",
+    "profiling_retries",
+    "revoked_adaptations",
+    "degraded_adaptations",
     "lane_steps_per_second",
 )
 

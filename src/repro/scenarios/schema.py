@@ -300,6 +300,26 @@ def parse_scenario(doc: Any, path: str | None = None) -> Scenario:
                 "dedicated hardware)"
             )
 
+    if study == "fleet" and "faults" in params:
+        from repro.sim.faults import parse_faults
+
+        try:
+            schedule = parse_faults(params["faults"])
+        except ValueError as exc:
+            raise ScenarioError(
+                f"{where}invalid faults spec {params['faults']!r}: {exc}"
+            ) from exc
+        if (
+            schedule is not None
+            and schedule.any_host_faults
+            and "n_hosts" not in params
+        ):
+            raise ScenarioError(
+                f"{where}host faults kill shared hosts; set 'n_hosts' in "
+                "the 'fleet' section (dedicated hardware has no hosts "
+                "to fail)"
+            )
+
     migration_doc = doc.get("migration", {})
     migration: dict[str, Any] = {}
     if migration_doc:

@@ -32,10 +32,13 @@ engine's host contract for one lane slice.
 
 ``exchange_every > 1`` trades fidelity for barrier traffic: between
 exchanges a worker folds only its *own* lanes' fresh demand into the
-cached global vector (remote lanes go stale), and migrations commit
-only at exchange steps so every worker keeps planning from identical
-vectors.  That mode is a documented approximation — only
-``exchange_every=1`` preserves the bit-identical merge guarantee.
+cached global vector (remote lanes go stale), and migrations — and
+fault events (:mod:`repro.sim.faults`), which the map processes inside
+the same rebalance gate — commit only at exchange steps so every worker
+keeps planning from identical vectors.  Demand *values* between
+barriers are a documented approximation, but the commit points
+themselves are pinned: ``tests/test_fleet_shard.py`` asserts every
+migration and fault commit lands on an exchange step.
 """
 
 from __future__ import annotations
@@ -294,7 +297,8 @@ class ShardHostView:
 
         On exchange steps (every ``exchange_every``-th step, counted
         from 0 so the first step always synchronizes) the global demand
-        vector comes fresh off the barrier and migrations may commit;
+        vector comes fresh off the barrier and migrations and fault
+        events may commit;
         in between, only the local slice is refreshed in the cached
         vector (remote lanes stale) and rebalancing is suppressed so
         workers' plans cannot diverge.  Returns the slice's theft
@@ -342,6 +346,22 @@ class ShardHostView:
     @property
     def migrations(self) -> int:
         return self.map.migrations
+
+    @property
+    def host_failures(self) -> int:
+        return self.map.host_failures
+
+    @property
+    def host_recoveries(self) -> int:
+        return self.map.host_recoveries
+
+    @property
+    def evacuations(self) -> int:
+        return self.map.evacuations
+
+    @property
+    def unplaced_evacuations(self) -> int:
+        return self.map.unplaced_evacuations
 
 
 def make_thread_exchange(

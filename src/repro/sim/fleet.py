@@ -121,7 +121,7 @@ PRIORITY_ESCALATION = 3
 QUEUE_POLICIES = ("fifo", "priority")
 
 #: Every way a request can leave the queue.
-GRANT_OUTCOMES = ("accepted", "rejected", "shed", "evicted")
+GRANT_OUTCOMES = ("accepted", "rejected", "shed", "evicted", "revoked")
 
 
 @dataclass
@@ -131,9 +131,11 @@ class ProfilingGrant:
     ``outcome`` distinguishes how the request left the queue:
     ``"accepted"`` (scheduled, possibly after a wait), ``"rejected"``
     (bounded queue full on arrival), ``"shed"`` (turned away by
-    watermark admission control while the backlog drains), and
+    watermark admission control while the backlog drains),
     ``"evicted"`` (admitted, then displaced by a higher-priority
-    arrival before starting).  Only accepted grants carry meaningful
+    arrival before starting), and ``"revoked"`` (scheduled, then killed
+    by a profiler outage before finishing — see
+    :meth:`ProfilingQueue.attach_faults`).  Only accepted grants carry meaningful
     ``start_at``/``finish_at`` times and enter the wait/utilization
     aggregates; everything else pins ``start_at == requested_at`` so
     ``wait_seconds`` reads 0 but is excluded from the statistics.
@@ -243,6 +245,11 @@ class ProfilingQueue:
         self.rejected = 0
         self.evicted = 0
         self.shed = 0
+        self.revoked = 0
+        # Profiler-outage windows (attach_faults), processed lazily by
+        # advance_to as the clock passes their start times.
+        self._fault_windows: tuple = ()
+        self._next_fault = 0
         self.max_depth = 0
         self.busy_seconds = 0.0
         # Priority mode keeps the admitted-but-unstarted backlog
@@ -543,6 +550,85 @@ class ProfilingQueue:
         if depth > self.max_depth:
             self.max_depth = depth
 
+    # -- profiler outages (fault injection) -----------------------------
+
+    def attach_faults(
+        self, windows: "tuple[tuple[float, float, int | None], ...]"
+    ) -> None:
+        """Arm profiler-outage windows (``(start_t, end_t, slots)``).
+
+        The fleet engine calls :meth:`advance_to` once per step; a
+        window whose start time has arrived is applied then — at the
+        same point of every engine path, so scalar, batched and sharded
+        runs revoke the same grants.  ``slots=None`` takes the whole
+        environment offline: every accepted grant still unfinished at
+        the window start is **revoked** (outcome ``"revoked"``, charge
+        refunded — the run was killed mid-collection or never started)
+        and every slot stays dark until the window ends.  A partial
+        brownout (``slots=k``) pushes the ``k`` next-free slots to the
+        window end without killing in-flight runs — capacity shrinks,
+        schedules slip (priority-mode grants are re-projected and
+        marked ``revised``), but nothing already collecting dies.
+        """
+        for start, end, slots in windows:
+            if end <= start:
+                raise ValueError(
+                    f"outage window must have positive length: "
+                    f"({start}, {end})"
+                )
+            if slots is not None and slots < 1:
+                raise ValueError(
+                    f"outage must take at least one slot: {slots}"
+                )
+        self._fault_windows = tuple(sorted(windows))
+        self._next_fault = 0
+
+    def advance_to(self, t: float) -> None:
+        """Apply every outage window whose start time is <= ``t``."""
+        windows = self._fault_windows
+        while (
+            self._next_fault < len(windows)
+            and windows[self._next_fault][0] <= t
+        ):
+            self._apply_outage(*windows[self._next_fault])
+            self._next_fault += 1
+
+    def _apply_outage(
+        self, start_t: float, end_t: float, slots_down: int | None
+    ) -> None:
+        if self.queue_policy == "priority":
+            # Commit whatever the clock has already served; the
+            # un-started backlog survives the outage and re-projects
+            # behind the pushed slots.
+            self._drain(start_t)
+        affected = (
+            self.slots if slots_down is None else min(slots_down, self.slots)
+        )
+        if affected == self.slots:
+            pending_ids = {id(g) for g in self._pending}
+            for grant in self.grants:
+                if grant.outcome != "accepted" or id(grant) in pending_ids:
+                    continue
+                if grant.finish_at > start_t:
+                    grant.outcome = "revoked"
+                    grant.start_at = grant.requested_at
+                    grant.finish_at = grant.requested_at
+                    grant.revised = True
+                    self.revoked += 1
+                    # The run was killed: refund the charge, like an
+                    # eviction (partial progress is not billed).
+                    self.busy_seconds -= self.service_seconds
+            for slot in range(self.slots):
+                self._slot_free[slot] = end_t
+        else:
+            order = sorted(
+                range(self.slots), key=self._slot_free.__getitem__
+            )
+            for slot in order[:affected]:
+                self._slot_free[slot] = max(self._slot_free[slot], end_t)
+        if self.queue_policy == "priority":
+            self._project()
+
     @property
     def accepted_grants(self) -> list[ProfilingGrant]:
         return [g for g in self.grants if g.accepted]
@@ -552,7 +638,7 @@ class ProfilingQueue:
         return len(self.grants)
 
     def outcome_counts(self) -> dict[str, int]:
-        """Requests by outcome; the four counts sum to
+        """Requests by outcome; the counts sum to
         :attr:`total_requests` (the conservation invariant)."""
         counts = dict.fromkeys(GRANT_OUTCOMES, 0)
         for grant in self.grants:
@@ -1488,6 +1574,11 @@ class FleetEngine:
                     else None
                 )
                 self.host_map.apply_step(t, workloads, capacities=capacities)
+            if self.profiling_queue is not None:
+                # Profiler-outage windows commit here — the same point
+                # of the scalar and batched paths, before any
+                # controller can observe or charge the queue this step.
+                self.profiling_queue.advance_to(t)
             handled = (
                 self._batched_adapt_wave(t, hour, day, workloads)
                 if self._batch_candidates

@@ -242,6 +242,16 @@ class HostMap:
             feed._bind(self.last_thefts, index)
         self._rebuild_placement_cache()
         self._blackout_until = np.zeros(n_lanes, dtype=float)
+        # Per-lane blackout severity: migrations write the migration
+        # policy's theft, fault evacuations the fault schedule's.
+        self._blackout_theft = np.zeros(n_lanes, dtype=float)
+        # Fault state (attach_faults arms it; None = hosts never die).
+        self.faults = None
+        self._fault_timeline: list[tuple[int, int, int]] = []
+        self._fault_cursor = 0
+        self._host_down = np.zeros(len(self.hosts), dtype=bool)
+        self._base_capacity = self._capacity_arr.copy()
+        self._degraded = np.zeros(n_lanes, dtype=bool)
         # Coupling statistics, accumulated by apply_step.
         self.steps = 0
         self.overloaded_host_steps = 0
@@ -249,6 +259,15 @@ class HostMap:
         self.peak_theft = 0.0
         self.migrations = 0
         self.lane_migrations = np.zeros(n_lanes, dtype=int)
+        self.host_failures = 0
+        self.host_recoveries = 0
+        self.evacuations = 0
+        self.unplaced_evacuations = 0
+        #: Step indices at which placement-changing commits landed
+        #: (migrations and fault events) — the property tests pin that
+        #: sharded runs only commit at exchange barriers.
+        self.migration_commit_steps: list[int] = []
+        self.fault_commit_steps: list[int] = []
 
     def _rebuild_placement_cache(self) -> None:
         """Refresh the vectorized-lookup arrays after (re)placement."""
@@ -377,8 +396,10 @@ class HostMap:
         self._placement[lane] = host
         self.migrations += 1
         self.lane_migrations[lane] += 1
+        self.migration_commit_steps.append(self.steps)
         if self.migration is not None:
             self._blackout_until[lane] = t + self.migration.blackout_seconds
+            self._blackout_theft[lane] = self.migration.blackout_theft
         self._rebuild_placement_cache()
 
     def _maybe_rebalance(self, t: float, demands: np.ndarray) -> None:
@@ -388,7 +409,117 @@ class HostMap:
             return
         moves = self.migration.plan(self.placement, demands, self.hosts)
         for lane, host in moves:
+            # The planner packs against the hosts' nominal capacities;
+            # a host felled by a fault event looks temptingly empty, so
+            # moves onto a dead host are vetoed here.
+            if self._host_down[host]:
+                continue
             self.migrate(lane, host, t)
+
+    # -- fault injection ------------------------------------------------
+
+    def attach_faults(self, schedule) -> None:
+        """Arm a :class:`~repro.sim.faults.FaultSchedule`'s host events.
+
+        Events are keyed by step index and processed inside
+        :meth:`_apply_demands` at rebalance points — every step for
+        single-process runs, exchange barriers for sharded ones — so
+        every worker of a sharded sweep commits the identical event at
+        the identical step.  A failed host's capacity drops to zero;
+        with ``schedule.recovery`` its tenants are evacuated best-fit
+        onto surviving hosts (each paying the schedule's blackout
+        window), and tenants that fit nowhere run *degraded* at
+        ``residual_rate`` of their capacity until the host returns.
+        With recovery off, every tenant rides the dead host degraded.
+        """
+        if self.faults is not None:
+            raise ValueError("a fault schedule is already attached")
+        if schedule.generators:
+            raise ValueError(
+                "resolve() the fault schedule before attaching it"
+            )
+        for event in schedule.host_faults:
+            if event.host >= self.n_hosts:
+                raise ValueError(
+                    f"fault targets host {event.host} but the map has "
+                    f"{self.n_hosts} host(s)"
+                )
+        self.faults = schedule
+        self._fault_timeline = schedule.host_timeline()
+        self._fault_cursor = 0
+
+    def _process_fault_events(self, t: float, demands: np.ndarray) -> None:
+        """Commit every fault event due at or before the current step."""
+        timeline = self._fault_timeline
+        cursor = self._fault_cursor
+        while cursor < len(timeline) and timeline[cursor][0] <= self.steps:
+            _step, kind, host = timeline[cursor]
+            cursor += 1
+            if kind == 0:
+                self._fail_host(host, t, demands)
+            else:
+                self._recover_host(host)
+        self._fault_cursor = cursor
+
+    def _fail_host(self, host: int, t: float, demands: np.ndarray) -> None:
+        if self._host_down[host]:
+            return  # overlapping fault events: already dead
+        self._host_down[host] = True
+        self._capacity_arr[host] = 0.0
+        self.host_failures += 1
+        self.fault_commit_steps.append(self.steps)
+        tenants = list(self._host_lanes[host])
+        if not tenants:
+            return
+        if not self.faults.recovery:
+            # No evacuation machinery: every tenant rides the dead host
+            # at the documented residual rate until recovery.
+            self._degraded[tenants] = True
+            return
+        # Emergency evacuation: biggest tenant first onto the surviving
+        # host with the most headroom it *fits* on (ties to the lowest
+        # index, matching the placement policies' fallback idiom).  A
+        # tenant that fits nowhere stays put and runs degraded — an
+        # evacuation that overcommits a survivor would just spread the
+        # outage.
+        idx = self._placed_idx
+        loads = np.bincount(
+            self._host_index[idx], weights=demands[idx],
+            minlength=self.n_hosts,
+        )
+        residual = self._capacity_arr - loads
+        moved = False
+        for lane in sorted(tenants, key=lambda l: (-demands[l], l)):
+            fits = np.flatnonzero(
+                ~self._host_down & (residual >= demands[lane] - 1e-12)
+            )
+            if fits.size:
+                target = int(fits[np.argmax(residual[fits])])
+                self._placement[lane] = target
+                residual[target] -= demands[lane]
+                self.evacuations += 1
+                self._blackout_until[lane] = t + self.faults.blackout_seconds
+                self._blackout_theft[lane] = self.faults.blackout_theft
+                moved = True
+            else:
+                self._degraded[lane] = True
+                self.unplaced_evacuations += 1
+        if moved:
+            self._rebuild_placement_cache()
+
+    def _recover_host(self, host: int) -> None:
+        if not self._host_down[host]:
+            return
+        self._host_down[host] = False
+        self._capacity_arr[host] = self._base_capacity[host]
+        self.host_recoveries += 1
+        self.fault_commit_steps.append(self.steps)
+        # Tenants that rode out the outage in place resume at full
+        # capacity; evacuated lanes stay where they landed (no
+        # fail-back — a later migration rebalance may move them).
+        still = list(self._host_lanes[host])
+        if still:
+            self._degraded[still] = False
 
     # -- the coupling --------------------------------------------------
 
@@ -497,6 +628,8 @@ class HostMap:
                 f"expected {self.n_lanes} demands, got {len(demands)}"
             )
         if rebalance:
+            if self.faults is not None:
+                self._process_fault_events(t, demands)
             self._maybe_rebalance(t, demands)
         thefts = self.last_thefts
         thefts[:] = 0.0
@@ -528,18 +661,29 @@ class HostMap:
                         factor[hot] * (host_total - placed[hot]) / host_total,
                         self.max_theft,
                     )
-        if self.migration is not None:
+        if self.migration is not None or self.faults is not None:
             blacked = t < self._blackout_until
             if np.any(blacked):
                 np.maximum(
                     thefts,
                     np.where(
                         blacked,
-                        min(self.migration.blackout_theft, self.max_theft),
+                        np.minimum(self._blackout_theft, self.max_theft),
                         0.0,
                     ),
                     out=thefts,
                 )
+        if self.faults is not None and np.any(self._degraded):
+            # A lane riding a dead host keeps only the schedule's
+            # residual rate; the self-saturation exemption in the theft
+            # formula (a lone tenant steals nothing from itself) must
+            # not mask a host that is simply gone.
+            floor = min(1.0 - self.faults.residual_rate, self.max_theft)
+            np.maximum(
+                thefts,
+                np.where(self._degraded, floor, 0.0),
+                out=thefts,
+            )
         self.steps += 1
         if idx.size:
             self._theft_sum += float(thefts[idx].sum())

@@ -251,6 +251,46 @@ class TestMain:
         assert excinfo.value.code == 2
         assert "--hosts" in capsys.readouterr().err
 
+    def test_fleet_host_faults_without_hosts_fail_loudly(self, capsys):
+        # A host-death schedule on dedicated hardware has nothing to
+        # kill; fail like the other hosts-coupled flags.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--faults", "host:0@24+12"])
+        assert excinfo.value.code == 2
+        assert "--hosts" in capsys.readouterr().err
+
+    def test_fleet_fault_knobs_without_schedule_fail_loudly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--fault-retries", "2"])
+        assert excinfo.value.code == 2
+        assert "--faults" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--no-fault-recovery"])
+        assert excinfo.value.code == 2
+        assert "--faults" in capsys.readouterr().err
+
+    def test_fleet_bad_fault_schedule_fails_loudly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--hosts", "2", "--faults", "bogus"])
+        assert excinfo.value.code == 2
+        assert "invalid --faults" in capsys.readouterr().err
+
+    def test_run_fleet_with_host_faults(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet", "--lanes", "4", "--hours", "4",
+                    "--mix", "mixed", "--hosts", "2",
+                    "--host-capacity", "6",
+                    "--faults", "host:0@5+6,blackout=300",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "shared hosts" in out
+        assert "faults: 1 host failure(s)" in out
+
     def test_run_fleet_with_migration(self, capsys):
         assert (
             main(

@@ -502,6 +502,48 @@ def test_batched_matches_scalar_under_every_placement(placement):
     assert batched.interference_escalations == scalar.interference_escalations
 
 
+def test_batched_matches_scalar_under_host_faults():
+    """The fault subsystem lives below the scalar/batched fork: a
+    scripted host death (evacuation, blackout theft, recovery) must
+    leave the two paths bit-identical, fault counters included."""
+    from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+
+    # Keep the queue uncontended even when the fault-driven theft makes
+    # every lane's adaptation fire interference probes in the same step
+    # (4 adapts + 5 probes at the hour mark): exact equivalence is the
+    # uncontended regime, and contention ordering is charged per-lane
+    # by the scalar path but per-wave by the batched path.
+    faulted = dict(
+        HOSTED, profiling_slots=12, faults="host:0@25+18,blackout=300"
+    )
+    results = {
+        batched: run_fleet_multiplexing_study(batched=batched, **faulted)
+        for batched in (True, False)
+    }
+    batched, scalar = results[True], results[False]
+    # The honesty guards: the host really died and tenants really moved
+    # (or were degraded in place), or the equality proves nothing.
+    assert scalar.host_failures == 1
+    assert scalar.host_recoveries == 1
+    assert scalar.evacuations + scalar.unplaced_evacuations > 0
+    assert batched.host_failures == scalar.host_failures
+    assert batched.host_recoveries == scalar.host_recoveries
+    assert batched.evacuations == scalar.evacuations
+    assert batched.unplaced_evacuations == scalar.unplaced_evacuations
+    assert batched.peak_host_theft == scalar.peak_host_theft
+    assert batched.mean_host_theft == scalar.mean_host_theft
+    assert batched.violation_fraction == scalar.violation_fraction
+    assert batched.result.schemas == scalar.result.schemas
+    assert batched.result.n_steps > 0
+    for name in batched.result.series_names():
+        np.testing.assert_array_equal(
+            batched.result.matrix(name), scalar.result.matrix(name),
+            strict=True, err_msg=name,
+        )
+    assert batched.lane_events == scalar.lane_events
+    assert any(batched.lane_events)
+
+
 class TestLegacyHostBehaviorPinned:
     """PR 2's host coupling, re-expressed through the policy layer.
 

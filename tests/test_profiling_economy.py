@@ -341,6 +341,201 @@ class TestOutcomeExclusion:
         assert queue.busy_seconds == pytest.approx(2 * SERVICE)
 
 
+class TestProfilerOutages:
+    """Fault-injection semantics: revocation, brownouts, conservation."""
+
+    def test_full_outage_revokes_in_flight_grants(self):
+        queue = ProfilingQueue(slots=1, service_seconds=SERVICE)
+        queue.attach_faults(((5.0, 100.0, None),))
+        running = queue.request(0.0)  # in service, finishes at 10
+        waiting = queue.request(0.0)  # scheduled 10-20
+        queue.advance_to(5.0)
+        assert running.outcome == "revoked"
+        assert waiting.outcome == "revoked"
+        assert queue.revoked == 2
+        # Revoked runs are killed mid-collection: nothing is billed,
+        # and the schedule collapses back to the request time.
+        assert queue.busy_seconds == 0.0
+        assert running.finish_at == running.requested_at
+        assert running.revised
+        # Slots stay dark until the window ends.
+        late = queue.request(50.0)
+        assert late.accepted and late.start_at == 100.0
+
+    def test_finished_and_unissued_work_survives_the_outage(self):
+        queue = ProfilingQueue(slots=1, service_seconds=SERVICE)
+        queue.attach_faults(((30.0, 60.0, None),))
+        done = queue.request(0.0)  # finishes at 10, before the window
+        queue.advance_to(30.0)
+        assert done.outcome == "accepted"
+        assert queue.revoked == 0
+        assert queue.busy_seconds == pytest.approx(SERVICE)
+
+    def test_partial_brownout_delays_without_killing(self):
+        queue = ProfilingQueue(slots=2, service_seconds=SERVICE)
+        queue.attach_faults(((5.0, 200.0, 1),))
+        running = queue.request(0.0)  # slot 0, finishes at 10
+        queue.advance_to(5.0)
+        # The idle slot browns out; the in-flight run survives.
+        assert running.outcome == "accepted"
+        assert queue.revoked == 0
+        # Capacity halves: simultaneous arrivals serialize on the one
+        # surviving slot instead of fanning out over two.
+        first = queue.request(20.0)
+        second = queue.request(20.0)
+        assert sorted((first.start_at, second.start_at)) == [20.0, 30.0]
+        # Once the window closes, both slots serve again.
+        a = queue.request(300.0)
+        b = queue.request(300.0)
+        assert a.start_at == b.start_at == 300.0
+
+    def test_conservation_holds_with_revocations(self):
+        """accepted + rejected + shed + evicted + revoked == total."""
+        total_revoked = 0
+        for policy, kwargs in QUEUE_SHAPES:
+            for seed in range(4):
+                queue = ProfilingQueue(
+                    service_seconds=SERVICE,
+                    queue_policy=policy,
+                    **{"slots": 1, **kwargs},
+                )
+                arrivals = random_arrivals(seed)
+                horizon = arrivals[-1][0]
+                # Outage windows interleaved with the arrival sequence.
+                queue.attach_faults(
+                    (
+                        (horizon * 0.25, horizon * 0.3, None),
+                        (horizon * 0.6, horizon * 0.7, None),
+                    )
+                )
+                for t, priority, bounded in arrivals:
+                    queue.advance_to(t)
+                    queue.request(
+                        t, bounded=bounded, priority=priority, kind="adapt"
+                    )
+                counts = queue.outcome_counts()
+                assert set(counts) == set(GRANT_OUTCOMES)
+                assert sum(counts.values()) == queue.total_requests
+                assert counts["revoked"] == queue.revoked
+                assert counts["accepted"] == len(queue.accepted_grants)
+                assert queue.busy_seconds >= 0.0
+                total_revoked += queue.revoked
+        # Honesty: the windows actually killed in-flight work somewhere
+        # in the sweep, or the revoked leg of the invariant is vacuous.
+        assert total_revoked > 0
+
+    def test_attach_validates_windows(self):
+        queue = ProfilingQueue(slots=1, service_seconds=SERVICE)
+        with pytest.raises(ValueError, match="positive length"):
+            queue.attach_faults(((10.0, 10.0, None),))
+        with pytest.raises(ValueError, match="slot"):
+            queue.attach_faults(((10.0, 20.0, 0),))
+
+
+class TestManagerOutageRecovery:
+    """Bounded retry-with-backoff, then the last-known-good allocation.
+
+    The manager side of the profiler-outage contract: every revoked
+    grant is either retried to completion or abandoned with an explicit
+    outcome counter — a pending deployment never silently wedges.
+    """
+
+    BACKOFF = 600.0
+
+    def outage_manager(self, queue, retries=2, fallback=True):
+        from repro.core.manager import DejaVuConfig
+
+        setup = build_scaleout_setup(
+            seed=0,
+            config=DejaVuConfig(
+                profiling_retry_limit=retries,
+                profiling_retry_backoff_seconds=self.BACKOFF,
+                degraded_fallback=fallback,
+            ),
+        )
+        setup.manager.learn(setup.trace.hourly_workloads(day=0))
+        setup.manager.attach_profiling_queue(queue)
+        return setup
+
+    def revoked_pending(self, setup, queue):
+        """Drive one adaptation into the queue, then kill its grant."""
+        queue.request(0.0)  # foreign traffic: the manager's run waits
+        setup.manager.on_step(ctx_at(setup, 0.0))
+        pending = setup.manager.pending_deployment
+        assert pending is not None and pending.grant.outcome == "accepted"
+        queue.advance_to(5.0)  # the outage window opens
+        assert pending.grant.outcome == "revoked"
+        return pending
+
+    def test_retry_lands_the_deployment_after_backoff(self):
+        queue = ProfilingQueue(slots=1, service_seconds=SERVICE)
+        queue.attach_faults(((5.0, 50.0, None),))
+        setup = self.outage_manager(queue)
+        self.revoked_pending(setup, queue)
+
+        # First poll arms the backoff gate; polling early changes nothing.
+        setup.manager.poll_pending_deployment(10.0)
+        assert setup.manager.pending_deployment.retry_at == 10.0 + self.BACKOFF
+        setup.manager.poll_pending_deployment(100.0)
+        assert setup.manager.profiling_retries == 0
+
+        # Once the backoff elapses the retry re-charges the queue (the
+        # outage is over by then) and the decision deploys.
+        setup.manager.poll_pending_deployment(10.0 + self.BACKOFF)
+        assert setup.manager.profiling_retries == 1
+        pending = setup.manager.pending_deployment
+        assert pending is not None and pending.grant.outcome == "accepted"
+        setup.manager.poll_pending_deployment(pending.apply_at + 1.0)
+        assert setup.manager.pending_deployment is None
+        assert setup.manager.degraded_adaptations == 0
+        assert setup.manager.revoked_adaptations == 0
+
+    def test_exhausted_retries_fall_back_to_last_known_good(self):
+        # A rolling blackout revokes each retry in turn until the
+        # budget runs out, then the manager serves the allocation the
+        # decision already resolved (the degraded mode) — every revoked
+        # grant ends retried-to-revocation or deployed, never wedged.
+        queue = ProfilingQueue(slots=1, service_seconds=SERVICE)
+        queue.attach_faults(
+            ((5.0, 700.0, None), (695.0, 1400.0, None), (1905.0, 2600.0, None))
+        )
+        setup = self.outage_manager(queue, retries=2)
+        self.revoked_pending(setup, queue)
+
+        setup.manager.poll_pending_deployment(10.0)  # arms the backoff
+        # Retry 1 at t=620: charged behind the dark slots (start 700),
+        # then killed by the second window before it can run.
+        setup.manager.poll_pending_deployment(620.0)
+        assert setup.manager.profiling_retries == 1
+        queue.advance_to(695.0)
+        assert setup.manager.pending_deployment.grant.outcome == "revoked"
+        # Backoff doubles: poll at 700 arms retry_at = 700 + 1200.
+        setup.manager.poll_pending_deployment(700.0)
+        setup.manager.poll_pending_deployment(1900.0)  # retry 2
+        assert setup.manager.profiling_retries == 2
+        queue.advance_to(1905.0)  # the third window kills it too
+        setup.manager.poll_pending_deployment(1910.0)
+        # Budget exhausted: explicit degraded outcome, no deadlock.
+        assert setup.manager.pending_deployment is None
+        assert setup.manager.degraded_adaptations == 1
+        assert setup.manager.revoked_adaptations == 0
+        # Conservation on the queue side covers the whole exchange.
+        counts = queue.outcome_counts()
+        assert sum(counts.values()) == queue.total_requests
+        assert counts["revoked"] == 4  # foreign + original + 2 retries
+
+    def test_without_fallback_the_adaptation_is_abandoned(self):
+        queue = ProfilingQueue(slots=1, service_seconds=SERVICE)
+        queue.attach_faults(((5.0, 10 * self.BACKOFF, None),))
+        setup = self.outage_manager(queue, retries=0, fallback=False)
+        self.revoked_pending(setup, queue)
+        setup.manager.poll_pending_deployment(10.0)
+        # Zero retries, no fallback: the explicit abandonment counter.
+        assert setup.manager.pending_deployment is None
+        assert setup.manager.revoked_adaptations == 1
+        assert setup.manager.degraded_adaptations == 0
+
+
 # ----------------------------------------------------------------------
 # Relearn blocking: the model waits for its own sweep
 # ----------------------------------------------------------------------
