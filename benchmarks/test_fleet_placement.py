@@ -13,9 +13,12 @@ Two claims are on the hook:
   hosts-enabled fleet at >= 0.9x the dedicated-hardware (PR 4)
   ``lane_steps_per_second``.
 
-The 20-lane smoke (2 policies, in-process) is the CI gate and feeds
-``BENCH_fleet_placement.json``; the wall-clock ratio stays a
-local/driver check like the other fleet throughput gates.
+The 20-lane smoke (3 policies, in-process) is the CI gate and feeds
+``BENCH_fleet_placement.json``; it also pins the energy axis —
+``first_fit_decreasing+consolidate`` must spend strictly fewer
+host-hours-on than plain FFD on the identical fleet.  The wall-clock
+ratio stays a local/driver check like the other fleet throughput
+gates.
 """
 
 import pytest
@@ -137,7 +140,7 @@ def test_placement_frontier_50(benchmark):
 
 
 def test_placement_smoke_20(benchmark):
-    """CI smoke: 2 policies x 20 lanes, in-process (workers=0)."""
+    """CI smoke: 3 policies x 20 lanes, in-process (workers=0)."""
     study = benchmark.pedantic(
         run_placement_sensitivity_study,
         kwargs=dict(
@@ -145,18 +148,23 @@ def test_placement_smoke_20(benchmark):
             hours=24.0,
             n_hosts=5,
             host_capacity_units=24.0,
-            policies=("round_robin", "first_fit_decreasing"),
+            policies=(
+                "round_robin",
+                "first_fit_decreasing",
+                "first_fit_decreasing+consolidate",
+            ),
             workers=0,
         ),
         rounds=1,
         iterations=1,
     )
     print_figure(
-        "Placement smoke: 20 lanes, round_robin vs first_fit_decreasing",
+        "Placement smoke: 20 lanes, round_robin vs FFD vs FFD+consolidate",
         frontier_rows(study),
     )
     round_robin = study.point("round_robin")
     ffd = study.point("first_fit_decreasing")
+    consolidate = study.point("first_fit_decreasing+consolidate")
     benchmark.extra_info["round_robin_mean_theft"] = (
         round_robin.mean_host_theft
     )
@@ -165,10 +173,25 @@ def test_placement_smoke_20(benchmark):
         round_robin.violation_fraction
     )
     benchmark.extra_info["ffd_violations"] = ffd.violation_fraction
+    benchmark.extra_info["ffd_host_hours_on"] = ffd.host_hours_on
+    benchmark.extra_info["consolidate_host_hours_on"] = (
+        consolidate.host_hours_on
+    )
+    benchmark.extra_info["consolidate_mean_hosts_on"] = (
+        consolidate.mean_hosts_on
+    )
+    benchmark.extra_info["consolidate_migrations"] = consolidate.migrations
 
-    assert len(study.points) == 2
+    assert len(study.points) == 3
     assert round_robin.mean_host_theft > 0.0
     assert ffd.mean_host_theft <= round_robin.mean_host_theft
+    # The energy acceptance criterion: draining cold hosts powers some
+    # off, so consolidation spends strictly fewer host-hours-on than
+    # plain FFD on the identical fleet (the drains really happened —
+    # migrations prove the blackouts were paid, not dodged).
+    assert ffd.host_hours_on > 0.0
+    assert consolidate.host_hours_on < ffd.host_hours_on
+    assert consolidate.migrations > 0
     for point in study.points:
         assert point.hit_rate > 0.8
         assert 0.0 <= point.violation_fraction <= 1.0

@@ -6,17 +6,26 @@ example runs the **same heterogeneous fleet** (mixed scale-out/scale-up
 lanes whose trace peaks cycle through several sizes) under each
 placement policy in ``repro.sim.placement`` and prints the frontier:
 SLO violations, fleet spend, overcommit theft, interference-band
-escalations, and migrations per policy.
+escalations, migrations, and host-hours powered on per policy.
 
 The default configuration is adversarial to round-robin on purpose:
 with five lane sizes cycling against a host count that is a multiple of
 five, round-robin keeps stacking equal-sized lanes onto the same hosts,
 while first-fit-decreasing packs by measured demand.  A ``+migrate``
 policy additionally re-packs the worst-pressure host online, charging
-each moved lane a blackout window (the paper's Sec. 3 VM-cloning cost).
+each moved lane a blackout window (the paper's Sec. 3 VM-cloning cost);
+a ``+consolidate`` policy drains cold hosts instead so off-peak hours
+power hosts down — the energy axis of the frontier.
+
+``--placement-demand forecast`` packs by the seasonal predicted-peak
+window from ``repro.sim.forecast`` instead of the learning-day observed
+peak.  ``--auto-tune`` first runs the explore-then-exploit knob search
+over (rebalance cadence, blackout) candidates on a short horizon and
+uses the winner for the consolidation run.
 
     python examples/placement_frontier.py
     python examples/placement_frontier.py --lanes 50 --hosts 10 --hours 24
+    python examples/placement_frontier.py --placement-demand forecast --auto-tune
 """
 
 import argparse
@@ -30,6 +39,7 @@ sys.path.insert(
 from repro.experiments.placement_study import (
     frontier_rows,
     run_placement_sensitivity_study,
+    tune_migration_policy,
 )
 
 
@@ -48,7 +58,27 @@ def main() -> None:
             "first_fit_decreasing",
             "best_fit",
             "round_robin+migrate",
+            "first_fit_decreasing+consolidate",
         ],
+    )
+    parser.add_argument(
+        "--placement-demand",
+        choices=["learning-peak", "forecast"],
+        default="learning-peak",
+        help="estimate packed at placement time: learning-day observed "
+        "peak or the seasonal forecast's predicted-peak window",
+    )
+    parser.add_argument(
+        "--power-cost",
+        type=float,
+        default=0.12,
+        help="$ per host-hour powered on, used to price the energy axis",
+    )
+    parser.add_argument(
+        "--auto-tune",
+        action="store_true",
+        help="explore-then-exploit the consolidation knobs on a short "
+        "horizon before the full-length study",
     )
     parser.add_argument(
         "--demand-factors",
@@ -58,10 +88,31 @@ def main() -> None:
     )
     args = parser.parse_args()
 
+    rebalance_every, blackout_seconds = 12, 600.0
+    if args.auto_tune:
+        tuning = tune_migration_policy(
+            explore_hours=min(6.0, args.hours),
+            n_lanes=args.lanes,
+            n_hosts=args.hosts,
+            host_capacity_units=args.host_capacity,
+            demand_factors=tuple(args.demand_factors),
+            placement="first_fit_decreasing",
+            placement_demand=args.placement_demand,
+            power_cost_per_host_hour=args.power_cost,
+        )
+        rebalance_every = tuning.policy.rebalance_every
+        blackout_seconds = tuning.policy.blackout_seconds
+        print(
+            f"== auto-tune: explored {len(tuning.rounds)} knob candidates, "
+            f"exploiting rebalance_every={rebalance_every} "
+            f"blackout={blackout_seconds:.0f}s "
+            f"(${tuning.best_cost:,.2f}/h equivalent)"
+        )
+
     print(
         f"== placement frontier: {args.lanes} heterogeneous lanes on "
         f"{args.hosts} x {args.host_capacity:.0f}-unit hosts, "
-        f"{args.hours:.0f} h"
+        f"{args.hours:.0f} h, {args.placement_demand} packing estimates"
     )
     study = run_placement_sensitivity_study(
         n_lanes=args.lanes,
@@ -70,6 +121,9 @@ def main() -> None:
         n_hosts=args.hosts,
         host_capacity_units=args.host_capacity,
         demand_factors=tuple(args.demand_factors),
+        placement_demand=args.placement_demand,
+        rebalance_every=rebalance_every,
+        blackout_seconds=blackout_seconds,
     )
     for row in frontier_rows(study):
         print(row)
@@ -82,6 +136,25 @@ def main() -> None:
             f"overcommit theft {rr.mean_host_theft:.3%} -> "
             f"{best.mean_host_theft:.3%} vs round-robin on the identical "
             f"fleet — interference DejaVu never has to adapt to"
+        )
+
+    consolidated = [p for p in study.points if p.policy.endswith("+consolidate")]
+    packed = [
+        p
+        for p in study.points
+        if p.policy == "first_fit_decreasing"
+    ]
+    if consolidated and packed:
+        cold, warm = consolidated[0], packed[0]
+        saved = warm.host_hours_on - cold.host_hours_on
+        print(
+            f"consolidation is an energy knob: {cold.policy} powers "
+            f"{cold.host_hours_on:.1f} host-hours vs "
+            f"{warm.host_hours_on:.1f} for {warm.policy} "
+            f"({saved:.1f} host-hours / "
+            f"${saved * args.power_cost:,.2f} saved at "
+            f"${args.power_cost:.2f}/host-hour), paying "
+            f"{cold.migrations} migration blackouts for it"
         )
 
 

@@ -45,11 +45,17 @@ through the cross-shard demand exchange (``repro.sim.exchange``,
 independent control-plane waves inside each engine.
 ``--rng-mode`` picks counter-mode telemetry
 streams (default; signature collection vectorizes across lanes) or the
-legacy sequential generators.  ``placement`` runs the
+legacy sequential generators.  ``--placement-demand forecast`` packs
+lanes by their seasonal predicted peak (``repro.sim.forecast``)
+instead of the learning-day observed peak, and ``--consolidate`` runs
+the migration planner in consolidation mode (drain the coldest
+feasible host so it can power off); ``--power-cost`` prices the
+resulting host-hours-on axis.  ``placement`` runs the
 placement-sensitivity study: the *same* fleet under each policy,
-printing the SLO-violation/cost/interference-theft frontier per policy
+printing the SLO-violation/cost/theft/energy frontier per policy
 (policies accept a ``+migrate`` suffix to re-pack the worst-pressure
-host online, charging migrated lanes a blackout window).  ``scenario``
+host online, charging migrated lanes a blackout window, or
+``+consolidate`` to also drain cold hosts).  ``scenario``
 drives the declarative scenario library (``repro.scenarios``): ``run``
 executes YAML/JSON scenario documents and emits one JSONL record per
 scenario x policy on stdout; ``list`` shows the library.
@@ -224,9 +230,13 @@ def _fleet_rows(args) -> list[str]:
         n_hosts=args.hosts if args.hosts > 0 else None,
         host_capacity_units=args.host_capacity,
         placement=args.placement or "round_robin",
+        placement_demand=args.placement_demand or "learning-peak",
         migration=(
-            MigrationPolicy(rebalance_every=args.rebalance_every)
-            if args.migration
+            MigrationPolicy(
+                rebalance_every=args.rebalance_every,
+                mode="consolidate" if args.consolidate else "pressure",
+            )
+            if args.migration or args.consolidate
             else None
         ),
         batched=args.batch,
@@ -283,6 +293,14 @@ def _fleet_rows(args) -> list[str]:
             f"{study.interference_escalations} interference-band "
             f"escalation(s)"
         )
+        energy = (
+            f"energy ({study.placement_demand} packing estimates): "
+            f"{study.host_hours_on:.1f} host-hours on "
+            f"({study.mean_hosts_on:.2f} hosts on average)"
+        )
+        if args.power_cost is not None:
+            energy += f", ${study.host_hours_on * args.power_cost:,.2f} power"
+        rows.append(energy)
     if study.host_failures or study.revoked_profiles:
         rows.append(
             f"faults: {study.host_failures} host failure(s) / "
@@ -311,6 +329,7 @@ def _placement_rows(args) -> list[str]:
         host_capacity_units=args.host_capacity,
         mix=args.mix,
         demand_factors=tuple(args.demand_factors),
+        placement_demand=args.placement_demand,
         rebalance_every=args.rebalance_every,
         seed=args.seed,
         workers=0,
@@ -411,11 +430,35 @@ def build_parser() -> argparse.ArgumentParser:
         "default round_robin when hosts are enabled)",
     )
     fleet.add_argument(
+        "--placement-demand",
+        choices=["learning-peak", "forecast"],
+        default=None,
+        help="demand estimate lanes are packed with: learning-peak "
+        "(max day-0 hourly demand, the original behaviour) or "
+        "forecast (repro.sim.forecast seasonal predicted peak; "
+        "requires --hosts)",
+    )
+    fleet.add_argument(
         "--migration",
         action="store_true",
         help="re-pack the worst-pressure host online every "
         "--rebalance-every steps, charging migrated lanes a blackout "
         "window (requires --hosts)",
+    )
+    fleet.add_argument(
+        "--consolidate",
+        action="store_true",
+        help="run the migration planner in consolidation mode: relieve "
+        "pressure first, then drain the coldest feasible host so it "
+        "can power off, paying each drained lane the VM-cloning "
+        "blackout (implies --migration; requires --hosts)",
+    )
+    fleet.add_argument(
+        "--power-cost",
+        type=_positive_float,
+        default=None,
+        help="dollars per host-hour-on; prices the energy axis in the "
+        "fleet report (requires --hosts)",
     )
     fleet.add_argument(
         "--rebalance-every",
@@ -543,7 +586,15 @@ def build_parser() -> argparse.ArgumentParser:
             "best_fit",
         ],
         help="placement policies to sweep; append '+migrate' to a name "
-        "to re-pack the worst-pressure host online",
+        "to re-pack the worst-pressure host online, or '+consolidate' "
+        "to also drain cold hosts so they can power off",
+    )
+    placement.add_argument(
+        "--placement-demand",
+        choices=["learning-peak", "forecast"],
+        default="learning-peak",
+        help="demand estimate lanes are packed with (forecast = "
+        "repro.sim.forecast seasonal predicted peak)",
     )
     placement.add_argument(
         "--demand-factors",
@@ -649,6 +700,22 @@ def main(argv: list[str] | None = None) -> int:
         if args.hosts == 0 and args.migration:
             parser.error(
                 "--migration has no effect without shared hosts; "
+                "pass --hosts N (>= 1)"
+            )
+        if args.hosts == 0 and args.consolidate:
+            parser.error(
+                "--consolidate drains shared hosts; "
+                "pass --hosts N (>= 1)"
+            )
+        if args.hosts == 0 and args.placement_demand is not None:
+            parser.error(
+                f"--placement-demand {args.placement_demand} picks the "
+                "estimate lanes are packed onto shared hosts with; "
+                "pass --hosts N (>= 1)"
+            )
+        if args.hosts == 0 and args.power_cost is not None:
+            parser.error(
+                "--power-cost prices host-hours-on; "
                 "pass --hosts N (>= 1)"
             )
         if args.shards == 1 and args.workers is not None:

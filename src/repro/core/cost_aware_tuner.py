@@ -17,11 +17,21 @@ exhaustive enumeration *is* the exact integer-program solution.
 It is call-compatible with :class:`~repro.core.tuner.LinearSearchTuner`
 (``tune(workload, assumed_interference) -> TuningOutcome``), so a
 :class:`~repro.core.manager.DejaVuManager` accepts either.
+
+:func:`explore_then_exploit` generalizes the same cost-first search
+discipline to knob spaces that are only observable by *running* a
+candidate (no closed-form objective): explore every candidate once
+with a cheap evaluation, score each outcome in dollars, exploit the
+cheapest.  The placement layer uses it to auto-tune
+:class:`~repro.sim.placement.MigrationPolicy` rebalance/blackout knobs
+per scenario
+(:func:`repro.experiments.placement_study.tune_migration_policy`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.cloud.instance_types import EXTRA_LARGE, LARGE, InstanceType
 from repro.cloud.provider import Allocation
@@ -29,6 +39,48 @@ from repro.core.tuner import DEFAULT_EXPERIMENT_SECONDS, TuningOutcome
 from repro.services.base import Service
 from repro.services.slo import LatencySLO, QoSSLO
 from repro.workloads.request_mix import Workload
+
+
+@dataclass(frozen=True)
+class ExplorationRound:
+    """One explored candidate with its observed cost and raw metrics."""
+
+    candidate: Any
+    cost: float
+    metrics: Mapping[str, float]
+
+
+def explore_then_exploit(
+    candidates: Iterable[Any],
+    evaluate: Callable[[Any], Mapping[str, float]],
+    objective: Callable[[Mapping[str, float]], float],
+) -> tuple[Any, tuple[ExplorationRound, ...]]:
+    """Explore each candidate once, then exploit the cheapest.
+
+    ``evaluate`` runs one candidate (typically a short, cheap
+    simulation) and returns its observed metrics; ``objective`` folds
+    those metrics into a single dollar-equivalent cost.  Every
+    candidate is explored exactly once, in the given order, and the
+    argmin is exploited — ties go to the earliest candidate, so the
+    search is deterministic for a deterministic evaluator.
+
+    Returns ``(best_candidate, rounds)`` where ``rounds`` records every
+    exploration in order (the audit trail the studies surface).
+    """
+    rounds: list[ExplorationRound] = []
+    best: ExplorationRound | None = None
+    for candidate in candidates:
+        metrics = evaluate(candidate)
+        round_ = ExplorationRound(
+            candidate=candidate, cost=float(objective(metrics)),
+            metrics=dict(metrics),
+        )
+        rounds.append(round_)
+        if best is None or round_.cost < best.cost:
+            best = round_
+    if best is None:
+        raise ValueError("need at least one candidate to explore")
+    return best.candidate, tuple(rounds)
 
 
 @dataclass(frozen=True)

@@ -40,6 +40,7 @@ from repro.sim.clock import HOUR
 from repro.sim.faults import FaultSchedule, parse_faults
 from repro.sim.fleet import FleetEngine, FleetLane, FleetResult, ProfilingQueue
 from repro.sim.exchange import DemandExchange, ExchangeSpec, ShardHostView
+from repro.sim.forecast import PLACEMENT_DEMANDS, placement_estimate
 from repro.sim.hosts import HostMap, allocation_demand
 from repro.sim.placement import (
     MigrationPolicy,
@@ -290,6 +291,21 @@ class FleetMultiplexingStudy:
     """Adaptations that exhausted retries and fell back to deploying
     the last-known-good repository allocation (degraded mode)."""
 
+    placement_demand: str = "learning-peak"
+    """Placement-time demand estimator: ``learning-peak`` (realized
+    day-0 maximum) or ``forecast`` (the predicted-peak window from
+    :mod:`repro.sim.forecast`)."""
+
+    host_hours_on: float = 0.0
+    """Host-hours any shared host spent powered on (>= 1 tenant and not
+    felled by a fault) — the energy axis of the placement frontier.  A
+    consolidation policy that drains cold hosts shrinks this without
+    touching the fleet's dollar cost."""
+
+    mean_hosts_on: float = 0.0
+    """Mean powered-on host count per step (``host_hours_on`` divided
+    by the run's wall duration in hours)."""
+
     @property
     def lane_steps_per_second(self) -> float:
         """Engine throughput: lane-steps per wall-clock second.
@@ -357,15 +373,17 @@ def _placement_estimates(
     trace_name: str,
     seed: int,
     lane_seed_stride: int,
+    placement_demand: str = "learning-peak",
 ) -> list[float]:
     """Every lane's placement-time demand estimate, traces only.
 
     Reproduces exactly the estimate :func:`_run_fleet_slice` computes
-    from a built setup — each lane's peak learning-day offered demand —
-    but via :func:`~repro.experiments.setup.make_trace` alone (no
-    managers, no learning), so the parent of a sharded sweep can
-    resolve the global placement in milliseconds before dispatching
-    workers.
+    from a built setup — via the shared
+    :func:`repro.sim.forecast.placement_estimate` resolver, under the
+    same ``placement_demand`` mode — but through
+    :func:`~repro.experiments.setup.make_trace` alone (no managers, no
+    learning), so the parent of a sharded sweep can resolve the global
+    placement in milliseconds before dispatching workers.
     """
     from repro.experiments.setup import (
         DEFAULT_PEAK_DEMAND,
@@ -394,9 +412,7 @@ def _placement_estimates(
             peak,
             seed=seed + lane * lane_seed_stride,
         )
-        estimates.append(
-            max(w.demand_units for w in trace.hourly_workloads(day=0))
-        )
+        estimates.append(placement_estimate(trace, placement_demand))
     return estimates
 
 
@@ -440,6 +456,7 @@ class FleetStudySpec:
     exchange_every: int = 1
     wave_workers: int = 0
     host_placement: "tuple[int | None, ...] | None" = None
+    placement_demand: str = "learning-peak"
     faults: "FaultSchedule | None" = None
     """A *resolved* fault schedule (generators already expanded by the
     parent), so every shard worker replays the identical fault
@@ -587,8 +604,9 @@ def _run_fleet_slice(
         kind_setups.setdefault(kind, []).append(setup)
 
     # Shared hosts: pack placement-time demand estimates (each lane's
-    # peak learning-day offered demand) under the spec's policy, then
-    # wire every lane's production environment to its interference
+    # realized learning-day peak, or its forecast predicted-peak window
+    # under ``placement_demand="forecast"``) under the spec's policy,
+    # then wire every lane's production environment to its interference
     # feed.  A full-fleet slice builds and packs the map itself; a
     # shard slice rebuilds the *global* map from the parent's resolved
     # placement and wraps it in a ShardHostView, so its lanes' feeds
@@ -618,10 +636,7 @@ def _run_fleet_slice(
             host_map = ShardHostView(full_map, lane_lo, lane_hi, exchange)
         else:
             estimates = [
-                max(
-                    w.demand_units
-                    for w in setup.trace.hourly_workloads(day=0)
-                )
+                placement_estimate(setup.trace, spec.placement_demand)
                 for setup in setups
             ]
             host_map = build_host_map(
@@ -841,6 +856,7 @@ def _run_fleet_slice(
                 "host_recoveries": host_map.host_recoveries,
                 "evacuations": host_map.evacuations,
                 "unplaced_evacuations": host_map.unplaced_evacuations,
+                "host_on_steps": host_map.host_on_steps,
             }
         ),
     }
@@ -969,6 +985,15 @@ def _merged_study(
         profiling_retries=sum(p["retries"] for p in payloads),
         revoked_adaptations=sum(p["revoked_adaptations"] for p in payloads),
         degraded_adaptations=sum(p["degraded_adaptations"] for p in payloads),
+        placement_demand=spec.placement_demand,
+        host_hours_on=(
+            host["host_on_steps"] * spec.step_seconds / 3600.0 if host else 0.0
+        ),
+        mean_hosts_on=(
+            host["host_on_steps"] / result.n_steps
+            if host and result.n_steps
+            else 0.0
+        ),
     )
 
 
@@ -991,6 +1016,7 @@ def run_fleet_multiplexing_study(
     placement: "str | PlacementPolicy" = "round_robin",
     host_demand: str = "allocation",
     migration: MigrationPolicy | None = None,
+    placement_demand: str = "learning-peak",
     demand_factors=None,
     batched: bool = True,
     rng_mode: str = "counter",
@@ -1047,7 +1073,21 @@ def run_fleet_multiplexing_study(
     ``migration`` attaches a :class:`~repro.sim.placement.MigrationPolicy`:
     every ``rebalance_every`` steps the worst-pressure host evicts a
     tenant, and the migrated lane pays a blackout window of degraded
-    capacity (the Sec. 3 VM-cloning cost) in its SLO accounting.
+    capacity (the Sec. 3 VM-cloning cost) in its SLO accounting.  In
+    ``mode="consolidate"`` the policy additionally drains the coldest
+    host when nothing is under pressure — bin-packing for fewest hosts
+    powered on; the study reports the resulting ``host_hours_on``
+    energy axis either way.
+
+    ``placement_demand`` selects the placement-time estimate the
+    policy packs: ``"learning-peak"`` (default) is each lane's realized
+    peak offered demand over its learning day; ``"forecast"`` fits the
+    cheap seasonal forecast of :mod:`repro.sim.forecast` to the
+    learning day and packs the *predicted-peak window* instead, which
+    covers the day-to-day plateau jitter the realized peak misses.
+    Both are pure functions of the lane's trace, so the resulting
+    placement is bit-identical across scalar, batched and sharded
+    paths.  Requires ``n_hosts``.
 
     ``demand_factors`` makes the fleet heterogeneous in *size*: lane
     ``i``'s trace peak is scaled by ``factors[i % len(factors)]``, and
@@ -1150,6 +1190,11 @@ def run_fleet_multiplexing_study(
             f"use one of {FLEET_HOST_DEMANDS}"
         )
     make_policy(placement)  # unknown policy names fail loudly, up front
+    if placement_demand not in PLACEMENT_DEMANDS:
+        raise ValueError(
+            f"unknown placement_demand {placement_demand!r}; "
+            f"use one of {PLACEMENT_DEMANDS}"
+        )
     if resignature_every_seconds is not None and resignature_every_seconds <= 0:
         raise ValueError(
             f"need a positive re-signature period: {resignature_every_seconds}"
@@ -1181,6 +1226,11 @@ def run_fleet_multiplexing_study(
         if migration is not None:
             raise ValueError(
                 "migration re-packs shared hosts; pass n_hosts"
+            )
+        if placement_demand != "learning-peak":
+            raise ValueError(
+                "placement_demand picks the estimate lanes are packed "
+                "onto shared hosts with; pass n_hosts"
             )
     if shards < 1:
         raise ValueError(f"need at least one shard: {shards}")
@@ -1219,7 +1269,8 @@ def run_fleet_multiplexing_study(
         host_placement = resolve_placement(
             placement,
             _placement_estimates(
-                n_lanes, mix, factors, trace_name, seed, lane_seed_stride
+                n_lanes, mix, factors, trace_name, seed, lane_seed_stride,
+                placement_demand=placement_demand,
             ),
             n_hosts=n_hosts,
             capacity_units=host_capacity_units,
@@ -1249,6 +1300,7 @@ def run_fleet_multiplexing_study(
         exchange_every=exchange_every,
         wave_workers=wave_workers,
         host_placement=host_placement,
+        placement_demand=placement_demand,
         faults=fault_schedule,
     )
     if shards == 1:

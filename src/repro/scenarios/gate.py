@@ -109,6 +109,7 @@ SMOKE_SCENARIOS = (
     "scenarios/RL-shard-sweep-hosts.yaml",
     "scenarios/SYN-host-outage.yaml",
     "scenarios/RL-profiler-brownout.yaml",
+    "scenarios/RL-consolidation-drain.yaml",
 )
 
 

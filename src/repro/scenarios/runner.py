@@ -54,6 +54,8 @@ STUDY_METRICS = (
     "mean_host_theft",
     "peak_host_theft",
     "host_overload_fraction",
+    "host_hours_on",
+    "mean_hosts_on",
     "migrations",
     "host_failures",
     "host_recoveries",

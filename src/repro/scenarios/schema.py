@@ -37,8 +37,8 @@ Document shape::
       field: n_lanes
       values: [2, 4, 8]
     policies: [round_robin]      # optional; fleet needs n_hosts for it
-    migration:                   # optional (fleet only): '+migrate' knobs
-      rebalance_every: 6
+    migration:                   # optional (fleet only): knobs for
+      rebalance_every: 6         #   '+migrate'/'+consolidate' policies
 """
 
 from __future__ import annotations
@@ -78,7 +78,7 @@ RESERVED_PARAMS = {
 #: :func:`~repro.experiments.placement_study.parse_policy_spec` accepts
 #: for '+migrate' policy specs.
 MIGRATION_KEYS = frozenset(
-    {"rebalance_every", "blackout_seconds", "blackout_theft"}
+    {"rebalance_every", "blackout_seconds", "blackout_theft", "drain_headroom"}
 )
 
 _SCALARS = (str, int, float, bool)
@@ -340,10 +340,11 @@ def parse_scenario(doc: Any, path: str | None = None) -> Scenario:
                     f"{where}migration key {name!r} must be numeric, "
                     f"got {value!r}"
                 )
-        if not any("+migrate" in spec for spec in policies):
+        if not any("+" in spec for spec in policies):
             raise ScenarioError(
                 f"{where}migration settings given but no policy carries a "
-                "'+migrate' suffix; they would be silently unused"
+                "'+migrate' or '+consolidate' suffix; they would be "
+                "silently unused"
             )
         migration = dict(migration_doc)
 

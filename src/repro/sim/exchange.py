@@ -363,6 +363,10 @@ class ShardHostView:
     def unplaced_evacuations(self) -> int:
         return self.map.unplaced_evacuations
 
+    @property
+    def host_on_steps(self) -> int:
+        return self.map.host_on_steps
+
 
 def make_thread_exchange(
     n_lanes: int, ranges: list[range], spec: ExchangeSpec

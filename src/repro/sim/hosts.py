@@ -199,11 +199,13 @@ class HostMap:
     migration:
         Optional :class:`~repro.sim.placement.MigrationPolicy` (duck
         typed: ``rebalance_every``, ``blackout_seconds``,
-        ``blackout_theft`` and ``plan(placement, demands, hosts)``).
-        When set, every ``rebalance_every``-th step re-packs the
-        worst-pressure host before theft is computed, and each migrated
-        lane's feed reports at least ``blackout_theft`` until its
-        blackout window closes.
+        ``blackout_theft`` and ``plan(placement, demands, hosts,
+        capacities=...)`` — the map passes its effective, fault-adjusted
+        per-host capacities so planners never pack against a dead
+        host's nominal size).  When set, every ``rebalance_every``-th
+        step re-packs the worst-pressure host before theft is computed,
+        and each migrated lane's feed reports at least
+        ``blackout_theft`` until its blackout window closes.
     """
 
     def __init__(
@@ -255,6 +257,10 @@ class HostMap:
         # Coupling statistics, accumulated by apply_step.
         self.steps = 0
         self.overloaded_host_steps = 0
+        #: (step, host) samples where the host was powered on — had at
+        #: least one tenant and was not felled by a fault.  The energy
+        #: axis: a drained host accrues nothing until tenants return.
+        self.host_on_steps = 0
         self._theft_sum = 0.0
         self.peak_theft = 0.0
         self.migrations = 0
@@ -287,6 +293,9 @@ class HostMap:
         self._placed_lanes = [
             lane for lane, host in enumerate(self._placement) if host is not None
         ]
+        self._host_tenants = np.bincount(
+            self._host_index[self._placed_idx], minlength=len(self.hosts)
+        )
 
     # -- construction helpers ------------------------------------------
 
@@ -407,11 +416,15 @@ class HostMap:
             return
         if self.steps % self.migration.rebalance_every != 0:
             return
-        moves = self.migration.plan(self.placement, demands, self.hosts)
+        moves = self.migration.plan(
+            self.placement, demands, self.hosts,
+            capacities=self._capacity_arr,
+        )
         for lane, host in moves:
-            # The planner packs against the hosts' nominal capacities;
-            # a host felled by a fault event looks temptingly empty, so
-            # moves onto a dead host are vetoed here.
+            # The planner packs against the effective (fault-adjusted)
+            # capacities, so it never targets a dead host; this veto is
+            # defense in depth against duck-typed planners that ignore
+            # the capacities argument.
             if self._host_down[host]:
                 continue
             self.migrate(lane, host, t)
@@ -685,6 +698,9 @@ class HostMap:
                 out=thefts,
             )
         self.steps += 1
+        self.host_on_steps += int(
+            np.count_nonzero((self._host_tenants > 0) & ~self._host_down)
+        )
         if idx.size:
             self._theft_sum += float(thefts[idx].sum())
         self.peak_theft = max(self.peak_theft, float(thefts.max(initial=0.0)))
@@ -701,6 +717,11 @@ class HostMap:
         """Mean theft over all (step, placed lane) samples."""
         total = self.steps * len(self._placed_lanes)
         return self._theft_sum / total if total else 0.0
+
+    @property
+    def mean_hosts_on(self) -> float:
+        """Mean count of powered-on hosts per step (the energy axis)."""
+        return self.host_on_steps / self.steps if self.steps else 0.0
 
 
 #: Capacity value fleet engines pass for lanes without a provider: an

@@ -24,7 +24,10 @@ the same fleet can run under different packings:
   the roomiest host, charging the migrated lane a *blackout window* of
   degraded capacity (the paper's Sec. 3 VM-cloning cost, applied to a
   live move instead of a profiling clone) that lands in the lane's SLO
-  accounting through the ordinary interference substrate.
+  accounting through the ordinary interference substrate.  The
+  ``consolidate`` mode additionally drains cold hosts — bin-packing
+  for fewest hosts powered on — so the study's frontier gains the
+  energy axis that justifies overcommit in the first place.
 
 The placement-sensitivity study
 (:func:`repro.experiments.placement_study.run_placement_sensitivity_study`)
@@ -217,11 +220,19 @@ def total_overcommit(
     placement: Sequence[int | None],
     demands: Sequence[float],
     hosts: Sequence[SimHost],
+    capacities: Sequence[float] | None = None,
 ) -> float:
     """Summed per-host demand in excess of capacity — the packing-quality
-    metric the property tests and the migration planner minimize."""
+    metric the property tests and the migration planner minimize.
+
+    ``capacities`` overrides the hosts' nominal ``capacity_units`` with
+    effective (e.g. fault-adjusted) values, one per host.
+    """
     loads = host_loads(placement, demands, len(hosts))
-    caps = np.array([h.capacity_units for h in hosts], dtype=float)
+    if capacities is None:
+        caps = np.array([h.capacity_units for h in hosts], dtype=float)
+    else:
+        caps = np.asarray(capacities, dtype=float)
     return float(np.maximum(loads - caps, 0.0).sum())
 
 
@@ -230,25 +241,52 @@ def total_overcommit(
 # ----------------------------------------------------------------------
 
 
+#: Registered migration modes: pressure relief vs power consolidation.
+MIGRATION_MODES = ("pressure", "consolidate")
+
+
 @dataclass(frozen=True)
 class MigrationPolicy:
-    """Re-pack the worst-pressure host every ``rebalance_every`` steps.
+    """Re-pack the shared hosts every ``rebalance_every`` steps.
 
-    Each rebalance moves up to ``max_moves`` tenants off the host with
-    the largest demand-over-capacity excess, preferring the biggest
+    In the default ``pressure`` mode each rebalance moves up to
+    ``max_moves`` tenants off the hosts with the largest
+    demand-over-capacity excess (worst first), preferring the biggest
     tenant that *fits* elsewhere (falling back to the biggest tenant and
     the roomiest host), and only commits a move that strictly reduces
-    the fleet's total overcommit.  A migrated lane pays
-    ``blackout_seconds`` of ``blackout_theft`` capacity loss — the VM
-    is being cloned/moved, so its service degrades exactly as if a
-    co-tenant were squeezing it — which flows into the lane's SLO
-    accounting through the ordinary interference feed.
+    the fleet's total overcommit.  An overloaded host with a lone
+    tenant is self-saturation — no move can help it — so the planner
+    skips it and relieves the next-worst host instead of giving up on
+    the whole cycle.
+
+    ``consolidate`` mode relieves pressure exactly the same way, but on
+    a cycle where pressure relief has no move to make (no overload, or
+    only unfixable self-saturation) it *drains* the coldest
+    powered-on host whose tenants all bin-pack (best fit decreasing)
+    onto the other powered-on hosts within ``drain_headroom`` of their
+    effective capacity.  A drain is atomic — every tenant of the chosen
+    host moves in the same rebalance, ``max_moves`` notwithstanding —
+    and the emptied host powers off (it stops accruing host-hours-on
+    until pressure re-spreads tenants onto it).
+
+    Every migrated lane pays ``blackout_seconds`` of ``blackout_theft``
+    capacity loss — the VM is being cloned/moved, so its service
+    degrades exactly as if a co-tenant were squeezing it — which flows
+    into the lane's SLO accounting through the ordinary interference
+    feed.
+
+    Planning is fault-aware: callers pass the *effective* per-host
+    ``capacities`` (a dead host's capacity is zero) so the planner
+    never targets a host a fault has taken down, and never mistakes a
+    dead host for an underloaded one.
     """
 
     rebalance_every: int = 12
     blackout_seconds: float = 600.0
     blackout_theft: float = 0.5
     max_moves: int = 1
+    mode: str = "pressure"
+    drain_headroom: float = 0.9
 
     def __post_init__(self) -> None:
         if self.rebalance_every < 1:
@@ -265,61 +303,164 @@ class MigrationPolicy:
             )
         if self.max_moves < 1:
             raise ValueError(f"need at least one move: {self.max_moves}")
+        if self.mode not in MIGRATION_MODES:
+            raise ValueError(
+                f"unknown migration mode {self.mode!r}; "
+                f"use one of {list(MIGRATION_MODES)}"
+            )
+        if not 0.0 < self.drain_headroom <= 1.0:
+            raise ValueError(
+                f"drain headroom must be in (0, 1]: {self.drain_headroom}"
+            )
 
     def plan(
         self,
         placement: Sequence[int | None],
         demands: Sequence[float],
         hosts: Sequence[SimHost],
+        capacities: Sequence[float] | None = None,
     ) -> list[tuple[int, int]]:
         """The ``(lane, new host)`` moves one rebalance performs.
 
         Pure planning — the owning :class:`~repro.sim.hosts.HostMap`
-        executes the moves (and charges the blackouts).
+        executes the moves (and charges the blackouts).  ``capacities``
+        are the effective per-host capacities (fault-adjusted: a dead
+        host is ``0.0``); when omitted the hosts' nominal
+        ``capacity_units`` are used.
         """
         placement = list(placement)
         demands = np.asarray(demands, dtype=float)
-        caps = np.array([h.capacity_units for h in hosts], dtype=float)
+        if capacities is None:
+            caps = np.array([h.capacity_units for h in hosts], dtype=float)
+        else:
+            caps = np.asarray(capacities, dtype=float)
+            if caps.shape != (len(hosts),):
+                raise ValueError(
+                    f"need one capacity per host: got {caps.shape[0] if caps.ndim == 1 else caps.shape!r} "
+                    f"for {len(hosts)} hosts"
+                )
+        moves = self._relieve_pressure(placement, demands, caps)
+        if self.mode == "consolidate" and not moves:
+            moves = self._drain_coldest(placement, demands, caps)
+        return moves
+
+    def _relieve_pressure(
+        self,
+        placement: list[int | None],
+        demands: np.ndarray,
+        caps: np.ndarray,
+    ) -> list[tuple[int, int]]:
+        n_hosts = len(caps)
+        alive = caps > 0.0
+
+        def overcommit(candidate: Sequence[int | None]) -> float:
+            loads = host_loads(candidate, demands, n_hosts)
+            return float(np.maximum(loads - caps, 0.0).sum())
+
         moves: list[tuple[int, int]] = []
         for _ in range(self.max_moves):
-            loads = host_loads(placement, demands, len(hosts))
+            loads = host_loads(placement, demands, n_hosts)
             excess = loads - caps
-            worst = int(np.argmax(excess))
-            if excess[worst] <= 0.0:
-                break
             residual = caps - loads
-            tenants = sorted(
-                (lane for lane, host in enumerate(placement) if host == worst),
-                key=lambda lane: (-demands[lane], lane),
+            overloaded = sorted(
+                (h for h in range(n_hosts) if excess[h] > 0.0),
+                key=lambda h: (-excess[h], h),
             )
-            if len(tenants) < 2:
-                break  # a lone tenant's overload is self-saturation
-            move = None
-            for lane in tenants:
+            committed = None
+            for worst in overloaded:
+                tenants = sorted(
+                    (
+                        lane
+                        for lane, host in enumerate(placement)
+                        if host == worst
+                    ),
+                    key=lambda lane: (-demands[lane], lane),
+                )
+                if len(tenants) < 2:
+                    # A lone tenant's overload is self-saturation: no
+                    # move helps *this* host, but the next-worst one
+                    # may still be relievable this cycle.
+                    continue
+                move = None
+                for lane in tenants:
+                    fits = [
+                        h
+                        for h in range(n_hosts)
+                        if h != worst
+                        and alive[h]
+                        and residual[h] >= demands[lane] - 1e-12
+                    ]
+                    if fits:
+                        target = max(fits, key=lambda h: (residual[h], -h))
+                        move = (lane, target)
+                        break
+                if move is None:
+                    # Nothing fits cleanly; push the biggest tenant to
+                    # the roomiest live host if that still helps.
+                    lane = tenants[0]
+                    others = [
+                        h for h in range(n_hosts) if h != worst and alive[h]
+                    ]
+                    if not others:
+                        continue
+                    target = max(others, key=lambda h: (residual[h], -h))
+                    move = (lane, target)
+                before = overcommit(placement)
+                candidate = list(placement)
+                candidate[move[0]] = move[1]
+                if overcommit(candidate) >= before - 1e-12:
+                    continue
+                placement = candidate
+                committed = move
+                break
+            if committed is None:
+                break
+            moves.append(committed)
+        return moves
+
+    def _drain_coldest(
+        self,
+        placement: list[int | None],
+        demands: np.ndarray,
+        caps: np.ndarray,
+    ) -> list[tuple[int, int]]:
+        """All-tenant drain of the coldest host that packs elsewhere."""
+        n_hosts = len(caps)
+        loads = host_loads(placement, demands, n_hosts)
+        alive = caps > 0.0
+        tenants_of: dict[int, list[int]] = {}
+        for lane, host in enumerate(placement):
+            if host is not None:
+                tenants_of.setdefault(host, []).append(lane)
+        powered_on = [
+            h for h in range(n_hosts) if alive[h] and tenants_of.get(h)
+        ]
+        if len(powered_on) < 2:
+            return []
+        for source in sorted(powered_on, key=lambda h: (loads[h], h)):
+            targets = [h for h in powered_on if h != source]
+            residual = {
+                h: self.drain_headroom * caps[h] - loads[h] for h in targets
+            }
+            drain: list[tuple[int, int]] = []
+            feasible = True
+            for lane in sorted(
+                tenants_of[source], key=lambda lane: (-demands[lane], lane)
+            ):
                 fits = [
                     h
-                    for h in range(len(hosts))
-                    if h != worst and residual[h] >= demands[lane] - 1e-12
+                    for h in targets
+                    if residual[h] >= demands[lane] - 1e-12
                 ]
-                if fits:
-                    target = max(fits, key=lambda h: (residual[h], -h))
-                    move = (lane, target)
+                if not fits:
+                    feasible = False
                     break
-            if move is None:
-                # Nothing fits cleanly; push the biggest tenant to the
-                # roomiest other host if that still helps overall.
-                lane = tenants[0]
-                others = [h for h in range(len(hosts)) if h != worst]
-                target = max(others, key=lambda h: (residual[h], -h))
-                move = (lane, target)
-            before = total_overcommit(placement, demands, hosts)
-            candidate = list(placement)
-            candidate[move[0]] = move[1]
-            if total_overcommit(candidate, demands, hosts) >= before - 1e-12:
-                break
-            placement = candidate
-            moves.append(move)
-        return moves
+                target = min(fits, key=lambda h: (residual[h], h))
+                residual[target] -= demands[lane]
+                drain.append((lane, target))
+            if feasible and drain:
+                return drain
+        return []
 
 
 def make_hosts(n_hosts: int, capacity_units: float) -> list[SimHost]:

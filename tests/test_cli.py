@@ -114,12 +114,19 @@ class TestParser:
         assert args.mix == "mixed"
         assert "first_fit_decreasing" in args.policies
         assert args.rebalance_every == 12
+        assert args.placement_demand == "learning-peak"
 
     def test_placement_command_policies(self):
         args = build_parser().parse_args(
             ["placement", "--policies", "best_fit+migrate", "round_robin"]
         )
         assert args.policies == ["best_fit+migrate", "round_robin"]
+
+    def test_fleet_energy_flag_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.placement_demand is None
+        assert args.consolidate is False
+        assert args.power_cost is None
 
 
 class TestRegistry:
@@ -204,6 +211,60 @@ class TestMain:
             main(["fleet", "--migration"])
         assert excinfo.value.code == 2
         assert "--hosts" in capsys.readouterr().err
+
+    def test_fleet_consolidate_without_hosts_fails_loudly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--consolidate"])
+        assert excinfo.value.code == 2
+        assert "--hosts" in capsys.readouterr().err
+
+    def test_fleet_placement_demand_without_hosts_fails_loudly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--placement-demand", "forecast"])
+        assert excinfo.value.code == 2
+        assert "--hosts" in capsys.readouterr().err
+        # The default learning-peak is just as host-coupled.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--placement-demand", "learning-peak"])
+        assert excinfo.value.code == 2
+        assert "--hosts" in capsys.readouterr().err
+
+    def test_fleet_power_cost_without_hosts_fails_loudly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--power-cost", "0.12"])
+        assert excinfo.value.code == 2
+        assert "--hosts" in capsys.readouterr().err
+
+    def test_fleet_consolidate_reports_energy_axis(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet", "--lanes", "4", "--hours", "4",
+                    "--mix", "mixed", "--hosts", "2",
+                    "--consolidate", "--placement-demand", "forecast",
+                    "--power-cost", "0.10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "energy (forecast packing estimates):" in out
+        assert "host-hours on" in out
+        assert "power" in out
+
+    def test_fleet_energy_row_needs_no_power_cost(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet", "--lanes", "2", "--hours", "2",
+                    "--mix", "mixed", "--hosts", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "energy (learning-peak packing estimates):" in out
+        assert "power" not in out
 
     def test_run_fleet_hosts_with_shards(self, capsys):
         # Host-coupled sharding end to end: two thread shards exchange
@@ -353,3 +414,20 @@ class TestMain:
         assert "placement: 4 lanes on 2 shared hosts" in out
         assert "round_robin" in out and "best_fit" in out
         assert "best:" in out
+
+    def test_run_placement_study_consolidate_forecast(self, capsys):
+        assert (
+            main(
+                [
+                    "placement", "--lanes", "4", "--hours", "2",
+                    "--hosts", "2", "--host-capacity", "10",
+                    "--policies", "first_fit_decreasing+consolidate",
+                    "--placement-demand", "forecast",
+                    "--demand-factors", "0.8", "1.2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "first_fit_decreasing+consolidate" in out
+        assert "host-h on" in out

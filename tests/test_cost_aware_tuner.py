@@ -4,7 +4,12 @@ import pytest
 
 from repro.cloud.instance_types import EXTRA_LARGE, LARGE
 from repro.cloud.provider import Allocation
-from repro.core.cost_aware_tuner import KingfisherTuner, TransitionCost
+from repro.core.cost_aware_tuner import (
+    ExplorationRound,
+    KingfisherTuner,
+    TransitionCost,
+    explore_then_exploit,
+)
 from repro.core.tuner import LinearSearchTuner, scale_out_candidates
 from repro.services.cassandra import CassandraService
 from repro.workloads.request_mix import CASSANDRA_UPDATE_HEAVY, Workload
@@ -163,3 +168,85 @@ class TestKingfisherTuner:
             KingfisherTuner(CassandraService(), horizon_hours=0.0)
         with pytest.raises(ValueError):
             KingfisherTuner(CassandraService(), instance_types=())
+
+
+class TestExploreThenExploit:
+    def evaluate(self, candidate):
+        return {"score": float(candidate)}
+
+    def objective(self, metrics):
+        return metrics["score"]
+
+    def test_explores_every_candidate_in_order(self):
+        candidates = [5, 2, 9, 2]
+        _, rounds = explore_then_exploit(
+            candidates, self.evaluate, self.objective
+        )
+        assert [r.candidate for r in rounds] == candidates
+        assert [r.cost for r in rounds] == [5.0, 2.0, 9.0, 2.0]
+        assert all(r.metrics == {"score": float(r.candidate)} for r in rounds)
+
+    def test_exploits_the_argmin(self):
+        best, rounds = explore_then_exploit(
+            [7, 3, 8], self.evaluate, self.objective
+        )
+        assert best == 3
+        assert min(r.cost for r in rounds) == 3.0
+
+    def test_ties_go_to_the_earliest_candidate(self):
+        best, _ = explore_then_exploit(
+            ["a", "b", "c"], lambda c: {"score": 1.0}, self.objective
+        )
+        assert best == "a"
+
+    def test_rounds_are_an_immutable_audit_trail(self):
+        _, rounds = explore_then_exploit([1], self.evaluate, self.objective)
+        assert isinstance(rounds, tuple)
+        assert isinstance(rounds[0], ExplorationRound)
+        with pytest.raises(AttributeError):
+            rounds[0].cost = 0.0
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError, match="candidate"):
+            explore_then_exploit([], self.evaluate, self.objective)
+
+
+class TestTuneMigrationPolicy:
+    FLEET = dict(
+        n_lanes=4,
+        mix="mixed",
+        n_hosts=2,
+        host_capacity_units=6.0,
+        seed=0,
+    )
+
+    def test_winner_comes_from_the_knob_grid(self):
+        from repro.experiments.placement_study import tune_migration_policy
+
+        grid = ((4, 300.0), (12, 600.0))
+        tuning = tune_migration_policy(
+            knob_grid=grid, explore_hours=2.0, **self.FLEET
+        )
+        assert (
+            tuning.policy.rebalance_every,
+            tuning.policy.blackout_seconds,
+        ) in grid
+        assert tuning.policy.mode == "consolidate"
+        assert len(tuning.rounds) == len(grid)
+        assert tuning.best_cost == min(r.cost for r in tuning.rounds)
+
+    def test_reserved_fleet_kwargs_rejected(self):
+        from repro.experiments.placement_study import tune_migration_policy
+
+        with pytest.raises(ValueError, match="hours"):
+            tune_migration_policy(hours=8.0, **self.FLEET)
+        with pytest.raises(ValueError, match="migration"):
+            tune_migration_policy(migration=None, **self.FLEET)
+
+    def test_bad_tuning_params_rejected(self):
+        from repro.experiments.placement_study import tune_migration_policy
+
+        with pytest.raises(ValueError, match="exploration"):
+            tune_migration_policy(explore_hours=0.0, **self.FLEET)
+        with pytest.raises(ValueError, match="negative"):
+            tune_migration_policy(violation_weight=-1.0, **self.FLEET)

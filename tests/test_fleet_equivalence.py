@@ -544,6 +544,72 @@ def test_batched_matches_scalar_under_host_faults():
     assert any(batched.lane_events)
 
 
+def test_batched_matches_scalar_under_forecast_placement():
+    """The forecast placement estimate is a pure function of the trace,
+    resolved before the scalar/batched fork: both paths must pack — and
+    therefore run — identically."""
+    from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+
+    results = {
+        batched: run_fleet_multiplexing_study(
+            placement="first_fit_decreasing",
+            placement_demand="forecast",
+            batched=batched,
+            **HOSTED,
+        )
+        for batched in (True, False)
+    }
+    batched, scalar = results[True], results[False]
+    assert batched.placement_demand == scalar.placement_demand == "forecast"
+    assert batched.result.n_steps > 0
+    assert batched.host_hours_on == scalar.host_hours_on > 0.0
+    assert batched.mean_hosts_on == scalar.mean_hosts_on
+    for name in batched.result.series_names():
+        np.testing.assert_array_equal(
+            batched.result.matrix(name), scalar.result.matrix(name),
+            strict=True, err_msg=name,
+        )
+    assert batched.lane_events == scalar.lane_events
+
+
+def test_batched_matches_scalar_under_consolidation():
+    """Consolidation drains run below the scalar/batched fork; the
+    blackouts they charge must leave the two paths bit-identical.  The
+    queue is kept uncontended (see the faults test above): contention
+    ordering is charged per-lane by the scalar path but per-wave by the
+    batched path, which is the documented, pre-existing divergence
+    regime — not a consolidation property."""
+    from repro.experiments.multiplexing_study import run_fleet_multiplexing_study
+    from repro.sim.placement import MigrationPolicy
+
+    consolidated = dict(HOSTED, profiling_slots=12)
+    results = {
+        batched: run_fleet_multiplexing_study(
+            placement="first_fit_decreasing",
+            migration=MigrationPolicy(rebalance_every=4, mode="consolidate"),
+            batched=batched,
+            **consolidated,
+        )
+        for batched in (True, False)
+    }
+    batched, scalar = results[True], results[False]
+    # The drains really happened, or the equality proves nothing.
+    assert scalar.migrations > 0
+    assert batched.migrations == scalar.migrations
+    assert batched.host_hours_on == scalar.host_hours_on > 0.0
+    assert batched.mean_host_theft == scalar.mean_host_theft
+    assert batched.violation_fraction == scalar.violation_fraction
+    assert batched.result.schemas == scalar.result.schemas
+    assert batched.result.n_steps > 0
+    for name in batched.result.series_names():
+        np.testing.assert_array_equal(
+            batched.result.matrix(name), scalar.result.matrix(name),
+            strict=True, err_msg=name,
+        )
+    assert batched.lane_events == scalar.lane_events
+    assert any(batched.lane_events)
+
+
 class TestLegacyHostBehaviorPinned:
     """PR 2's host coupling, re-expressed through the policy layer.
 

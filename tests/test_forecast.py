@@ -1,0 +1,172 @@
+"""Property suite for the seasonal placement forecasts.
+
+Three properties are on the hook (ISSUE 10):
+
+* forecasts are **deterministic** given the trace seed — a pure
+  function of the trace, so scalar/batched/sharded paths resolve the
+  identical placement estimates;
+* the predicted peak **covers** a pinned fraction of the realized
+  weekly peak across seeds — including the HotMail day-3 surge the
+  model deliberately does not forecast;
+* packing by forecasts never yields **more** realized-peak overcommit
+  than packing by the learning-day observed peak on the same fleet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.setup import DEFAULT_PEAK_DEMAND, make_trace
+from repro.sim.forecast import (
+    DEFAULT_FORECAST_MARGIN,
+    PLACEMENT_DEMANDS,
+    fit_lane_forecast,
+    forecast_peak_demand,
+    placement_estimate,
+)
+from repro.sim.placement import make_hosts, make_policy, total_overcommit
+from repro.workloads.traces import (
+    HOTMAIL_LEVELS,
+    HOTMAIL_SURGE_LOAD,
+    MESSENGER_LEVELS,
+)
+from repro.workloads.request_mix import CASSANDRA_UPDATE_HEAVY
+
+MIX = CASSANDRA_UPDATE_HEAVY
+
+#: Minimum forecast/realized-weekly-peak ratio pinned across seeds.
+#: HotMail's realized peak is the unforecast day-3 surge (1.05); the
+#: forecast tops out near 0.85, so ~0.8 coverage is the honest floor.
+PINNED_COVERAGE = 0.75
+
+SEEDS = range(8)
+
+
+def trace(name, seed=None, peak_demand=DEFAULT_PEAK_DEMAND):
+    return make_trace(name, MIX, peak_demand, seed=seed)
+
+
+def realized_weekly_peak(tr):
+    return float(tr.hourly_load.max()) * tr.peak_clients * tr.mix.demand_per_client
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["messenger", "hotmail"])
+    @pytest.mark.parametrize("seed", [0, 3, 17])
+    def test_same_seed_same_forecast(self, name, seed):
+        first = fit_lane_forecast(trace(name, seed=seed))
+        again = fit_lane_forecast(trace(name, seed=seed))
+        assert first == again
+        assert forecast_peak_demand(trace(name, seed=seed)) == (
+            first.peak_demand_units
+        )
+
+    def test_different_seeds_rejitter_the_fit(self):
+        peaks = {
+            fit_lane_forecast(trace("hotmail", seed=seed)).peak_load
+            for seed in SEEDS
+        }
+        assert len(peaks) > 1
+
+
+class TestLevelRecovery:
+    def test_messenger_recovers_four_levels(self):
+        forecast = fit_lane_forecast(trace("messenger"))
+        assert len(forecast.levels) == len(MESSENGER_LEVELS)
+        np.testing.assert_allclose(
+            forecast.levels, MESSENGER_LEVELS, atol=0.06
+        )
+
+    def test_hotmail_recovers_three_levels(self):
+        forecast = fit_lane_forecast(trace("hotmail"))
+        assert len(forecast.levels) == len(HOTMAIL_LEVELS)
+        np.testing.assert_allclose(forecast.levels, HOTMAIL_LEVELS, atol=0.06)
+
+    def test_peak_window_width_is_plateau_hours(self):
+        # Messenger's canonical weekday peak is the single 19:00 hour.
+        forecast = fit_lane_forecast(trace("messenger"))
+        assert forecast.peak_hours == 1
+
+    def test_margin_inflates_and_ceiling_clips(self):
+        tr = trace("hotmail")
+        flat = fit_lane_forecast(tr, margin=0.0)
+        inflated = fit_lane_forecast(tr, margin=0.06)
+        assert inflated.peak_load == pytest.approx(flat.peak_load * 1.06)
+        clipped = fit_lane_forecast(tr, margin=10.0)
+        assert clipped.peak_load == 1.0
+
+
+class TestPeakCoverage:
+    @pytest.mark.parametrize("name", ["messenger", "hotmail"])
+    def test_forecast_covers_pinned_fraction_across_seeds(self, name):
+        for seed in SEEDS:
+            tr = trace(name, seed=seed)
+            coverage = forecast_peak_demand(tr) / realized_weekly_peak(tr)
+            assert coverage >= PINNED_COVERAGE
+
+    def test_messenger_ceiling_makes_full_coverage(self):
+        # The messenger top plateau sits at the load ceiling, so the
+        # inflated forecast clips to exactly the realized peak.
+        for seed in SEEDS:
+            tr = trace("messenger", seed=seed)
+            assert forecast_peak_demand(tr) / realized_weekly_peak(tr) >= 0.95
+
+    def test_surge_is_deliberately_unforecast(self):
+        # The day-3 HotMail anomaly exceeds every learned plateau; the
+        # forecast must not have swallowed it into a level.
+        forecast = fit_lane_forecast(trace("hotmail"))
+        assert forecast.peak_load < HOTMAIL_SURGE_LOAD
+        assert max(forecast.levels) < 1.0
+
+
+class TestForecastPacking:
+    FACTORS = (0.7, 0.85, 1.0, 1.1, 1.2)
+
+    def fleet(self, base_seed):
+        traces = []
+        for lane in range(12):
+            name = "messenger" if lane % 2 == 0 else "hotmail"
+            factor = self.FACTORS[lane % len(self.FACTORS)]
+            traces.append(
+                trace(
+                    name,
+                    seed=base_seed * 100 + lane,
+                    peak_demand=DEFAULT_PEAK_DEMAND * factor,
+                )
+            )
+        return traces
+
+    @pytest.mark.parametrize("base_seed", [0, 1, 2])
+    def test_forecast_packing_never_worse_on_realized_peaks(self, base_seed):
+        traces = self.fleet(base_seed)
+        hosts = make_hosts(4, 16.0)
+        realized = [realized_weekly_peak(tr) for tr in traces]
+        overcommit = {}
+        for mode in PLACEMENT_DEMANDS:
+            estimates = [placement_estimate(tr, mode) for tr in traces]
+            placement = make_policy("first_fit_decreasing").place(
+                estimates, hosts
+            )
+            overcommit[mode] = total_overcommit(placement, realized, hosts)
+        assert overcommit["forecast"] <= overcommit["learning-peak"] + 1e-9
+
+
+class TestValidation:
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError, match="margin"):
+            fit_lane_forecast(trace("messenger"), margin=-0.1)
+
+    def test_nonpositive_level_gap_rejected(self):
+        with pytest.raises(ValueError, match="gap"):
+            fit_lane_forecast(trace("messenger"), level_gap=0.0)
+
+    def test_unknown_placement_demand_rejected(self):
+        with pytest.raises(ValueError, match="placement demand"):
+            placement_estimate(trace("messenger"), "crystal-ball")
+
+    def test_learning_peak_estimate_is_day0_max(self):
+        tr = trace("hotmail", seed=2)
+        expected = max(w.demand_units for w in tr.hourly_workloads(day=0))
+        assert placement_estimate(tr, "learning-peak") == expected
+
+    def test_default_margin_is_two_jitter_sd(self):
+        assert DEFAULT_FORECAST_MARGIN == pytest.approx(0.06)

@@ -271,6 +271,16 @@ class TestMigration:
             MigrationPolicy(blackout_theft=1.5)
         with pytest.raises(ValueError, match="move"):
             MigrationPolicy(max_moves=0)
+        with pytest.raises(ValueError, match="mode"):
+            MigrationPolicy(mode="defrag")
+        with pytest.raises(ValueError, match="headroom"):
+            MigrationPolicy(drain_headroom=0.0)
+
+    def test_plan_validates_capacities_shape(self):
+        with pytest.raises(ValueError, match="capacity"):
+            MigrationPolicy().plan(
+                [0], [1.0], hosts_of([10.0]), capacities=[10.0, 10.0]
+            )
 
     def test_manual_migrate_validates(self):
         host_map = self.make_map()
@@ -281,6 +291,166 @@ class TestMigration:
         dedicated = HostMap(hosts_of([10.0]), [0, None])
         with pytest.raises(ValueError, match="dedicated"):
             dedicated.migrate(1, 0, t=0.0)
+
+
+class TestLoneTenantSkip:
+    """Bugfix regression: a lone self-saturating tenant on the *worst*
+    host used to abort the whole rebalance; the planner must skip it
+    and still relieve the next-worst host in the same cycle."""
+
+    def test_next_worst_host_still_relieved(self):
+        # Host 0's lone tenant gives it the largest excess (10 over a
+        # 5-unit host), so it sorts first; host 1 (8 + 8 on 10 units)
+        # is relievable — one of its tenants fits on empty host 2.
+        hosts = hosts_of([5.0, 10.0, 50.0])
+        moves = MigrationPolicy().plan([0, 1, 1], [15.0, 8.0, 8.0], hosts)
+        assert moves
+        lane, target = moves[0]
+        assert lane in (1, 2)
+        assert target == 2
+
+    def test_two_overloaded_hosts_end_to_end(self):
+        host_map = HostMap(
+            hosts_of([5.0, 10.0, 50.0]),
+            [0, 1, 1],
+            migration=MigrationPolicy(rebalance_every=1),
+        )
+        loads = [workload(15.0), workload(8.0), workload(8.0)]
+        for step in range(3):
+            host_map.apply_step(step * 60.0, loads)
+        # The lone tenant never moves, but host 1 still got relief.
+        assert host_map.migrations >= 1
+        assert host_map.placement[0] == 0
+        assert 2 in host_map.placement[1:]
+
+
+class TestFaultAwarePlanning:
+    """Bugfix regression: the planner packs against effective
+    (fault-adjusted) capacities, never a dead host's nominal size."""
+
+    def test_plan_never_targets_dead_host(self):
+        # With nominal capacities, empty dead host 0 would look like
+        # the roomiest fit for host 1's pressure; the effective
+        # capacities say it holds nothing.
+        hosts = hosts_of([10.0, 10.0, 10.0])
+        moves = MigrationPolicy().plan(
+            [1, 1, 2],
+            [8.0, 8.0, 2.0],
+            hosts,
+            capacities=[0.0, 10.0, 10.0],
+        )
+        assert moves
+        assert all(target != 0 for _lane, target in moves)
+
+    def test_drain_never_targets_dead_host(self):
+        moves = MigrationPolicy(mode="consolidate").plan(
+            [1, 1, 2],
+            [3.0, 3.0, 1.0],
+            hosts_of([10.0, 10.0, 10.0]),
+            capacities=[0.0, 10.0, 10.0],
+        )
+        assert moves
+        assert all(target != 0 for _lane, target in moves)
+
+    def test_rebalance_never_lands_on_downed_host(self):
+        # End-to-end with a fault schedule: host 0 dies at step 1, the
+        # step-3 rebalance must relieve host 1 onto live host 2 (the
+        # capacity-blind planner targeted dead host 0 and the move was
+        # vetoed, leaving the pressure unrelieved).
+        from repro.sim.faults import parse_faults
+
+        host_map = HostMap(
+            hosts_of([10.0, 10.0, 10.0]),
+            [0, 1, 1, 2],
+            migration=MigrationPolicy(rebalance_every=3),
+        )
+        host_map.attach_faults(parse_faults("host:0@1+10"))
+        loads = [workload(2.0), workload(8.0), workload(8.0), workload(2.0)]
+        for step in range(6):
+            host_map.apply_step(step * 60.0, loads)
+            if host_map._host_down[0]:
+                assert 0 not in host_map.placement
+        assert host_map.host_failures == 1
+        assert host_map.migrations >= 1
+
+
+class TestConsolidation:
+    """The consolidate mode's drain: atomic, headroom-bounded, and
+    only on cycles where pressure relief has nothing to do."""
+
+    def test_drains_coldest_feasible_host(self):
+        hosts = hosts_of([10.0, 10.0, 10.0])
+        # No pressure anywhere; host 2 is coldest and its lone tenant
+        # fits on host 0 within the drain headroom.
+        moves = MigrationPolicy(mode="consolidate").plan(
+            [0, 0, 1, 2], [3.0, 3.0, 5.0, 1.0], hosts
+        )
+        assert moves == [(3, 0)]
+
+    def test_drain_is_atomic(self):
+        # Both tenants of the cold host move in the same rebalance,
+        # max_moves=1 notwithstanding.
+        hosts = hosts_of([10.0, 10.0, 10.0])
+        moves = MigrationPolicy(mode="consolidate", max_moves=1).plan(
+            [0, 0, 1, 2, 2], [4.0, 4.0, 6.0, 1.0, 1.0], hosts
+        )
+        assert sorted(lane for lane, _target in moves) == [3, 4]
+        assert all(target in (0, 1) for _lane, target in moves)
+
+    def test_pressure_relief_comes_first(self):
+        # Under relievable pressure the cycle is pure pressure relief —
+        # no drain rides along.
+        hosts = hosts_of([10.0, 10.0])
+        moves = MigrationPolicy(mode="consolidate").plan(
+            [0, 0, 1], [8.0, 8.0, 1.0], hosts
+        )
+        assert len(moves) == 1
+        assert moves[0][1] == 1  # relief move, toward the cold host
+
+    def test_drain_respects_headroom(self):
+        hosts = hosts_of([10.0, 10.0])
+        placement = [0, 0, 1]
+        demands = [4.0, 4.0, 1.0]
+        # At 0.85 headroom host 0 offers 8.5 - 8 = 0.5 < 1: infeasible
+        # in both directions, so nothing drains.
+        tight = MigrationPolicy(mode="consolidate", drain_headroom=0.85)
+        assert tight.plan(placement, demands, hosts) == []
+        # At full headroom the cold host's tenant fits and drains.
+        full = MigrationPolicy(mode="consolidate", drain_headroom=1.0)
+        assert full.plan(placement, demands, hosts) == [(2, 0)]
+
+    def test_lone_powered_host_never_drained(self):
+        hosts = hosts_of([10.0, 10.0])
+        moves = MigrationPolicy(mode="consolidate").plan(
+            [0, 0], [1.0, 1.0], hosts
+        )
+        assert moves == []
+
+    def test_pressure_mode_never_drains(self):
+        hosts = hosts_of([10.0, 10.0, 10.0])
+        moves = MigrationPolicy(mode="pressure").plan(
+            [0, 0, 1, 2], [3.0, 3.0, 5.0, 1.0], hosts
+        )
+        assert moves == []
+
+    def test_drained_host_powers_off(self):
+        # End-to-end: after the drain the emptied host stops accruing
+        # host-on samples (the energy axis the studies report).
+        host_map = HostMap(
+            hosts_of([10.0, 10.0]),
+            [0, 1],
+            migration=MigrationPolicy(
+                mode="consolidate", rebalance_every=1
+            ),
+        )
+        loads = [workload(2.0), workload(2.0)]
+        for step in range(4):
+            host_map.apply_step(step * 60.0, loads)
+        assert host_map.migrations == 1
+        assert tuple(host_map.placement) == (1, 1)
+        # Step 0: both hosts on (no rebalance yet); steps 1-3: one.
+        assert host_map.host_on_steps == 2 + 3
+        assert host_map.mean_hosts_on == pytest.approx(5 / 4)
 
 
 class TestAllocationAwareDemand:
